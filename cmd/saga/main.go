@@ -1,0 +1,121 @@
+// Command saga runs one streaming-graph-analytics configuration — a
+// dataset, a data structure, an algorithm, and a compute model — through
+// the SAGA-Bench pipeline and reports per-stage update, compute, and total
+// batch-processing latencies (paper Equation 1) with 95% confidence
+// intervals.
+//
+// Example:
+//
+//	saga -dataset lj -ds adjshared -alg pr -model inc -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/elio"
+	"sagabench/internal/gen"
+	"sagabench/internal/graph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "lj", fmt.Sprintf("dataset %v", gen.DatasetNames()))
+		input   = flag.String("input", "", "edge-list file to stream instead of a synthetic dataset (src dst [weight] lines)")
+		batch   = flag.Int("batch", 1000, "batch size for -input streams")
+		shuffle = flag.Bool("shuffle", true, "shuffle -input streams before batching (paper methodology)")
+		undir   = flag.Bool("undirected", false, "treat the -input stream as undirected")
+		profile = flag.String("profile", "default", "dataset scale: tiny, default, large")
+		dsName  = flag.String("ds", "adjshared", fmt.Sprintf("data structure %v", []string{"adjshared", "adjchunked", "stinger", "dah"}))
+		alg     = flag.String("alg", "pr", fmt.Sprintf("algorithm %v", compute.AlgNames()))
+		model   = flag.String("model", "inc", "compute model: fs or inc")
+		threads = flag.Int("threads", 4, "worker threads for both phases")
+		repeats = flag.Int("repeats", 1, "full-stream repetitions (paper uses 3)")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		source  = flag.Uint("source", 0, "source vertex for bfs/sssp/sswp")
+		verbose = flag.Bool("v", false, "print every batch latency")
+	)
+	flag.Parse()
+
+	pc := core.PipelineConfig{
+		DataStructure: *dsName,
+		Algorithm:     *alg,
+		Model:         compute.Model(*model),
+		Threads:       *threads,
+		Compute:       compute.Options{Source: graph.NodeID(*source)},
+	}
+	var onBatch func(b int, edges graph.Batch, p *core.Pipeline, lat core.BatchLatency)
+	if *verbose {
+		onBatch = func(b int, edges graph.Batch, p *core.Pipeline, lat core.BatchLatency) {
+			fmt.Printf("batch %4d: edges=%6d nodes=%8d update=%-12s compute=%-12s total=%s\n",
+				b, len(edges), p.Graph().NumNodes(), lat.Update, lat.Compute, lat.Total())
+		}
+	}
+	_ = ds.Names() // ensure registry linkage for error messages
+
+	var res *core.RunResult
+	var err error
+	label := *dataset
+	if *input != "" {
+		label = *input
+		f, ferr := os.Open(*input)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		edges, rerr := elio.Read(f)
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if *shuffle {
+			gen.Shuffle(edges, *seed)
+		}
+		pc.Directed = !*undir
+		res, err = core.RunStream(core.StreamConfig{
+			PipelineConfig: pc,
+			Edges:          edges,
+			BatchSize:      *batch,
+			Repeats:        *repeats,
+			OnBatch:        onBatch,
+		})
+	} else {
+		spec, serr := gen.Dataset(*dataset, gen.Profile(*profile))
+		if serr != nil {
+			fatal(serr)
+		}
+		res, err = core.Run(core.RunConfig{
+			PipelineConfig: pc,
+			Dataset:        spec,
+			Seed:           *seed,
+			Repeats:        *repeats,
+			OnBatch:        onBatch,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dataset=%s ds=%s alg=%s model=%s threads=%d batches=%d repeats=%d\n",
+		label, *dsName, *alg, *model, *threads, res.BatchCount, *repeats)
+	fmt.Printf("%-8s %14s %14s %14s\n", "stage", "update", "compute", "total")
+	names := [3]string{"P1", "P2", "P3"}
+	upd := res.StageSummaries(core.MetricUpdate)
+	cmp := res.StageSummaries(core.MetricCompute)
+	tot := res.StageSummaries(core.MetricTotal)
+	for i := range names {
+		fmt.Printf("%-8s %14s %14s %14s\n", names[i], upd[i], cmp[i], tot[i])
+	}
+	share := res.UpdateShare()
+	fmt.Printf("update share of batch latency: P1=%.0f%% P2=%.0f%% P3=%.0f%%\n",
+		100*share[0], 100*share[1], 100*share[2])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saga:", err)
+	os.Exit(1)
+}

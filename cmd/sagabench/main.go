@@ -1,0 +1,74 @@
+// Command sagabench regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	sagabench -experiment table3           # best combo per alg/dataset
+//	sagabench -experiment fig9 -machdiv 64 # architecture utilization
+//	sagabench -experiment all -profile tiny -repeats 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sagabench/internal/bench"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/gen"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", experimentHelp())
+		profile    = flag.String("profile", "default", "dataset scale: tiny, default, large")
+		threads    = flag.Int("threads", 4, "worker threads")
+		repeats    = flag.Int("repeats", 1, "stream repetitions (paper uses 3)")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		machdiv    = flag.Int("machdiv", 128, "simulated-machine capacity divisor for fig9/fig10")
+		outdir     = flag.String("outdir", "", "also write the experiment output to <outdir>/<experiment>.txt")
+		csvdir     = flag.String("csv", "", "write each experiment's data series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sagabench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*outdir, *experiment+".txt"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sagabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	h := bench.New(bench.Options{
+		Profile:    gen.Profile(*profile),
+		Threads:    *threads,
+		Repeats:    *repeats,
+		Seed:       *seed,
+		MachineDiv: *machdiv,
+		Out:        out,
+		CSVDir:     *csvdir,
+	})
+	start := time.Now()
+	if err := h.RunExperiment(*experiment); err != nil {
+		fmt.Fprintln(os.Stderr, "sagabench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s completed in %s]\n", *experiment, time.Since(start).Round(time.Millisecond))
+}
+
+func experimentHelp() string {
+	s := "experiment to run: all"
+	for _, e := range bench.Experiments {
+		s += ", " + e.ID
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+// Contentrec: a recommendation-flavored workload (the paper's third
+// motivating scenario). Items are linked by co-engagement edges whose
+// weight is the engagement strength; the widest path from a seed item
+// (incremental SSWP) scores how strongly any item is chained to it — the
+// bottleneck-capacity notion behind "related content" walks. Stinger holds
+// the topology, and the example also contrasts the incremental model
+// against recomputation from scratch on the same stream.
+//
+//	go run ./examples/contentrec
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+const (
+	items     = 2500
+	seedItem  = 3
+	batchSize = 700
+	batches   = 10
+)
+
+func newPipe(model compute.Model) *core.Pipeline {
+	p, err := core.NewPipeline(core.PipelineConfig{
+		DataStructure: "stinger",
+		Algorithm:     "sswp",
+		Model:         model,
+		Directed:      false, // co-engagement is symmetric
+		Threads:       4,
+		MaxNodesHint:  items,
+		Compute:       compute.Options{Source: seedItem},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	inc := newPipe(compute.INC)
+	fs := newPipe(compute.FS)
+
+	rng := rand.New(rand.NewSource(11))
+	var incTime, fsTime time.Duration
+	for b := 0; b < batches; b++ {
+		batch := make(graph.Batch, batchSize)
+		for i := range batch {
+			a := graph.NodeID(rng.Intn(items))
+			c := graph.NodeID(rng.Intn(items))
+			if a == c {
+				c = (c + 1) % items
+			}
+			// Popular items co-engage more strongly.
+			w := graph.Weight(rng.Intn(50) + 1)
+			if a < 20 || c < 20 {
+				w += 30
+			}
+			batch[i] = graph.Edge{Src: a, Dst: c, Weight: w}
+		}
+		li := inc.Process(batch)
+		lf := fs.Process(batch)
+		incTime += li.Total()
+		fsTime += lf.Total()
+	}
+
+	width := inc.Values()
+	type rec struct {
+		item  int
+		score float64
+	}
+	var recs []rec
+	for it, w := range width {
+		if it != seedItem && w > 0 {
+			recs = append(recs, rec{it, w})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].score > recs[j].score })
+	fmt.Printf("recommendations chained to item %d (by widest engagement path):\n", seedItem)
+	for i := 0; i < 5 && i < len(recs); i++ {
+		fmt.Printf("  item %4d  strength %.0f\n", recs[i].item, recs[i].score)
+	}
+	// On a graph this small, recomputation from scratch stays competitive
+	// with the incremental model for path algorithms — exactly the paper's
+	// Table III finding for SSWP on its smaller datasets.
+	fmt.Printf("cumulative batch-processing latency: incremental %v vs from-scratch %v (FS/INC %.1fx)\n",
+		incTime, fsTime, float64(fsTime)/float64(incTime))
+
+	// Both models must agree on the scores.
+	fsw := fs.Values()
+	for it := range width {
+		if width[it] != fsw[it] {
+			log.Fatalf("model divergence at item %d: inc=%v fs=%v", it, width[it], fsw[it])
+		}
+	}
+	fmt.Println("consistency check: incremental and from-scratch scores agree")
+}

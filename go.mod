@@ -1,0 +1,3 @@
+module sagabench
+
+go 1.22

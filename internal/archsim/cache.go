@@ -1,0 +1,167 @@
+// Package archsim is the architecture-characterization substrate standing
+// in for the paper's Intel PCM measurements (Section VI). It provides:
+//
+//   - a trace-driven set-associative cache hierarchy with the paper
+//     platform's geometry (32 KB L1d and 1 MB L2 private per core, 22 MB
+//     LLC shared per socket, 64 B lines, two sockets);
+//   - a NUMA memory model (page-interleaved homes, per-socket DRAM
+//     bandwidth, QPI inter-socket links);
+//   - shadow memory-layout models of the four SAGA-Bench data structures
+//     that replay the real update and compute phases' access patterns over
+//     the actually ingested graph;
+//   - a TLP performance model fed by measured contention and imbalance
+//     counters, producing the core-scaling, bandwidth, and QPI utilization
+//     figures (Fig 9) and the cache hit-ratio / MPKI figures (Fig 10).
+//
+// Absolute numbers depend on the documented calibration constants; the
+// reproduced findings are the relative shapes (update vs compute, L2 vs
+// LLC, short vs heavy tails), which are driven by the replayed access
+// patterns, not the constants.
+package archsim
+
+// Access classifies one memory reference.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// Cache is one set-associative, write-allocate, LRU cache level.
+type Cache struct {
+	lineShift uint
+	sets      uint64
+	ways      int
+	// tags[set*ways+way]; valid entries have tag != 0 (addresses are
+	// offset so tag 0 never occurs).
+	tags []uint64
+	// lru[set*ways+way]: larger = more recently used.
+	lru   []uint64
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity and
+// 64-byte lines. sizeBytes must be a multiple of ways*64.
+func NewCache(sizeBytes, ways int) *Cache {
+	const lineSize = 64
+	if maxWays := sizeBytes / lineSize; ways > maxWays {
+		// Tiny scaled caches: keep capacity honest by shrinking
+		// associativity rather than rounding capacity up.
+		ways = maxWays
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	sets := sizeBytes / (ways * lineSize)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		// Round down to a power of two so set indexing is a mask.
+		p := 1
+		for p*2 <= sets {
+			p *= 2
+		}
+		sets = p
+	}
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		lineShift: 6,
+		sets:      uint64(sets),
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint64, sets*ways),
+	}
+}
+
+// Access looks up addr, updating LRU state and filling on miss. It reports
+// whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr>>c.lineShift + 1 // +1 so tag 0 means invalid
+	set := (line - 1) & (c.sets - 1)
+	base := int(set) * c.ways
+	c.clock++
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == line {
+			c.lru[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Install fills addr's line without touching hit/miss counters (prefetch
+// fills). It reports whether the line was already resident.
+func (c *Cache) Install(addr uint64) bool {
+	line := addr>>c.lineShift + 1
+	set := (line - 1) & (c.sets - 1)
+	base := int(set) * c.ways
+	c.clock++
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == line {
+			c.lru[i] = c.clock
+			return true
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Contains reports whether addr's line is resident without touching LRU or
+// counters (used by tests).
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr>>c.lineShift + 1
+	set := (line - 1) & (c.sets - 1)
+	base := int(set) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// ResetCounters clears hit/miss counters but keeps contents (used at phase
+// boundaries so the compute phase can reuse lines the update phase
+// brought in — the reuse relationship behind Fig 10).
+func (c *Cache) ResetCounters() {
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// HitRatio reports Hits/(Hits+Misses), or 0 when idle.
+func (c *Cache) HitRatio() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(t)
+}

@@ -1,0 +1,184 @@
+package archsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := NewCache(4096, 4)
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1030) { // same 64B line
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1040) { // next line
+		t.Fatal("next-line access hit")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 2 sets of 64B lines => 256 bytes. Lines mapping to set 0:
+	// addresses 0, 128, 256, ...
+	c := NewCache(256, 2)
+	c.Access(0)   // set 0, way A
+	c.Access(128) // set 0, way B
+	c.Access(0)   // touch A (B is now LRU)
+	c.Access(256) // evicts B
+	if !c.Contains(0) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Contains(128) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Contains(256) {
+		t.Fatal("new line not resident")
+	}
+}
+
+func TestCacheCapacity(t *testing.T) {
+	c := NewCache(1<<12, 8) // 4 KB = 64 lines
+	for i := 0; i < 64; i++ {
+		c.Access(uint64(i) * 64)
+	}
+	hits := 0
+	for i := 0; i < 64; i++ {
+		if c.Access(uint64(i) * 64) {
+			hits++
+		}
+	}
+	if hits != 64 {
+		t.Fatalf("working set = capacity: %d/64 hits", hits)
+	}
+	// Double the working set with LRU sweep => zero hits.
+	c.Reset()
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 128; i++ {
+			c.Access(uint64(i) * 64)
+		}
+	}
+	if c.Hits != 0 {
+		t.Fatalf("sweeping 2x capacity should never hit with LRU, got %d hits", c.Hits)
+	}
+}
+
+func TestCacheResetCounters(t *testing.T) {
+	c := NewCache(4096, 4)
+	c.Access(0)
+	c.ResetCounters()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatal("counters not reset")
+	}
+	if !c.Access(0) {
+		t.Fatal("contents should survive ResetCounters")
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	c := NewCache(4096, 4)
+	if c.HitRatio() != 0 {
+		t.Fatal("idle hit ratio != 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	if r := c.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio %v want 2/3", r)
+	}
+}
+
+// Property: hits+misses equals accesses, and a repeated address always
+// hits on its immediate re-access.
+func TestCacheProperties(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := NewCache(1<<14, 8)
+		n := uint64(0)
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Access(uint64(a)) {
+				return false // immediate re-access must hit
+			}
+			n += 2
+		}
+		return c.Hits+c.Misses == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMachineLevels(t *testing.T) {
+	m := NewMachine(PaperMachine(), 4)
+	m.Access(0, 0x5000, false, 1)
+	tr := m.DrainPhase()
+	if tr.L1Misses != 1 || tr.L2Misses != 1 || tr.LLCMisses != 1 {
+		t.Fatalf("cold access should miss all levels: %+v", tr)
+	}
+	if tr.DRAMBytes != 64 {
+		t.Fatalf("DRAMBytes=%d want 64", tr.DRAMBytes)
+	}
+	m.Access(0, 0x5000, false, 1)
+	tr = m.DrainPhase()
+	if tr.L1Hits != 1 || tr.DRAMBytes != 0 {
+		t.Fatalf("warm access should hit L1: %+v", tr)
+	}
+	// A different thread on the same socket shares only the LLC.
+	m.Access(0, 0x9000, false, 1)
+	m.DrainPhase()
+	m.Access(2, 0x9000, false, 1) // thread 2 -> socket 0, own L1/L2
+	tr = m.DrainPhase()
+	if tr.L1Hits != 0 || tr.L2Hits != 0 || tr.LLCHits != 1 {
+		t.Fatalf("cross-thread same-socket access should hit LLC only: %+v", tr)
+	}
+}
+
+func TestMachineQPI(t *testing.T) {
+	m := NewMachine(PaperMachine(), 2)
+	// First-touch homing: thread 1 (socket 1) touches page 1 first, so
+	// the page homes there; thread 0's later miss to it crosses QPI,
+	// while thread 0's own first-touched page stays local.
+	m.Access(1, 0x1000, false, 1)
+	m.DrainPhase()
+	m.Access(0, 0x0000, false, 1) // local first touch
+	m.Access(0, 0x1040, false, 1) // remote page, different line
+	tr := m.DrainPhase()
+	if tr.DRAMBytes != 128 {
+		t.Fatalf("DRAMBytes=%d want 128", tr.DRAMBytes)
+	}
+	if tr.QPIBytes != 64 {
+		t.Fatalf("QPIBytes=%d want 64 (one remote line)", tr.QPIBytes)
+	}
+	// Re-touching the local page never crosses QPI.
+	m.Access(0, 0x0040, false, 1)
+	tr = m.DrainPhase()
+	if tr.QPIBytes != 0 {
+		t.Fatalf("QPIBytes=%d want 0 for locally homed page", tr.QPIBytes)
+	}
+}
+
+func TestTrafficRatios(t *testing.T) {
+	tr := Traffic{L2Hits: 3, L2Misses: 1, LLCHits: 1, LLCMisses: 1, Instructions: 2000}
+	if r := tr.L2HitRatio(); r != 0.75 {
+		t.Errorf("L2HitRatio=%v want 0.75", r)
+	}
+	if r := tr.LLCHitRatio(); r != 0.5 {
+		t.Errorf("LLCHitRatio=%v want 0.5", r)
+	}
+	if m := tr.L2MPKI(); m != 0.5 {
+		t.Errorf("L2MPKI=%v want 0.5", m)
+	}
+	if m := tr.LLCMPKI(); m != 0.5 {
+		t.Errorf("LLCMPKI=%v want 0.5", m)
+	}
+	var zero Traffic
+	if zero.L2HitRatio() != 0 || zero.L2MPKI() != 0 {
+		t.Error("zero traffic ratios should be 0")
+	}
+}

@@ -1,0 +1,136 @@
+package archsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+// TestShadowStingerBlocksMatchReal cross-validates the shadow layout
+// against the real structure: after the same batches, the shadow's block
+// chains must have exactly the real Stinger's block counts (the layout
+// property that drives its pointer-chasing traffic).
+func TestShadowStingerBlocksMatchReal(t *testing.T) {
+	real := ds.MustNew("stinger", ds.Config{Directed: true, Threads: 1})
+	r, err := NewReplayer(ReplayConfig{
+		Machine:       PaperMachine(),
+		Threads:       1,
+		DataStructure: "stinger",
+		Directed:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for b := 0; b < 5; b++ {
+		batch := make(graph.Batch, 1200)
+		for i := range batch {
+			batch[i] = graph.Edge{
+				Src:    graph.NodeID(rng.Intn(90)),
+				Dst:    graph.NodeID(rng.Intn(90)),
+				Weight: 1,
+			}
+		}
+		real.Update(batch)
+		r.ReplayUpdate(batch)
+	}
+	shadow := r.out.(*shadowStinger)
+	type blockCounter interface{ NumBlocks(graph.NodeID) int }
+	realStore := real.(*ds.TwoCopy).OutStore().(blockCounter)
+	for v := 0; v < real.NumNodes(); v++ {
+		want := realStore.NumBlocks(graph.NodeID(v))
+		got := len(shadow.blocks[v])
+		if got != want {
+			t.Fatalf("vertex %d: shadow has %d blocks, real has %d", v, got, want)
+		}
+	}
+}
+
+// TestShadowDAHHighDegreeMatchesReal: the shadow must flush exactly the
+// vertices the real DAH flushes (same threshold, same dedup), since the
+// flush decides which table's access pattern a vertex generates.
+func TestShadowDAHHighDegreeMatchesReal(t *testing.T) {
+	const chunks = 4
+	real := ds.MustNew("dah", ds.Config{Directed: true, Threads: 1, Chunks: chunks, FlushThreshold: 8})
+	r, err := NewReplayer(ReplayConfig{
+		Machine:        PaperMachine(),
+		Threads:        1,
+		Chunks:         chunks,
+		DataStructure:  "dah",
+		Directed:       true,
+		FlushThreshold: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for b := 0; b < 4; b++ {
+		batch := make(graph.Batch, 900)
+		for i := range batch {
+			src := graph.NodeID(rng.Intn(70))
+			if rng.Intn(4) == 0 {
+				src = 3 // force one hub over the threshold
+			}
+			batch[i] = graph.Edge{Src: src, Dst: graph.NodeID(rng.Intn(300)), Weight: 1}
+		}
+		real.Update(batch)
+		r.ReplayUpdate(batch)
+	}
+	shadow := r.out.(*shadowDAH)
+	type highChecker interface{ IsHighDegree(graph.NodeID) bool }
+	realStore := real.(*ds.TwoCopy).OutStore().(highChecker)
+	flushed := 0
+	for v := 0; v < real.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		want := realStore.IsHighDegree(id)
+		_, got := shadow.chunk[shadow.chunkOf(id)].high[id]
+		if got != want {
+			t.Fatalf("vertex %d: shadow high=%v real high=%v", v, got, want)
+		}
+		if want {
+			flushed++
+		}
+	}
+	if flushed == 0 {
+		t.Fatal("test graph produced no flushed vertices — threshold too high to exercise the path")
+	}
+}
+
+// TestShadowAdjDegreesMatchReal: vector lengths drive AS/AC scan traffic;
+// they must track the real structure exactly.
+func TestShadowAdjDegreesMatchReal(t *testing.T) {
+	for _, name := range []string{"adjshared", "adjchunked"} {
+		real := ds.MustNew(name, ds.Config{Directed: true, Threads: 1})
+		r, err := NewReplayer(ReplayConfig{
+			Machine:       PaperMachine(),
+			Threads:       1,
+			DataStructure: name,
+			Directed:      true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(14))
+		for b := 0; b < 4; b++ {
+			batch := make(graph.Batch, 800)
+			for i := range batch {
+				batch[i] = graph.Edge{
+					Src:    graph.NodeID(rng.Intn(60)),
+					Dst:    graph.NodeID(rng.Intn(60)),
+					Weight: 1,
+				}
+			}
+			real.Update(batch)
+			r.ReplayUpdate(batch)
+		}
+		shadow := r.out.(*shadowAdj)
+		for v := 0; v < real.NumNodes(); v++ {
+			if got, want := len(shadow.neigh[v]), real.OutDegree(graph.NodeID(v)); got != want {
+				t.Fatalf("%s vertex %d: shadow degree %d real %d", name, v, got, want)
+			}
+		}
+	}
+}

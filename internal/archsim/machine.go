@@ -1,0 +1,249 @@
+package archsim
+
+// MachineConfig mirrors the paper's platform (Section IV-A): a dual-socket
+// Intel Xeon Gold 6142 with 16 physical cores per socket, 2-way SMT (64
+// hardware threads), 32 KB private L1d, 1 MB private L2, 22 MB shared LLC
+// per socket, 128 GB/s DRAM bandwidth per socket, and 68.1 GB/s QPI per
+// direction.
+type MachineConfig struct {
+	Sockets        int
+	CoresPerSocket int
+	SMT            int
+
+	L1Bytes  int
+	L1Ways   int
+	L2Bytes  int
+	L2Ways   int
+	LLCBytes int
+	LLCWays  int
+
+	// DRAMBandwidth is per-socket peak, bytes/second.
+	DRAMBandwidth float64
+	// QPIBandwidth is per-direction inter-socket peak, bytes/second.
+	QPIBandwidth float64
+	// FreqHz and IPC calibrate the instruction-throughput term of the
+	// performance model.
+	FreqHz float64
+	IPC    float64
+}
+
+// PaperMachine returns the paper's platform configuration.
+func PaperMachine() MachineConfig {
+	return MachineConfig{
+		Sockets:        2,
+		CoresPerSocket: 16,
+		SMT:            2,
+		L1Bytes:        32 << 10,
+		L1Ways:         8,
+		L2Bytes:        1 << 20,
+		L2Ways:         16,
+		LLCBytes:       22 << 20,
+		LLCWays:        11,
+		DRAMBandwidth:  128e9,
+		QPIBandwidth:   68.1e9,
+		FreqHz:         2.6e9,
+		IPC:            1.5,
+	}
+}
+
+// Traffic tallies memory-system traffic for one phase.
+type Traffic struct {
+	Accesses     uint64
+	Instructions uint64
+
+	L1Hits, L1Misses   uint64
+	L2Hits, L2Misses   uint64
+	LLCHits, LLCMisses uint64
+
+	// DRAMBytes is line traffic to memory (local + remote).
+	DRAMBytes uint64
+	// QPIBytes is line traffic whose home socket differs from the
+	// requester's socket.
+	QPIBytes uint64
+}
+
+// Add merges o into t.
+func (t *Traffic) Add(o Traffic) {
+	t.Accesses += o.Accesses
+	t.Instructions += o.Instructions
+	t.L1Hits += o.L1Hits
+	t.L1Misses += o.L1Misses
+	t.L2Hits += o.L2Hits
+	t.L2Misses += o.L2Misses
+	t.LLCHits += o.LLCHits
+	t.LLCMisses += o.LLCMisses
+	t.DRAMBytes += o.DRAMBytes
+	t.QPIBytes += o.QPIBytes
+}
+
+// L2HitRatio reports L2 hits over L2 lookups.
+func (t *Traffic) L2HitRatio() float64 { return ratio(t.L2Hits, t.L2Hits+t.L2Misses) }
+
+// LLCHitRatio reports LLC hits over LLC lookups.
+func (t *Traffic) LLCHitRatio() float64 { return ratio(t.LLCHits, t.LLCHits+t.LLCMisses) }
+
+// L2MPKI reports L2 misses per kilo-instruction.
+func (t *Traffic) L2MPKI() float64 { return mpki(t.L2Misses, t.Instructions) }
+
+// LLCMPKI reports LLC misses per kilo-instruction.
+func (t *Traffic) LLCMPKI() float64 { return mpki(t.LLCMisses, t.Instructions) }
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func mpki(misses, instr uint64) float64 {
+	if instr == 0 {
+		return 0
+	}
+	return float64(misses) / (float64(instr) / 1000)
+}
+
+// Machine is the simulated memory system: per-thread L1+L2 (each hardware
+// thread of the replay gets private caches, approximating per-core private
+// caches), one LLC per socket, and NUMA page homing.
+type Machine struct {
+	cfg     MachineConfig
+	threads int
+
+	l1  []*Cache // per thread
+	l2  []*Cache // per thread
+	llc []*Cache // per socket
+
+	// lastLine[t] drives the per-thread next-line stream prefetcher:
+	// when a thread touches two consecutive lines, the following line is
+	// prefetched into its L2 and the socket LLC. Sequential patterns —
+	// adjacency-vector scans, batch-buffer reads — therefore hit in L2,
+	// which is how the real hardware serviced the update phase's
+	// scan-dominated traffic (Fig 10's update L2 behaviour).
+	lastLine []uint64
+
+	// pageHome records first-touch NUMA homing: a 4 KB page belongs to
+	// the socket of the thread that first references it (the default
+	// Linux placement policy). Chunk-owned structures therefore stay
+	// local to their owning socket, while shared data (property arrays,
+	// other sockets' adjacency) is remote for half its readers.
+	pageHome map[uint64]uint8
+
+	cur Traffic
+}
+
+// NewMachine builds the memory system for `threads` replay threads spread
+// round-robin across sockets.
+func NewMachine(cfg MachineConfig, threads int) *Machine {
+	if threads <= 0 {
+		threads = 1
+	}
+	m := &Machine{cfg: cfg, threads: threads}
+	for t := 0; t < threads; t++ {
+		m.l1 = append(m.l1, NewCache(cfg.L1Bytes, cfg.L1Ways))
+		m.l2 = append(m.l2, NewCache(cfg.L2Bytes, cfg.L2Ways))
+	}
+	for s := 0; s < cfg.Sockets; s++ {
+		m.llc = append(m.llc, NewCache(cfg.LLCBytes, cfg.LLCWays))
+	}
+	m.lastLine = make([]uint64, threads)
+	m.pageHome = make(map[uint64]uint8)
+	return m
+}
+
+// Threads reports the replay thread count.
+func (m *Machine) Threads() int { return m.threads }
+
+// Config reports the machine configuration.
+func (m *Machine) Config() MachineConfig { return m.cfg }
+
+// socketOf maps replay thread → socket (round-robin, like spreading cores
+// evenly across sockets in the paper's scaling study).
+func (m *Machine) socketOf(thread int) int { return thread % m.cfg.Sockets }
+
+// homeOf maps an address to its NUMA home socket: first-touch placement
+// at 4 KB page granularity, attributed to the requesting socket.
+func (m *Machine) homeOf(addr uint64, reqSocket int) int {
+	page := addr >> 12
+	if home, ok := m.pageHome[page]; ok {
+		return int(home)
+	}
+	m.pageHome[page] = uint8(reqSocket)
+	return reqSocket
+}
+
+const lineBytes = 64
+
+// Access replays one reference from a thread, charging `instr`
+// instructions of work that accompanied it.
+func (m *Machine) Access(thread int, addr uint64, write bool, instr uint64) {
+	t := thread % m.threads
+	m.cur.Accesses++
+	m.cur.Instructions += instr
+	m.prefetch(t, addr)
+	if m.l1[t].Access(addr) {
+		m.cur.L1Hits++
+		return
+	}
+	m.cur.L1Misses++
+	if m.l2[t].Access(addr) {
+		m.cur.L2Hits++
+		return
+	}
+	m.cur.L2Misses++
+	sock := m.socketOf(t)
+	if m.llc[sock].Access(addr) {
+		m.cur.LLCHits++
+		return
+	}
+	m.cur.LLCMisses++
+	m.cur.DRAMBytes += lineBytes
+	if m.homeOf(addr, sock) != sock {
+		m.cur.QPIBytes += lineBytes
+	}
+}
+
+// prefetch implements the next-line stream prefetcher: an access to the
+// line after the thread's previous one triggers a fill of the following
+// line into L2 and the socket LLC. Prefetch fills consume DRAM/QPI
+// bandwidth when the line was not on chip, but never count as demand
+// hits or misses (matching how PCM attributes demand traffic).
+func (m *Machine) prefetch(t int, addr uint64) {
+	line := addr >> 6
+	prev := m.lastLine[t]
+	m.lastLine[t] = line
+	if line != prev+1 {
+		return
+	}
+	next := (line + 1) << 6
+	sock := m.socketOf(t)
+	inL2 := m.l2[t].Install(next)
+	inLLC := m.llc[sock].Install(next)
+	if !inL2 && !inLLC {
+		m.cur.DRAMBytes += lineBytes
+		if m.homeOf(next, sock) != sock {
+			m.cur.QPIBytes += lineBytes
+		}
+	}
+}
+
+// Work charges instructions with no memory reference (arithmetic between
+// touches).
+func (m *Machine) Work(instr uint64) { m.cur.Instructions += instr }
+
+// DrainPhase returns the traffic accumulated since the previous drain and
+// resets the phase counters while keeping cache contents, so consecutive
+// phases observe each other's resident lines.
+func (m *Machine) DrainPhase() Traffic {
+	t := m.cur
+	m.cur = Traffic{}
+	for _, c := range m.l1 {
+		c.ResetCounters()
+	}
+	for _, c := range m.l2 {
+		c.ResetCounters()
+	}
+	for _, c := range m.llc {
+		c.ResetCounters()
+	}
+	return t
+}

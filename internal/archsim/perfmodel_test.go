@@ -1,0 +1,140 @@
+package archsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shortTailProfile mimics a short-tailed update: endpoint counts spread
+// nearly evenly over many vertices.
+func shortTailProfile(kind PhaseKind) PhaseProfile {
+	rng := rand.New(rand.NewSource(1))
+	loads := make([]VertexLoad, 2000)
+	for i := range loads {
+		loads[i] = VertexLoad{V: uint32(i), Count: uint64(1 + rng.Intn(3))}
+	}
+	return PhaseProfile{
+		Traffic:  Traffic{Instructions: 50_000_000, L2Hits: 400_000, LLCHits: 300_000, LLCMisses: 300_000, DRAMBytes: 300_000 * 64, QPIBytes: 150_000 * 64},
+		Kind:     kind,
+		HotOut:   0.003,
+		HotIn:    0.003,
+		OutLoads: loads,
+		InLoads:  loads,
+	}
+}
+
+// heavyTailProfile mimics a heavy-tailed update: one hub vertex owns a
+// third of the endpoints.
+func heavyTailProfile(kind PhaseKind) PhaseProfile {
+	p := shortTailProfile(kind)
+	p.HotIn = 0.3
+	var total uint64
+	for _, l := range p.InLoads {
+		total += l.Count
+	}
+	p.InLoads = append(append([]VertexLoad{}, p.InLoads...), VertexLoad{V: 2001, Count: total / 2})
+	return p
+}
+
+func TestScalingCurveShapes(t *testing.T) {
+	pm := DefaultPerfModel()
+	cores := []int{4, 8, 12, 16, 20, 24, 28}
+
+	stailUpd := pm.ScalingCurve(shortTailProfile(PhaseUpdateShared), cores)
+	htailUpd := pm.ScalingCurve(heavyTailProfile(PhaseUpdateChunked), cores)
+	comp := pm.ScalingCurve(shortTailProfile(PhaseCompute), cores)
+
+	for name, curve := range map[string][]float64{"stail": stailUpd, "htail": htailUpd, "compute": comp} {
+		if curve[0] != 1 {
+			t.Errorf("%s: curve not normalized: %v", name, curve[0])
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i]+1e-9 < curve[i-1] {
+				t.Errorf("%s: modeled performance decreased with cores: %v", name, curve)
+			}
+		}
+	}
+	// Fig 9a: compute scales best, heavy-tailed update worst.
+	last := len(cores) - 1
+	if !(comp[last] > stailUpd[last] && stailUpd[last] > htailUpd[last]) {
+		t.Errorf("scaling ordering violated: compute=%.2f stail-upd=%.2f htail-upd=%.2f",
+			comp[last], stailUpd[last], htailUpd[last])
+	}
+	// Heavy-tail update should barely scale (paper: <10%/step past 8 cores).
+	if htailUpd[last] > 4 {
+		t.Errorf("heavy-tail update scales implausibly well: %.2f", htailUpd[last])
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	pm := DefaultPerfModel()
+	const cores = 32
+	upd := shortTailProfile(PhaseUpdateShared)
+	cmp := shortTailProfile(PhaseCompute)
+	// Same traffic, but the compute phase's higher TLP/MLP finishes the
+	// phase faster => higher consumed bandwidth (Fig 9b's mechanism).
+	bu, bc := pm.Bandwidth(upd, cores), pm.Bandwidth(cmp, cores)
+	if bc <= bu {
+		t.Errorf("compute bandwidth %.1f GB/s should exceed update's %.1f GB/s", bc/1e9, bu/1e9)
+	}
+	qu, qc := pm.QPIUtilization(upd, cores), pm.QPIUtilization(cmp, cores)
+	if qc <= qu {
+		t.Errorf("compute QPI %.2f should exceed update's %.2f", qc, qu)
+	}
+	if qc > 1 {
+		t.Errorf("QPI utilization %v exceeds capacity", qc)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	pm := DefaultPerfModel()
+	even := make([]VertexLoad, 1024)
+	for i := range even {
+		even[i] = VertexLoad{V: uint32(i), Count: 10}
+	}
+	evenProf := PhaseProfile{Kind: PhaseUpdateChunked, OutLoads: even, InLoads: even}
+	if b := pm.efficiency(evenProf, 16); b < 0.9 {
+		t.Errorf("even loads efficiency=%v want ~1", b)
+	}
+	hub := []VertexLoad{{V: 0, Count: 10000}, {V: 1, Count: 1}, {V: 2, Count: 1}}
+	hubProf := PhaseProfile{Kind: PhaseUpdateChunked, OutLoads: even, InLoads: hub}
+	if b := pm.efficiency(hubProf, 16); b > 0.3 {
+		t.Errorf("hub loads efficiency=%v want low", b)
+	}
+	if b := pm.efficiency(PhaseProfile{Kind: PhaseUpdateChunked}, 16); b != 1 {
+		t.Errorf("empty loads efficiency=%v want 1", b)
+	}
+}
+
+func TestHotnessAndLoads(t *testing.T) {
+	loads := LoadsOf([]uint32{1, 1, 2, 1, 3})
+	if h := HotnessOf(loads); h != 0.6 {
+		t.Errorf("hotness=%v want 0.6 (vertex 1 has 3 of 5)", h)
+	}
+	if HotnessOf(nil) != 0 {
+		t.Error("empty hotness != 0")
+	}
+	merged := MergeLoads(loads, []VertexLoad{{V: 1, Count: 2}, {V: 9, Count: 1}})
+	want := map[uint32]uint64{1: 5, 2: 1, 3: 1, 9: 1}
+	if len(merged) != len(want) {
+		t.Fatalf("merged=%v", merged)
+	}
+	for _, l := range merged {
+		if want[l.V] != l.Count {
+			t.Errorf("merged[%d]=%d want %d", l.V, l.Count, want[l.V])
+		}
+	}
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	pm := DefaultPerfModel()
+	p := shortTailProfile(PhaseCompute)
+	prev := pm.Time(p, 1)
+	for c := 2; c <= 32; c++ {
+		cur := pm.Time(p, c)
+		if cur > prev+1e-12 {
+			t.Fatalf("time increased from %v to %v at %d cores", prev, cur, c)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,153 @@
+package archsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sagabench/internal/graph"
+)
+
+func testReplayer(t *testing.T, dsName string) *Replayer {
+	t.Helper()
+	r, err := NewReplayer(ReplayConfig{
+		Machine:       PaperMachine(),
+		Threads:       8,
+		DataStructure: dsName,
+		Directed:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+var shadowNames = []string{"adjshared", "adjchunked", "stinger", "dah", "graphone"}
+
+func randomBatch(seed int64, size, nodes int) graph.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	b := make(graph.Batch, size)
+	for i := range b {
+		b[i] = graph.Edge{
+			Src:    graph.NodeID(rng.Intn(nodes)),
+			Dst:    graph.NodeID(rng.Intn(nodes)),
+			Weight: 1,
+		}
+	}
+	return b
+}
+
+// TestShadowAdjacencyMatches checks every shadow reproduces the unique
+// adjacency of the real ingestion (same dedup rule).
+func TestShadowAdjacencyMatches(t *testing.T) {
+	for _, name := range shadowNames {
+		r := testReplayer(t, name)
+		oracle := graph.NewOracle(true)
+		for i := 0; i < 4; i++ {
+			b := randomBatch(int64(i), 800, 120)
+			r.ReplayUpdate(b)
+			oracle.Update(b)
+		}
+		for v := 0; v < oracle.NumNodes(); v++ {
+			want := oracle.Out(graph.NodeID(v))
+			got := r.in.traverse(r.m, 0, graph.NodeID(v)) // in copy stores reversed...
+			_ = got
+			outGot := r.out.traverse(r.m, 0, graph.NodeID(v))
+			if len(outGot) != len(want) {
+				t.Fatalf("%s: vertex %d out degree %d want %d", name, v, len(outGot), len(want))
+			}
+			seen := map[graph.NodeID]bool{}
+			for _, nb := range outGot {
+				if seen[nb] {
+					t.Fatalf("%s: duplicate shadow neighbor", name)
+				}
+				seen[nb] = true
+			}
+			for _, nb := range want {
+				if !seen[nb.ID] {
+					t.Fatalf("%s: missing shadow neighbor %d of %d", name, nb.ID, v)
+				}
+			}
+		}
+		r.m.DrainPhase()
+	}
+}
+
+// TestReplayUpdateEmitsTraffic sanity-checks traffic volume: every edge
+// ingest must touch memory, and bigger batches mean more accesses.
+func TestReplayUpdateEmitsTraffic(t *testing.T) {
+	for _, name := range shadowNames {
+		r := testReplayer(t, name)
+		small := r.ReplayUpdate(randomBatch(1, 200, 100))
+		large := r.ReplayUpdate(randomBatch(2, 2000, 100))
+		if small.Accesses < 2*200 { // two copies
+			t.Errorf("%s: implausibly few accesses %d for 200 edges", name, small.Accesses)
+		}
+		if large.Accesses <= small.Accesses {
+			t.Errorf("%s: larger batch produced fewer accesses", name)
+		}
+		if small.Instructions == 0 {
+			t.Errorf("%s: no instructions charged", name)
+		}
+	}
+}
+
+// TestComputeReusesUpdateLines reproduces the Fig 10 mechanism: the
+// compute phase, running right after the update phase, must observe a
+// higher LLC hit ratio than the update phase because it re-reads the edge
+// data the update just brought in.
+func TestComputeReusesUpdateLines(t *testing.T) {
+	for _, name := range shadowNames {
+		r := testReplayer(t, name)
+		var upd, cmp Traffic
+		for i := 0; i < 6; i++ {
+			b := randomBatch(int64(i), 1500, 3000)
+			upd.Add(r.ReplayUpdate(b))
+			aff := affectedOf(b)
+			cmp.Add(r.ReplayCompute(aff, ComputeTrace{Incremental: true, ProcessedBudget: 4000}))
+		}
+		if cmp.LLCHitRatio() <= upd.LLCHitRatio() {
+			t.Errorf("%s: compute LLC hit ratio %.3f should exceed update's %.3f",
+				name, cmp.LLCHitRatio(), upd.LLCHitRatio())
+		}
+	}
+}
+
+func affectedOf(b graph.Batch) []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, e := range b {
+		if !seen[e.Src] {
+			seen[e.Src] = true
+			out = append(out, e.Src)
+		}
+		if !seen[e.Dst] {
+			seen[e.Dst] = true
+			out = append(out, e.Dst)
+		}
+	}
+	return out
+}
+
+func TestReplayerUnknownDS(t *testing.T) {
+	if _, err := NewReplayer(ReplayConfig{Machine: PaperMachine(), DataStructure: "nope"}); err == nil {
+		t.Fatal("expected error for unknown data structure")
+	}
+}
+
+func TestUndirectedReplayerSharesShadow(t *testing.T) {
+	r, err := NewReplayer(ReplayConfig{
+		Machine:       PaperMachine(),
+		Threads:       4,
+		DataStructure: "adjshared",
+		Directed:      false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ReplayUpdate(graph.Batch{{Src: 1, Dst: 2, Weight: 1}})
+	out := r.out.traverse(r.m, 0, 1)
+	in := r.in.traverse(r.m, 0, 2)
+	if len(out) != 1 || out[0] != 2 || len(in) != 1 || in[0] != 1 {
+		t.Fatalf("undirected shadow adjacency wrong: out=%v in=%v", out, in)
+	}
+}

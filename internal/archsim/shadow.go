@@ -1,0 +1,414 @@
+package archsim
+
+import "sagabench/internal/graph"
+
+// Instruction-charge calibration: per-operation instruction counts
+// (including amortized loop/branch/bounds overhead of compiled graph
+// code) used to convert replayed work into the MPKI denominators and the
+// performance model's compute-bound term. Calibrated so the pooled L2/LLC
+// MPKI land in the paper's measured ranges (update L2 MPKI 3-9, compute
+// L2 MPKI 12-16, compute LLC MPKI ~6); the absolute values shift MPKI
+// uniformly, while the update-vs-compute contrast comes from the access
+// patterns.
+const (
+	instrSlotScan  = 12 // examine one adjacency slot / hash slot
+	instrInsert    = 72 // bookkeeping around an edge insert
+	instrLock      = 36 // lock acquire+release
+	instrHeader    = 24 // read/maintain a per-vertex header
+	instrVertex    = 84 // per-vertex compute bookkeeping
+	instrEdgeMath  = 36 // per-edge vertex-function arithmetic
+	instrDegreeQry = 30 // degree-query meta-operation arithmetic
+)
+
+// shadow is a single-direction memory-layout model of one data structure.
+// It re-ingests the same edge records the real structure ingested and
+// emits the corresponding memory references into the Machine, maintaining
+// its own adjacency so traversals replay the exact final layout.
+type shadow interface {
+	// ensureNodes grows vertex-indexed state.
+	ensureNodes(n int)
+	// insert replays one edge ingest on the given replay thread.
+	insert(m *Machine, thread int, src, dst graph.NodeID)
+	// traverse replays reading v's neighbor list and returns it.
+	traverse(m *Machine, thread int, v graph.NodeID) []graph.NodeID
+	// degree replays a degree query.
+	degree(m *Machine, thread int, v graph.NodeID)
+	// threadOf maps an edge source to the replay thread that ingests it
+	// under the structure's multithreading style; -1 means "sharded by
+	// batch position" (shared-style).
+	threadOf(src graph.NodeID) int
+}
+
+// edgeKey packs (src,dst) for shadow membership sets.
+func edgeKey(src, dst graph.NodeID) uint64 { return uint64(src)<<32 | uint64(dst) }
+
+// ---------------------------------------------------------------------------
+// Adjacency-list shadow (AS and AC share the vector layout; AS adds a lock
+// word and shards by batch position, AC is lockless and sharded by chunk).
+
+type shadowAdj struct {
+	alloc  *allocator
+	chunks int // 0 = shared style (AS)
+
+	base  []uint64
+	cap   []int
+	neigh [][]graph.NodeID
+}
+
+func newShadowAdj(alloc *allocator, chunks int) *shadowAdj {
+	return &shadowAdj{alloc: alloc, chunks: chunks}
+}
+
+func (s *shadowAdj) ensureNodes(n int) {
+	for len(s.neigh) < n {
+		s.base = append(s.base, 0)
+		s.cap = append(s.cap, 0)
+		s.neigh = append(s.neigh, nil)
+	}
+}
+
+const adjSlotBytes = 8 // Neighbor{ID,Weight}
+
+func (s *shadowAdj) headerAddr(v graph.NodeID) uint64 { return headerBase + uint64(v)*48 }
+
+func (s *shadowAdj) insert(m *Machine, thread int, src, dst graph.NodeID) {
+	if s.chunks == 0 {
+		// AS: lock word + vector header live together.
+		m.Access(thread, s.headerAddr(src), true, instrLock)
+	} else {
+		m.Access(thread, s.headerAddr(src), false, instrHeader)
+	}
+	vec := s.neigh[src]
+	found := false
+	for i, nb := range vec {
+		m.Access(thread, s.base[src]+uint64(i)*adjSlotBytes, false, instrSlotScan)
+		if nb == dst {
+			m.Access(thread, s.base[src]+uint64(i)*adjSlotBytes, true, 1)
+			found = true
+			break
+		}
+	}
+	if found {
+		return
+	}
+	if len(vec) == s.cap[src] {
+		newCap := s.cap[src] * 2
+		if newCap == 0 {
+			newCap = 4
+		}
+		newBase := s.alloc.alloc(uint64(newCap) * adjSlotBytes)
+		// Grow: read every old slot, write every new slot.
+		for i := range vec {
+			m.Access(thread, s.base[src]+uint64(i)*adjSlotBytes, false, 1)
+			m.Access(thread, newBase+uint64(i)*adjSlotBytes, true, 1)
+		}
+		s.base[src] = newBase
+		s.cap[src] = newCap
+	}
+	m.Access(thread, s.base[src]+uint64(len(vec))*adjSlotBytes, true, instrInsert)
+	m.Access(thread, s.headerAddr(src), true, 1)
+	s.neigh[src] = append(vec, dst)
+}
+
+func (s *shadowAdj) traverse(m *Machine, thread int, v graph.NodeID) []graph.NodeID {
+	m.Access(thread, s.headerAddr(v), false, instrHeader)
+	for i := range s.neigh[v] {
+		m.Access(thread, s.base[v]+uint64(i)*adjSlotBytes, false, instrSlotScan)
+	}
+	return s.neigh[v]
+}
+
+func (s *shadowAdj) degree(m *Machine, thread int, v graph.NodeID) {
+	m.Access(thread, s.headerAddr(v), false, instrDegreeQry)
+}
+
+func (s *shadowAdj) threadOf(src graph.NodeID) int {
+	if s.chunks == 0 {
+		return -1
+	}
+	return int(src) % s.chunks
+}
+
+// ---------------------------------------------------------------------------
+// Stinger shadow: per-vertex chains of 16-edge blocks.
+
+type shadowStinger struct {
+	alloc     *allocator
+	blockSize int
+
+	blocks [][]uint64 // per vertex: block base addresses
+	neigh  [][]graph.NodeID
+}
+
+func newShadowStinger(alloc *allocator, blockSize int) *shadowStinger {
+	if blockSize <= 0 {
+		blockSize = 16
+	}
+	return &shadowStinger{alloc: alloc, blockSize: blockSize}
+}
+
+func (s *shadowStinger) ensureNodes(n int) {
+	for len(s.neigh) < n {
+		s.blocks = append(s.blocks, nil)
+		s.neigh = append(s.neigh, nil)
+	}
+}
+
+func (s *shadowStinger) headerAddr(v graph.NodeID) uint64 { return headerBase + uint64(v)*32 }
+
+func (s *shadowStinger) slotAddr(v graph.NodeID, pos int) uint64 {
+	return s.blocks[v][pos/s.blockSize] + uint64(pos%s.blockSize)*adjSlotBytes
+}
+
+// scan replays one pass over v's chain looking for dst: header read, then
+// per-block header + per-slot reads. Stinger charges this twice per insert
+// (search scan + empty-slot scan).
+func (s *shadowStinger) scan(m *Machine, thread int, v, dst graph.NodeID) int {
+	m.Access(thread, s.headerAddr(v), false, instrHeader)
+	for i, nb := range s.neigh[v] {
+		if i%s.blockSize == 0 {
+			// Block header: next pointer + lock + count.
+			m.Access(thread, s.blocks[v][i/s.blockSize], false, instrHeader)
+		}
+		m.Access(thread, s.slotAddr(v, i), false, instrSlotScan)
+		if nb == dst {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *shadowStinger) insert(m *Machine, thread int, src, dst graph.NodeID) {
+	// Scan 1: duplicate search.
+	if pos := s.scan(m, thread, src, dst); pos >= 0 {
+		m.Access(thread, s.slotAddr(src, pos), true, 1)
+		return
+	}
+	// Scan 2: walk again to find an empty slot (paper Section III-A3).
+	s.scan(m, thread, src, dst)
+	pos := len(s.neigh[src])
+	if pos%s.blockSize == 0 {
+		nb := s.alloc.alloc(uint64(s.blockSize)*adjSlotBytes + 24)
+		s.blocks[src] = append(s.blocks[src], nb)
+		m.Access(thread, nb, true, instrHeader) // init block header
+		if len(s.blocks[src]) > 1 {
+			// Link from previous tail.
+			m.Access(thread, s.blocks[src][len(s.blocks[src])-2], true, 1)
+		}
+	}
+	m.Access(thread, s.slotAddr(src, pos), true, instrInsert)
+	m.Access(thread, s.headerAddr(src), true, 1) // degree++
+	s.neigh[src] = append(s.neigh[src], dst)
+}
+
+func (s *shadowStinger) traverse(m *Machine, thread int, v graph.NodeID) []graph.NodeID {
+	m.Access(thread, s.headerAddr(v), false, instrHeader)
+	for i := range s.neigh[v] {
+		if i%s.blockSize == 0 {
+			m.Access(thread, s.blocks[v][i/s.blockSize], false, instrHeader)
+		}
+		m.Access(thread, s.slotAddr(v, i), false, instrSlotScan)
+	}
+	return s.neigh[v]
+}
+
+func (s *shadowStinger) degree(m *Machine, thread int, v graph.NodeID) {
+	m.Access(thread, s.headerAddr(v), false, instrDegreeQry)
+}
+
+func (s *shadowStinger) threadOf(graph.NodeID) int { return -1 }
+
+// ---------------------------------------------------------------------------
+// DAH shadow: per-chunk Robin Hood low-degree table + high-degree directory
+// with per-source open-addressing edge tables. Robin Hood placement is
+// approximated by perfect clustering at the source's home slot, so a probe
+// of the k-th edge of src touches home+k — the probe-distance behaviour
+// the real table's invariant maintains.
+
+type shadowDAH struct {
+	alloc   *allocator
+	chunks  int
+	flushAt int
+
+	chunk []*shadowDAHChunk
+	neigh [][]graph.NodeID // global per-vertex adjacency (order of insert)
+}
+
+type shadowDAHChunk struct {
+	lowBase  uint64
+	lowCap   uint64
+	lowCount uint64
+
+	dirBase uint64
+	dirCap  uint64
+
+	high map[graph.NodeID]*shadowEdgeTable
+}
+
+type shadowEdgeTable struct {
+	base  uint64
+	cap   uint64
+	count uint64
+}
+
+const (
+	dahSlotBytes = 16 // rhSlot{used,src,dst,w}
+	dirSlotBytes = 16
+)
+
+func newShadowDAH(alloc *allocator, chunks, flushAt int) *shadowDAH {
+	if chunks <= 0 {
+		chunks = 1
+	}
+	if flushAt <= 0 {
+		flushAt = 16
+	}
+	s := &shadowDAH{alloc: alloc, chunks: chunks, flushAt: flushAt}
+	for c := 0; c < chunks; c++ {
+		s.chunk = append(s.chunk, &shadowDAHChunk{
+			lowBase: alloc.alloc(256 * dahSlotBytes), lowCap: 256,
+			dirBase: alloc.alloc(64 * dirSlotBytes), dirCap: 64,
+			high: make(map[graph.NodeID]*shadowEdgeTable),
+		})
+	}
+	return s
+}
+
+func (s *shadowDAH) ensureNodes(n int) {
+	for len(s.neigh) < n {
+		s.neigh = append(s.neigh, nil)
+	}
+}
+
+func hash64(v uint64) uint64 {
+	v *= 0x9E3779B97F4A7C15
+	v ^= v >> 29
+	v *= 0xBF58476D1CE4E5B9
+	v ^= v >> 32
+	return v
+}
+
+func (c *shadowDAHChunk) lowSlot(src graph.NodeID, i int) uint64 {
+	home := hash64(uint64(src)) % c.lowCap
+	return c.lowBase + ((home+uint64(i))%c.lowCap)*dahSlotBytes
+}
+
+func (c *shadowDAHChunk) dirProbe(m *Machine, thread int, src graph.NodeID) {
+	slot := hash64(uint64(src)) % c.dirCap
+	m.Access(thread, c.dirBase+slot*dirSlotBytes, false, instrDegreeQry)
+}
+
+func (s *shadowDAH) chunkOf(v graph.NodeID) int { return int(v) % s.chunks }
+
+func (s *shadowDAH) insert(m *Machine, thread int, src, dst graph.NodeID) {
+	c := s.chunk[s.chunkOf(src)]
+	// Meta-op: directory probe decides which table owns src.
+	c.dirProbe(m, thread, src)
+	adj := s.neigh[src]
+	if et, high := c.high[src]; high {
+		slot := hash64(edgeKey(src, dst)) % et.cap
+		m.Access(thread, et.base+slot*adjSlotBytes, false, instrSlotScan)
+		for _, nb := range adj {
+			if nb == dst {
+				m.Access(thread, et.base+slot*adjSlotBytes, true, 1)
+				return
+			}
+		}
+		if (et.count+1)*10 > et.cap*7 {
+			s.growEdgeTable(m, thread, et)
+		}
+		m.Access(thread, et.base+slot*adjSlotBytes, true, instrInsert)
+		et.count++
+		s.neigh[src] = append(adj, dst)
+		return
+	}
+	// Low-degree path: probe src's cluster.
+	for i, nb := range adj {
+		m.Access(thread, c.lowSlot(src, i), false, instrSlotScan)
+		if nb == dst {
+			m.Access(thread, c.lowSlot(src, i), true, 1)
+			return
+		}
+	}
+	if (c.lowCount+1)*10 > c.lowCap*7 {
+		s.growLow(m, thread, c)
+	}
+	m.Access(thread, c.lowSlot(src, len(adj)), true, instrInsert)
+	c.lowCount++
+	s.neigh[src] = append(adj, dst)
+	if len(s.neigh[src]) > s.flushAt {
+		s.flush(m, thread, c, src)
+	}
+}
+
+// flush moves src's edges from the low table to a fresh high-degree edge
+// table (the paper's periodic flushing meta-operation).
+func (s *shadowDAH) flush(m *Machine, thread int, c *shadowDAHChunk, src graph.NodeID) {
+	adj := s.neigh[src]
+	et := &shadowEdgeTable{cap: 32, count: uint64(len(adj))}
+	for et.count*10 > et.cap*7 {
+		et.cap *= 2
+	}
+	et.base = s.alloc.alloc(et.cap * adjSlotBytes)
+	for i, nb := range adj {
+		m.Access(thread, c.lowSlot(src, i), false, instrSlotScan) // read out
+		m.Access(thread, c.lowSlot(src, i), true, 1)              // backward-shift hole
+		slot := hash64(edgeKey(src, nb)) % et.cap
+		m.Access(thread, et.base+slot*adjSlotBytes, true, instrSlotScan)
+	}
+	c.lowCount -= uint64(len(adj))
+	c.high[src] = et
+	// Register in the directory.
+	slot := hash64(uint64(src)) % c.dirCap
+	m.Access(thread, c.dirBase+slot*dirSlotBytes, true, instrHeader)
+}
+
+func (s *shadowDAH) growLow(m *Machine, thread int, c *shadowDAHChunk) {
+	newCap := c.lowCap * 2
+	newBase := s.alloc.alloc(newCap * dahSlotBytes)
+	// Rehash: read every old slot, write the occupied ones.
+	for i := uint64(0); i < c.lowCap; i++ {
+		m.Access(thread, c.lowBase+i*dahSlotBytes, false, 1)
+	}
+	for i := uint64(0); i < c.lowCount; i++ {
+		m.Access(thread, newBase+(hash64(i)%newCap)*dahSlotBytes, true, 1)
+	}
+	c.lowBase, c.lowCap = newBase, newCap
+}
+
+func (s *shadowDAH) growEdgeTable(m *Machine, thread int, et *shadowEdgeTable) {
+	newCap := et.cap * 2
+	newBase := s.alloc.alloc(newCap * adjSlotBytes)
+	for i := uint64(0); i < et.cap; i++ {
+		m.Access(thread, et.base+i*adjSlotBytes, false, 1)
+	}
+	for i := uint64(0); i < et.count; i++ {
+		m.Access(thread, newBase+(hash64(i)%newCap)*adjSlotBytes, true, 1)
+	}
+	et.base, et.cap = newBase, newCap
+}
+
+func (s *shadowDAH) traverse(m *Machine, thread int, v graph.NodeID) []graph.NodeID {
+	c := s.chunk[s.chunkOf(v)]
+	// Meta-op: locate the owning table.
+	c.dirProbe(m, thread, v)
+	adj := s.neigh[v]
+	if et, high := c.high[v]; high {
+		// Walk the open-addressing table's occupied slots.
+		for _, nb := range adj {
+			slot := hash64(edgeKey(v, nb)) % et.cap
+			m.Access(thread, et.base+slot*adjSlotBytes, false, instrSlotScan)
+		}
+		return adj
+	}
+	for i := range adj {
+		m.Access(thread, c.lowSlot(v, i), false, instrSlotScan)
+	}
+	return adj
+}
+
+func (s *shadowDAH) degree(m *Machine, thread int, v graph.NodeID) {
+	s.chunk[s.chunkOf(v)].dirProbe(m, thread, v)
+}
+
+func (s *shadowDAH) threadOf(src graph.NodeID) int { return s.chunkOf(src) }

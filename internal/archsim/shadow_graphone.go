@@ -1,0 +1,126 @@
+package archsim
+
+import "sagabench/internal/graph"
+
+// shadowGraphOne models the log-structured extension structure: staging
+// appends records to per-chunk logs (pure sequential writes — the O(1)
+// ingest), and per-batch compaction streams each dirty vertex's log
+// through a hash pass into its compacted vector. The replayer calls
+// insert for every record and flushes the compaction traffic when the
+// batch ends (endBatch).
+type shadowGraphOne struct {
+	alloc  *allocator
+	chunks int
+
+	base  []uint64
+	cap   []int
+	neigh [][]graph.NodeID
+
+	logBase []uint64 // per chunk
+	logLen  []int
+
+	pendingDirty map[graph.NodeID][]graph.NodeID // vertex -> staged dsts
+	pendingOrder []graph.NodeID
+}
+
+func newShadowGraphOne(alloc *allocator, chunks int) *shadowGraphOne {
+	if chunks <= 0 {
+		chunks = 1
+	}
+	s := &shadowGraphOne{
+		alloc:        alloc,
+		chunks:       chunks,
+		pendingDirty: make(map[graph.NodeID][]graph.NodeID),
+	}
+	for c := 0; c < chunks; c++ {
+		s.logBase = append(s.logBase, alloc.alloc(1<<16))
+		s.logLen = append(s.logLen, 0)
+	}
+	return s
+}
+
+func (s *shadowGraphOne) ensureNodes(n int) {
+	for len(s.neigh) < n {
+		s.base = append(s.base, 0)
+		s.cap = append(s.cap, 0)
+		s.neigh = append(s.neigh, nil)
+	}
+}
+
+const logRecBytes = 12
+
+// insert replays the staging append: one sequential log write, no search.
+func (s *shadowGraphOne) insert(m *Machine, thread int, src, dst graph.NodeID) {
+	c := int(src) % s.chunks
+	m.Access(thread, s.logBase[c]+uint64(s.logLen[c])*logRecBytes, true, instrInsert/4)
+	s.logLen[c]++
+	if s.pendingDirty[src] == nil {
+		s.pendingOrder = append(s.pendingOrder, src)
+	}
+	s.pendingDirty[src] = append(s.pendingDirty[src], dst)
+}
+
+// endBatch replays the compaction: per dirty vertex, one pass over the
+// existing vector (hash-index build), then the staged records merge in.
+func (s *shadowGraphOne) endBatch(m *Machine) {
+	for _, v := range s.pendingOrder {
+		staged := s.pendingDirty[v]
+		t := int(v) % s.chunks % m.Threads()
+		adj := s.neigh[v]
+		// Hash pass over the existing vector.
+		for i := range adj {
+			m.Access(t, s.base[v]+uint64(i)*adjSlotBytes, false, instrSlotScan)
+		}
+		present := make(map[graph.NodeID]bool, len(adj)+len(staged))
+		for _, nb := range adj {
+			present[nb] = true
+		}
+		for _, dst := range staged {
+			m.Work(instrSlotScan)
+			if present[dst] {
+				continue
+			}
+			if len(adj) == s.cap[v] {
+				newCap := s.cap[v] * 2
+				if newCap == 0 {
+					newCap = 4
+				}
+				newBase := s.alloc.alloc(uint64(newCap) * adjSlotBytes)
+				for i := range adj {
+					m.Access(t, s.base[v]+uint64(i)*adjSlotBytes, false, 1)
+					m.Access(t, newBase+uint64(i)*adjSlotBytes, true, 1)
+				}
+				s.base[v] = newBase
+				s.cap[v] = newCap
+			}
+			m.Access(t, s.base[v]+uint64(len(adj))*adjSlotBytes, true, instrInsert)
+			adj = append(adj, dst)
+			present[dst] = true
+		}
+		s.neigh[v] = adj
+		delete(s.pendingDirty, v)
+	}
+	s.pendingOrder = s.pendingOrder[:0]
+	for c := range s.logLen {
+		s.logLen[c] = 0
+	}
+}
+
+func (s *shadowGraphOne) traverse(m *Machine, thread int, v graph.NodeID) []graph.NodeID {
+	m.Access(thread, s.headerAddr(v), false, instrHeader)
+	for i := range s.neigh[v] {
+		m.Access(thread, s.base[v]+uint64(i)*adjSlotBytes, false, instrSlotScan)
+	}
+	return s.neigh[v]
+}
+
+func (s *shadowGraphOne) headerAddr(v graph.NodeID) uint64 { return headerBase + uint64(v)*48 }
+
+func (s *shadowGraphOne) degree(m *Machine, thread int, v graph.NodeID) {
+	m.Access(thread, s.headerAddr(v), false, instrDegreeQry)
+}
+
+func (s *shadowGraphOne) threadOf(src graph.NodeID) int { return int(src) % s.chunks }
+
+// batchEnder is implemented by shadows with deferred per-batch work.
+type batchEnder interface{ endBatch(m *Machine) }

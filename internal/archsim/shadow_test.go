@@ -1,0 +1,145 @@
+package archsim
+
+import (
+	"testing"
+
+	"sagabench/internal/graph"
+)
+
+func TestAllocatorAlignmentAndMonotonicity(t *testing.T) {
+	a := newAllocator()
+	prevEnd := uint64(heapBase)
+	for _, sz := range []uint64{1, 15, 16, 17, 1000, 0} {
+		addr := a.alloc(sz)
+		if addr%16 != 0 {
+			t.Fatalf("alloc(%d)=%#x not 16-aligned", sz, addr)
+		}
+		if addr < prevEnd {
+			t.Fatalf("alloc(%d)=%#x overlaps previous region ending %#x", sz, addr, prevEnd)
+		}
+		want := sz
+		if want == 0 {
+			want = 16
+		}
+		prevEnd = addr + (want+15)&^15
+	}
+}
+
+func TestScaledMachine(t *testing.T) {
+	base := PaperMachine()
+	m := ScaledMachine(128)
+	if m.L1Bytes != base.L1Bytes/128 || m.L2Bytes != base.L2Bytes/128 || m.LLCBytes != base.LLCBytes/128 {
+		t.Errorf("cache scaling wrong: %d %d %d", m.L1Bytes, m.L2Bytes, m.LLCBytes)
+	}
+	if m.DRAMBandwidth != base.DRAMBandwidth || m.QPIBandwidth != base.QPIBandwidth {
+		t.Error("bandwidths must stay physical")
+	}
+	if m.Sockets != base.Sockets || m.FreqHz != base.FreqHz {
+		t.Error("timing parameters must stay physical")
+	}
+	// Extreme divisors clamp to the documented floors.
+	tiny := ScaledMachine(1 << 20)
+	if tiny.L1Bytes < 128 || tiny.L2Bytes < 1024 || tiny.LLCBytes < 8192 {
+		t.Errorf("clamps violated: %d %d %d", tiny.L1Bytes, tiny.L2Bytes, tiny.LLCBytes)
+	}
+	if ScaledMachine(1) != base {
+		t.Error("divisor 1 must be identity")
+	}
+}
+
+// TestShadowAdjReallocTraffic: growing a vector must emit copy traffic to
+// a fresh region (the reallocation behaviour AS/AC pay for on hubs).
+func TestShadowAdjReallocTraffic(t *testing.T) {
+	a := newAllocator()
+	m := NewMachine(ScaledMachine(256), 1)
+	s := newShadowAdj(a, 0)
+	s.ensureNodes(1)
+	// 5 distinct inserts: caps go 0->4->8, one realloc at the 5th.
+	for i := 0; i < 5; i++ {
+		s.insert(m, 0, 0, graph.NodeID(10+i))
+	}
+	if s.cap[0] != 8 {
+		t.Fatalf("cap=%d want 8", s.cap[0])
+	}
+	if len(s.neigh[0]) != 5 {
+		t.Fatalf("neigh=%d want 5", len(s.neigh[0]))
+	}
+	// A duplicate rewrites in place without growing.
+	base := s.base[0]
+	s.insert(m, 0, 0, 12)
+	if s.base[0] != base || len(s.neigh[0]) != 5 {
+		t.Fatal("duplicate insert mutated layout")
+	}
+}
+
+// TestShadowStingerChainLayout: blocks must come from distinct allocator
+// regions and fill at blockSize granularity.
+func TestShadowStingerChainLayout(t *testing.T) {
+	a := newAllocator()
+	m := NewMachine(ScaledMachine(256), 1)
+	s := newShadowStinger(a, 4)
+	s.ensureNodes(1)
+	for i := 0; i < 9; i++ {
+		s.insert(m, 0, 0, graph.NodeID(100+i))
+	}
+	if len(s.blocks[0]) != 3 { // ceil(9/4)
+		t.Fatalf("blocks=%d want 3", len(s.blocks[0]))
+	}
+	seen := map[uint64]bool{}
+	for _, b := range s.blocks[0] {
+		if seen[b] {
+			t.Fatal("duplicate block base")
+		}
+		seen[b] = true
+	}
+}
+
+// TestShadowDAHFlush: crossing the threshold must move the vertex to a
+// high-degree edge table in the shadow too.
+func TestShadowDAHFlush(t *testing.T) {
+	a := newAllocator()
+	m := NewMachine(ScaledMachine(256), 1)
+	s := newShadowDAH(a, 2, 4)
+	s.ensureNodes(1)
+	for i := 0; i < 6; i++ {
+		s.insert(m, 0, 0, graph.NodeID(50+i))
+	}
+	c := s.chunk[0]
+	et, high := c.high[0]
+	if !high {
+		t.Fatal("vertex 0 not flushed in shadow")
+	}
+	if et.count != 6 {
+		t.Fatalf("edge table count=%d want 6", et.count)
+	}
+	if got := len(s.traverse(m, 0, 0)); got != 6 {
+		t.Fatalf("traverse=%d want 6", got)
+	}
+}
+
+// TestPrefetcherStreams: a sequential sweep must land most demand accesses
+// in L2 via the next-line prefetcher; a random sweep must not.
+func TestPrefetcherStreams(t *testing.T) {
+	cfg := ScaledMachine(64)
+	m := NewMachine(cfg, 1)
+	// Sequential: 512 lines, one access each (strided by 64B).
+	for i := 0; i < 512; i++ {
+		m.Access(0, 0x100000+uint64(i)*64, false, 1)
+	}
+	seq := m.DrainPhase()
+	if r := seq.L2HitRatio(); r < 0.9 {
+		t.Fatalf("sequential stream L2 hit ratio %.2f; prefetcher broken", r)
+	}
+	// Random pattern over a space far exceeding L2.
+	m2 := NewMachine(cfg, 1)
+	addr := uint64(1)
+	for i := 0; i < 512; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		m2.Access(0, 0x100000+(addr%(1<<24))&^63, false, 1)
+	}
+	rnd := m2.DrainPhase()
+	if rnd.L2HitRatio() > seq.L2HitRatio()/2 {
+		t.Fatalf("random L2 hit ratio %.2f too close to sequential %.2f",
+			rnd.L2HitRatio(), seq.L2HitRatio())
+	}
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"sagabench/internal/archsim"
+	"sagabench/internal/compute"
+	"sagabench/internal/perfmon"
+)
+
+// Fig9Cores are the x-axis core counts of the paper's scaling study.
+var Fig9Cores = []int{4, 8, 12, 16, 20, 24, 28}
+
+// FullMachineCores is the core count backing the bandwidth/QPI numbers
+// (the paper profiles with all 32 physical cores / 64 threads).
+const FullMachineCores = 32
+
+// archGroups mirrors Section VI's two categories: short-tailed datasets on
+// AS and heavy-tailed datasets on DAH, averaged across the six algorithms
+// under the INC model.
+var archGroups = []struct {
+	Name     string
+	Datasets []string
+	DS       string
+}{
+	{"STail", []string{"lj", "orkut", "rmat"}, "adjshared"},
+	{"HTail", []string{"wiki", "talk"}, "dah"},
+}
+
+// groupReports collects the per-(dataset, algorithm) reports of one group.
+func (h *Harness) groupReports(gi int) ([]*perfmon.Report, error) {
+	g := archGroups[gi]
+	var out []*perfmon.Report
+	for _, dataset := range g.Datasets {
+		for _, alg := range compute.AlgNames() {
+			rep, err := h.profile(dataset, g.DS, alg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rep)
+		}
+	}
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Fig9 prints (a) modeled performance scaling with physical core count for
+// the update and compute phases of both groups, (b) modeled memory
+// bandwidth, and (c) modeled QPI utilization per stage.
+func (h *Harness) Fig9() error {
+	h.printf("\n== Fig 9: architecture utilization (INC, STail=lj/orkut/rmat on AS, HTail=wiki/talk on DAH) ==\n")
+	h.printf("(a) performance vs physical cores (normalized to %d cores)\n", Fig9Cores[0])
+	h.printf("%-16s", "cores")
+	for _, c := range Fig9Cores {
+		h.printf("%7d", c)
+	}
+	h.printf("\n")
+	for gi, g := range archGroups {
+		reports, err := h.groupReports(gi)
+		if err != nil {
+			return err
+		}
+		for _, ph := range []perfmon.Phase{perfmon.Update, perfmon.Compute} {
+			avg := make([]float64, len(Fig9Cores))
+			for _, rep := range reports {
+				curve := rep.ScalingCurve(ph, Fig9Cores)
+				for i, v := range curve {
+					avg[i] += v / float64(len(reports))
+				}
+			}
+			h.printf("%-16s", g.Name+" "+ph.String())
+			h.csvHeader("fig9a_scaling", "group", "phase", "cores", "normalized_perf")
+			for i, v := range avg {
+				h.printf("%7.2f", v)
+				h.csvRow("fig9a_scaling", g.Name, ph.String(), Fig9Cores[i], v)
+			}
+			h.printf("\n")
+		}
+	}
+
+	h.printf("(b) memory bandwidth (GB/s, %d cores; simulated machine /%d)\n", FullMachineCores, h.opts.MachineDiv)
+	h.printf("%-16s %8s %8s %8s\n", "", "P1", "P2", "P3")
+	for gi, g := range archGroups {
+		reports, err := h.groupReports(gi)
+		if err != nil {
+			return err
+		}
+		for _, ph := range []perfmon.Phase{perfmon.Update, perfmon.Compute} {
+			var rows [3][]float64
+			for _, rep := range reports {
+				for s := 0; s < 3; s++ {
+					rows[s] = append(rows[s], rep.BandwidthGBs(s, ph, FullMachineCores))
+				}
+			}
+			h.printf("%-16s %8.3f %8.3f %8.3f\n", g.Name+" "+ph.String(), mean(rows[0]), mean(rows[1]), mean(rows[2]))
+			h.csvHeader("fig9b_bandwidth", "group", "phase", "p1_gbs", "p2_gbs", "p3_gbs")
+			h.csvRow("fig9b_bandwidth", g.Name, ph.String(), mean(rows[0]), mean(rows[1]), mean(rows[2]))
+		}
+	}
+
+	h.printf("(c) QPI utilization (%% of per-direction capacity, %d cores)\n", FullMachineCores)
+	h.printf("%-16s %8s %8s %8s\n", "", "P1", "P2", "P3")
+	for gi, g := range archGroups {
+		reports, err := h.groupReports(gi)
+		if err != nil {
+			return err
+		}
+		for _, ph := range []perfmon.Phase{perfmon.Update, perfmon.Compute} {
+			var rows [3][]float64
+			for _, rep := range reports {
+				for s := 0; s < 3; s++ {
+					rows[s] = append(rows[s], rep.QPIPercent(s, ph, FullMachineCores))
+				}
+			}
+			h.printf("%-16s %7.1f%% %7.1f%% %7.1f%%\n", g.Name+" "+ph.String(), mean(rows[0]), mean(rows[1]), mean(rows[2]))
+			h.csvHeader("fig9c_qpi", "group", "phase", "p1_pct", "p2_pct", "p3_pct")
+			h.csvRow("fig9c_qpi", g.Name, ph.String(), mean(rows[0]), mean(rows[1]), mean(rows[2]))
+		}
+	}
+	return nil
+}
+
+// Fig10 prints (a) L2 and LLC demand hit ratios and (b/c) L2 and LLC MPKI
+// for the update and compute phases of both groups, per stage.
+func (h *Harness) Fig10() error {
+	h.printf("\n== Fig 10: caches (INC, STail on AS, HTail on DAH; simulated machine /%d) ==\n", h.opts.MachineDiv)
+	metrics := []struct {
+		name string
+		get  func(archsim.Traffic) float64
+	}{
+		{"L2 hit ratio", func(t archsim.Traffic) float64 { return t.L2HitRatio() }},
+		{"LLC hit ratio", func(t archsim.Traffic) float64 { return t.LLCHitRatio() }},
+		{"L2 MPKI", func(t archsim.Traffic) float64 { return t.L2MPKI() }},
+		{"LLC MPKI", func(t archsim.Traffic) float64 { return t.LLCMPKI() }},
+	}
+	h.printf("%-16s %-14s %8s %8s %8s\n", "group/phase", "metric", "P1", "P2", "P3")
+	for gi, g := range archGroups {
+		reports, err := h.groupReports(gi)
+		if err != nil {
+			return err
+		}
+		for _, ph := range []perfmon.Phase{perfmon.Update, perfmon.Compute} {
+			for _, m := range metrics {
+				var rows [3][]float64
+				for _, rep := range reports {
+					for s := 0; s < 3; s++ {
+						rows[s] = append(rows[s], m.get(rep.Traffic(s, ph)))
+					}
+				}
+				h.printf("%-16s %-14s %8.2f %8.2f %8.2f\n",
+					g.Name+" "+ph.String(), m.name, mean(rows[0]), mean(rows[1]), mean(rows[2]))
+				h.csvHeader("fig10_caches", "group", "phase", "metric", "p1", "p2", "p3")
+				h.csvRow("fig10_caches", g.Name, ph.String(), m.name, mean(rows[0]), mean(rows[1]), mean(rows[2]))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Tables II–IV, Figures 6–10). Each experiment prints rows
+// shaped like the paper's so the measured trends can be compared directly;
+// EXPERIMENTS.md records a paper-vs-measured comparison produced from this
+// package's output.
+//
+// Experiments share a lazily memoized run matrix (a full characterization
+// sweeps 5 datasets × 4 data structures × 6 algorithms × 2 compute models)
+// and a memoized architecture-profile matrix for the Section VI figures.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sagabench/internal/archsim"
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	"sagabench/internal/gen"
+	"sagabench/internal/perfmon"
+	"sagabench/internal/stats"
+)
+
+// Options configures a harness invocation.
+type Options struct {
+	// Profile scales the datasets (default gen.ProfileDefault).
+	Profile gen.Profile
+	// Threads is the worker count for update and compute (default 4).
+	Threads int
+	// Repeats re-runs each stream (default 1; paper uses 3).
+	Repeats int
+	// Seed drives dataset generation.
+	Seed int64
+	// MachineDiv scales the simulated machine for the architecture
+	// experiments (default 128; see archsim.ScaledMachine).
+	MachineDiv int
+	// Out receives the rendered rows (default os.Stdout).
+	Out io.Writer
+	// CSVDir, when set, additionally writes each experiment's data
+	// series as CSV files into this directory.
+	CSVDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profile == "" {
+		o.Profile = gen.ProfileDefault
+	}
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.MachineDiv <= 0 {
+		o.MachineDiv = 128
+	}
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	return o
+}
+
+// DSNames lists the four data structures in the paper's order with their
+// paper labels.
+var DSNames = []struct{ Key, Label string }{
+	{"adjshared", "AS"},
+	{"adjchunked", "AC"},
+	{"stinger", "Stinger"},
+	{"dah", "DAH"},
+}
+
+// DSLabel maps a registry key to its paper label.
+func DSLabel(key string) string {
+	for _, d := range DSNames {
+		if d.Key == key {
+			return d.Label
+		}
+	}
+	return key
+}
+
+// Models lists the two compute models with paper labels.
+var Models = []struct {
+	Key   compute.Model
+	Label string
+}{
+	{compute.INC, "INC"},
+	{compute.FS, "FS"},
+}
+
+// Harness memoizes runs across experiments.
+type Harness struct {
+	opts Options
+
+	runs     map[runKey]*core.RunResult
+	profiles map[profKey]*perfmon.Report
+
+	csvData    map[string][][]string
+	csvHeaders map[string][]string
+}
+
+type runKey struct {
+	dataset string
+	ds      string
+	alg     string
+	model   compute.Model
+}
+
+type profKey struct {
+	dataset string
+	ds      string
+	alg     string
+}
+
+// New builds a harness.
+func New(opts Options) *Harness {
+	return &Harness{
+		opts:     opts.withDefaults(),
+		runs:     make(map[runKey]*core.RunResult),
+		profiles: make(map[profKey]*perfmon.Report),
+	}
+}
+
+// Options reports the effective options.
+func (h *Harness) Options() Options { return h.opts }
+
+func (h *Harness) printf(format string, args ...any) {
+	fmt.Fprintf(h.opts.Out, format, args...)
+}
+
+// run returns the memoized latency measurement of one configuration.
+func (h *Harness) run(dataset, dsName, alg string, model compute.Model) (*core.RunResult, error) {
+	k := runKey{dataset, dsName, alg, model}
+	if r, ok := h.runs[k]; ok {
+		return r, nil
+	}
+	spec, err := gen.Dataset(dataset, h.opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(core.RunConfig{
+		PipelineConfig: core.PipelineConfig{
+			DataStructure: dsName,
+			Algorithm:     alg,
+			Model:         model,
+			Threads:       h.opts.Threads,
+		},
+		Dataset: spec,
+		Seed:    h.opts.Seed,
+		Repeats: h.opts.Repeats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.runs[k] = res
+	return res, nil
+}
+
+// profile returns the memoized architecture report of one configuration
+// (always the INC model, per Section VI's methodology).
+func (h *Harness) profile(dataset, dsName, alg string) (*perfmon.Report, error) {
+	k := profKey{dataset, dsName, alg}
+	if r, ok := h.profiles[k]; ok {
+		return r, nil
+	}
+	spec, err := gen.Dataset(dataset, h.opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	mc := archsim.ScaledMachine(h.opts.MachineDiv)
+	rep, err := perfmon.Profile(perfmon.Config{
+		Run: core.RunConfig{
+			PipelineConfig: core.PipelineConfig{
+				DataStructure: dsName,
+				Algorithm:     alg,
+				Model:         compute.INC,
+				Threads:       h.opts.Threads,
+			},
+			Dataset: spec,
+			Seed:    h.opts.Seed,
+		},
+		Threads: 64,
+		Machine: &mc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.profiles[k] = rep
+	return rep, nil
+}
+
+// combo is one (data structure, model) pair with its per-stage totals.
+type combo struct {
+	ds     string
+	model  compute.Model
+	stages [3]stats.Summary // MetricTotal
+	res    *core.RunResult
+}
+
+// combos measures all 8 data-structure × model pairs for one algorithm and
+// dataset.
+func (h *Harness) combos(dataset, alg string) ([]combo, error) {
+	var out []combo
+	for _, d := range DSNames {
+		for _, m := range Models {
+			res, err := h.run(dataset, d.Key, alg, m.Key)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, combo{
+				ds:     d.Key,
+				model:  m.Key,
+				stages: res.StageSummaries(core.MetricTotal),
+				res:    res,
+			})
+		}
+	}
+	return out, nil
+}
+
+// bestAt returns the winning combo at a stage plus the competitive set
+// (combos whose 95% CI overlaps the winner's — the paper's x/y notation).
+func bestAt(cs []combo, stage int) (best combo, competitive []combo) {
+	best = cs[0]
+	for _, c := range cs[1:] {
+		if c.stages[stage].Mean < best.stages[stage].Mean {
+			best = c
+		}
+	}
+	for _, c := range cs {
+		if c.ds == best.ds && c.model == best.model {
+			continue
+		}
+		if c.stages[stage].Overlaps(best.stages[stage]) {
+			competitive = append(competitive, c)
+		}
+	}
+	return best, competitive
+}
+
+func comboLabel(c combo) string {
+	model := "FS"
+	if c.model == compute.INC {
+		model = "INC"
+	}
+	return model + "+" + DSLabel(c.ds)
+}
+
+// Experiments maps experiment IDs to runners, in paper order.
+var Experiments = []struct {
+	ID   string
+	Desc string
+	Run  func(*Harness) error
+}{
+	{"table2", "Evaluated datasets (sizes, batch counts)", (*Harness).Table2},
+	{"table3", "Best data structure + compute model per algorithm/dataset/stage", (*Harness).Table3},
+	{"table4", "Max in/out degree, entire dataset vs one batch", (*Harness).Table4},
+	{"fig6", "Latency of AC/DAH/Stinger normalized to AS at P3", (*Harness).Fig6},
+	{"fig7", "FS/INC compute-latency ratio across stages", (*Harness).Fig7},
+	{"fig8", "Update phase share of batch processing latency", (*Harness).Fig8},
+	{"fig9", "Core scaling, memory bandwidth, QPI utilization", (*Harness).Fig9},
+	{"fig10", "L2/LLC hit ratios and MPKI, update vs compute", (*Harness).Fig10},
+	{"ablation", "Design-parameter sweeps (block size, flush threshold, chunks)", (*Harness).Ablation},
+	{"extensions", "Log-structured ingest + sliding-window deletion (beyond the paper)", (*Harness).Extensions},
+	{"sensitivity", "Fig 9/10 conclusions vs simulated-machine scale (robustness check)", (*Harness).Sensitivity},
+}
+
+// RunExperiment dispatches by ID ("all" runs everything in order) and
+// flushes collected CSV series afterwards.
+func (h *Harness) RunExperiment(id string) error {
+	if id == "all" {
+		for _, e := range Experiments {
+			if err := e.Run(h); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return h.FlushCSV()
+	}
+	for _, e := range Experiments {
+		if e.ID == id {
+			if err := e.Run(h); err != nil {
+				return err
+			}
+			return h.FlushCSV()
+		}
+	}
+	ids := make([]string, len(Experiments))
+	for i, e := range Experiments {
+		ids[i] = e.ID
+	}
+	return fmt.Errorf("bench: unknown experiment %q (have %v and \"all\")", id, ids)
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sagabench/internal/compute"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/gen"
+	"sagabench/internal/stats"
+)
+
+func benchTestOpts(buf *bytes.Buffer) Options {
+	return Options{
+		Profile:    gen.ProfileTiny,
+		Threads:    2,
+		Repeats:    1,
+		Seed:       7,
+		MachineDiv: 256,
+		Out:        buf,
+	}
+}
+
+func testHarness(buf *bytes.Buffer) *Harness {
+	return New(benchTestOpts(buf))
+}
+
+func TestTableExperimentsRender(t *testing.T) {
+	var buf bytes.Buffer
+	h := testHarness(&buf)
+	if err := h.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gen.DatasetNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("Table2 output missing dataset %q", name)
+		}
+	}
+	buf.Reset()
+	if err := h.Table4(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "maxIn") {
+		t.Error("Table4 output missing header")
+	}
+}
+
+func TestBestAtAndLabels(t *testing.T) {
+	mk := func(ds string, model compute.Model, mean, ci float64) combo {
+		var c combo
+		c.ds = ds
+		c.model = model
+		for i := range c.stages {
+			c.stages[i] = stats.Summary{N: 10, Mean: mean, CI95: ci}
+		}
+		return c
+	}
+	cs := []combo{
+		mk("adjshared", compute.INC, 1.0, 0.05),
+		mk("dah", compute.INC, 1.02, 0.05), // overlaps the winner
+		mk("stinger", compute.FS, 2.0, 0.05),
+	}
+	best, comp := bestAt(cs, 1)
+	if best.ds != "adjshared" {
+		t.Fatalf("best=%s want adjshared", best.ds)
+	}
+	if len(comp) != 1 || comp[0].ds != "dah" {
+		t.Fatalf("competitive=%v want [dah]", comp)
+	}
+	if comboLabel(best) != "INC+AS" {
+		t.Fatalf("label=%q want INC+AS", comboLabel(best))
+	}
+	if comboLabel(cs[2]) != "FS+Stinger" {
+		t.Fatalf("label=%q want FS+Stinger", comboLabel(cs[2]))
+	}
+}
+
+func TestDSLabel(t *testing.T) {
+	if DSLabel("dah") != "DAH" || DSLabel("unknown") != "unknown" {
+		t.Error("DSLabel mapping broken")
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		2.5:      "2.500s",
+		0.0032:   "3.200ms",
+		0.000004: "4.000us",
+	}
+	for in, want := range cases {
+		if got := formatSeconds(in); got != want {
+			t.Errorf("formatSeconds(%v)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	h := testHarness(&buf)
+	if err := h.RunExperiment("nope"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// TestRunMemoization checks the matrix cache: re-requesting a config must
+// not re-run it (same pointer back).
+func TestRunMemoization(t *testing.T) {
+	var buf bytes.Buffer
+	h := testHarness(&buf)
+	a, err := h.run("talk", "dah", "cc", compute.INC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.run("talk", "dah", "cc", compute.INC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("run results not memoized")
+	}
+}
+
+// TestFig7RendersRatios runs the cheapest figure end to end on the tiny
+// profile for one shape check: output contains every algorithm row.
+func TestFig7RendersRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-profile sweep still runs the full 8-combo matrix")
+	}
+	var buf bytes.Buffer
+	h := testHarness(&buf)
+	if err := h.Fig7(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, alg := range compute.AlgNames() {
+		if !strings.Contains(out, alg) {
+			t.Errorf("Fig7 output missing algorithm %q", alg)
+		}
+	}
+}
+
+// TestAllExperimentsTinyProfile drives every experiment end to end on the
+// tiny profile — the harness integration test. Skipped under -short.
+func TestAllExperimentsTinyProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	var buf bytes.Buffer
+	h := testHarness(&buf)
+	if err := h.RunExperiment("all"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, marker := range []string{
+		"Table II", "Table III", "Table IV",
+		"Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10",
+		"Ablation", "Extensions",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("combined output missing %q section", marker)
+		}
+	}
+}
+
+// TestCSVExport runs a cheap experiment with CSV collection and checks the
+// emitted files parse and carry the expected header.
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	opts := benchTestOpts(&buf)
+	opts.CSVDir = dir
+	h := New(opts)
+	if err := h.RunExperiment("table4"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "table4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // header + 5 datasets
+		t.Fatalf("rows=%d want 6", len(rows))
+	}
+	if rows[0][0] != "dataset" || rows[0][3] != "batch_max_in" {
+		t.Fatalf("header=%v", rows[0])
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CSV collection: experiments record each computed data point alongside
+// the textual rendering, and RunExperiment flushes one CSV file per series
+// (fig6a.csv, fig9_scaling.csv, ...) when Options.CSVDir is set — the
+// machine-readable form for regenerating the paper's plots.
+
+// csvRow records one row of the named series. The first call of a series
+// must pass the header via csvHeader.
+func (h *Harness) csvRow(series string, cols ...any) {
+	if h.opts.CSVDir == "" {
+		return
+	}
+	row := make([]string, len(cols))
+	for i, c := range cols {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	if h.csvData == nil {
+		h.csvData = make(map[string][][]string)
+	}
+	h.csvData[series] = append(h.csvData[series], row)
+}
+
+// csvHeader sets the named series' header once.
+func (h *Harness) csvHeader(series string, cols ...string) {
+	if h.opts.CSVDir == "" {
+		return
+	}
+	if h.csvHeaders == nil {
+		h.csvHeaders = make(map[string][]string)
+	}
+	if _, done := h.csvHeaders[series]; !done {
+		h.csvHeaders[series] = cols
+	}
+}
+
+// FlushCSV writes every collected series to Options.CSVDir and clears the
+// buffers. RunExperiment calls it automatically; it is exported for tests
+// and embedders.
+func (h *Harness) FlushCSV() error {
+	if h.opts.CSVDir == "" || len(h.csvData) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(h.opts.CSVDir, 0o755); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(h.csvData))
+	for n := range h.csvData {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := os.Create(filepath.Join(h.opts.CSVDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if hdr := h.csvHeaders[name]; hdr != nil {
+			if err := w.Write(hdr); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.WriteAll(h.csvData[name]); err != nil {
+			f.Close()
+			return err
+		}
+		w.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	h.csvData = nil
+	h.csvHeaders = nil
+	return nil
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	"sagabench/internal/gen"
+	"sagabench/internal/stats"
+)
+
+// Fig6 prints, per algorithm and dataset, the P3 batch-processing, update,
+// and compute latencies of AC, DAH, and Stinger normalized to AS, each
+// structure evaluated at its own best compute model (paper Fig 6's
+// control: the model is fixed to the best so only the structure varies).
+func (h *Harness) Fig6() error {
+	const p3 = 2
+	h.printf("\n== Fig 6: P3 latency of AC/DAH/Stinger normalized to AS (best compute model) ==\n")
+	h.printf("(a) batch processing latency\n")
+	h.printf("%-5s %-7s %8s %8s %8s\n", "alg", "dataset", "AC/AS", "DAH/AS", "Stngr/AS")
+	norm := func(alg, dataset string, metric core.Metric) ([3]float64, error) {
+		var out [3]float64 // AC, DAH, Stinger over AS
+		var asMean float64
+		for i, d := range []string{"adjshared", "adjchunked", "dah", "stinger"} {
+			model, err := h.bestModelAt(dataset, alg, d, p3)
+			if err != nil {
+				return out, err
+			}
+			res, err := h.run(dataset, d, alg, model)
+			if err != nil {
+				return out, err
+			}
+			mean := res.StageSummaries(metric)[p3].Mean
+			if i == 0 {
+				asMean = mean
+				continue
+			}
+			out[i-1] = stats.Ratio(mean, asMean)
+		}
+		return out, nil
+	}
+	h.csvHeader("fig6a_total", "alg", "dataset", "ac_over_as", "dah_over_as", "stinger_over_as")
+	for _, alg := range compute.AlgNames() {
+		for _, dataset := range gen.DatasetNames() {
+			r, err := norm(alg, dataset, core.MetricTotal)
+			if err != nil {
+				return err
+			}
+			h.printf("%-5s %-7s %8.2f %8.2f %8.2f\n", alg, dataset, r[0], r[1], r[2])
+			h.csvRow("fig6a_total", alg, dataset, r[0], r[1], r[2])
+		}
+	}
+	h.printf("(b) update latency (bfs shown; update is algorithm-independent)\n")
+	h.printf("%-5s %-7s %8s %8s %8s\n", "alg", "dataset", "AC/AS", "DAH/AS", "Stngr/AS")
+	h.csvHeader("fig6b_update", "alg", "dataset", "ac_over_as", "dah_over_as", "stinger_over_as")
+	for _, dataset := range gen.DatasetNames() {
+		r, err := norm("bfs", dataset, core.MetricUpdate)
+		if err != nil {
+			return err
+		}
+		h.printf("%-5s %-7s %8.2f %8.2f %8.2f\n", "bfs", dataset, r[0], r[1], r[2])
+		h.csvRow("fig6b_update", "bfs", dataset, r[0], r[1], r[2])
+	}
+	h.printf("(c) compute latency\n")
+	h.printf("%-5s %-7s %8s %8s %8s\n", "alg", "dataset", "AC/AS", "DAH/AS", "Stngr/AS")
+	h.csvHeader("fig6c_compute", "alg", "dataset", "ac_over_as", "dah_over_as", "stinger_over_as")
+	for _, alg := range compute.AlgNames() {
+		for _, dataset := range gen.DatasetNames() {
+			r, err := norm(alg, dataset, core.MetricCompute)
+			if err != nil {
+				return err
+			}
+			h.printf("%-5s %-7s %8.2f %8.2f %8.2f\n", alg, dataset, r[0], r[1], r[2])
+			h.csvRow("fig6c_compute", alg, dataset, r[0], r[1], r[2])
+		}
+	}
+	return nil
+}
+
+// bestDSAt returns the data structure of the winning combo at P3 (used by
+// Fig 7/8 to fix the structure to the best).
+func (h *Harness) bestDSAt(dataset, alg string, stage int) (string, error) {
+	cs, err := h.combos(dataset, alg)
+	if err != nil {
+		return "", err
+	}
+	best, _ := bestAt(cs, stage)
+	return best.ds, nil
+}
+
+// Fig7 prints the FS/INC compute-latency ratio at the best data structure
+// over the three stages (paper Fig 7; >1 means INC wins).
+func (h *Harness) Fig7() error {
+	h.printf("\n== Fig 7: FS compute latency normalized to INC (best data structure) ==\n")
+	h.printf("%-5s %-7s %-8s %8s %8s %8s\n", "alg", "dataset", "ds", "P1", "P2", "P3")
+	for _, alg := range compute.AlgNames() {
+		for _, dataset := range gen.DatasetNames() {
+			dsName, err := h.bestDSAt(dataset, alg, 2)
+			if err != nil {
+				return err
+			}
+			fs, err := h.run(dataset, dsName, alg, compute.FS)
+			if err != nil {
+				return err
+			}
+			inc, err := h.run(dataset, dsName, alg, compute.INC)
+			if err != nil {
+				return err
+			}
+			fss := fs.StageSummaries(core.MetricCompute)
+			incs := inc.StageSummaries(core.MetricCompute)
+			r1 := stats.Ratio(fss[0].Mean, incs[0].Mean)
+			r2 := stats.Ratio(fss[1].Mean, incs[1].Mean)
+			r3 := stats.Ratio(fss[2].Mean, incs[2].Mean)
+			h.printf("%-5s %-7s %-8s %8.2f %8.2f %8.2f\n", alg, dataset, DSLabel(dsName), r1, r2, r3)
+			h.csvHeader("fig7", "alg", "dataset", "ds", "p1_fs_over_inc", "p2_fs_over_inc", "p3_fs_over_inc")
+			h.csvRow("fig7", alg, dataset, DSLabel(dsName), r1, r2, r3)
+		}
+	}
+	return nil
+}
+
+// Fig8 prints the update phase's share of batch processing latency at the
+// best (structure, model) combination per stage (paper Fig 8).
+func (h *Harness) Fig8() error {
+	h.printf("\n== Fig 8: update share of batch processing latency (best combo) ==\n")
+	h.printf("%-5s %-7s %-10s %7s %7s %7s\n", "alg", "dataset", "combo", "P1", "P2", "P3")
+	for _, alg := range compute.AlgNames() {
+		for _, dataset := range gen.DatasetNames() {
+			cs, err := h.combos(dataset, alg)
+			if err != nil {
+				return err
+			}
+			best, _ := bestAt(cs, 2)
+			share := best.res.UpdateShare()
+			h.printf("%-5s %-7s %-10s %6.0f%% %6.0f%% %6.0f%%\n", alg, dataset, comboLabel(best),
+				100*share[0], 100*share[1], 100*share[2])
+			h.csvHeader("fig8", "alg", "dataset", "combo", "p1_update_share", "p2_update_share", "p3_update_share")
+			h.csvRow("fig8", alg, dataset, comboLabel(best), share[0], share[1], share[2])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	"sagabench/internal/gen"
+)
+
+// Table2 prints the dataset registry: vertex/edge counts and batch counts
+// (paper Table II, scaled per DESIGN.md).
+func (h *Harness) Table2() error {
+	h.printf("\n== Table II: evaluated datasets (profile=%s, synthetic stand-ins) ==\n", h.opts.Profile)
+	h.printf("%-8s %10s %10s %10s %11s %9s\n", "dataset", "vertices", "edges", "batchSize", "batchCount", "directed")
+	specs, err := gen.Datasets(h.opts.Profile)
+	if err != nil {
+		return err
+	}
+	h.csvHeader("table2", "dataset", "vertices", "edges", "batch_size", "batch_count", "directed")
+	for _, s := range specs {
+		st := gen.ComputeStats(s, h.opts.Seed)
+		h.printf("%-8s %10d %10d %10d %11d %9v\n",
+			s.Name, st.NumNodes, st.NumEdges, s.BatchSize, s.BatchCount(), s.Directed)
+		h.csvRow("table2", s.Name, st.NumNodes, st.NumEdges, s.BatchSize, s.BatchCount(), s.Directed)
+	}
+	return nil
+}
+
+// Table4 prints max in/out degrees for the entire dataset and for one
+// batch (paper Table IV) — the short-vs-heavy tail evidence.
+func (h *Harness) Table4() error {
+	h.printf("\n== Table IV: max in/out degree, entire dataset vs one batch ==\n")
+	h.printf("%-8s | %12s %12s | %12s %12s\n", "dataset", "entire maxIn", "entire maxOut", "batch maxIn", "batch maxOut")
+	specs, err := gen.Datasets(h.opts.Profile)
+	if err != nil {
+		return err
+	}
+	h.csvHeader("table4", "dataset", "entire_max_in", "entire_max_out", "batch_max_in", "batch_max_out")
+	for _, s := range specs {
+		st := gen.ComputeStats(s, h.opts.Seed)
+		h.printf("%-8s | %12d %12d | %12d %12d\n",
+			s.Name, st.Entire.MaxIn, st.Entire.MaxOut, st.Batch.MaxIn, st.Batch.MaxOut)
+		h.csvRow("table4", s.Name, st.Entire.MaxIn, st.Entire.MaxOut, st.Batch.MaxIn, st.Batch.MaxOut)
+	}
+	h.printf("(short-tailed: lj, orkut, rmat; heavy-tailed: wiki [in], talk [out])\n")
+	return nil
+}
+
+// Table3 prints, per algorithm and dataset, the combination of data
+// structure and compute model with the lowest batch processing latency at
+// each stage, with the paper's x/y competitive notation (overlapping 95%%
+// CIs) and the winner's absolute latency in seconds.
+func (h *Harness) Table3() error {
+	h.printf("\n== Table III: best (model+structure) per algorithm/dataset/stage ==\n")
+	h.printf("%-5s %-7s | %-26s | %-26s | %-26s\n", "alg", "dataset", "P1 (early)", "P2 (middle)", "P3 (final)")
+	for _, alg := range compute.AlgNames() {
+		for _, dataset := range gen.DatasetNames() {
+			cs, err := h.combos(dataset, alg)
+			if err != nil {
+				return err
+			}
+			var cells [3]string
+			var csvCells [3][2]any
+			for stage := 0; stage < 3; stage++ {
+				best, comp := bestAt(cs, stage)
+				label := comboLabel(best)
+				for _, c := range comp {
+					label += "/" + comboLabel(c)
+					if len(label) > 20 {
+						break // the paper lists at most a couple
+					}
+				}
+				cells[stage] = sprintfLatency(label, best.stages[stage].Mean)
+				csvCells[stage] = [2]any{comboLabel(best), best.stages[stage].Mean}
+			}
+			h.printf("%-5s %-7s | %-26s | %-26s | %-26s\n", alg, dataset, cells[0], cells[1], cells[2])
+			h.csvHeader("table3", "alg", "dataset", "p1_best", "p1_seconds", "p2_best", "p2_seconds", "p3_best", "p3_seconds")
+			h.csvRow("table3", alg, dataset,
+				csvCells[0][0], csvCells[0][1], csvCells[1][0], csvCells[1][1], csvCells[2][0], csvCells[2][1])
+		}
+	}
+	return nil
+}
+
+func sprintfLatency(label string, sec float64) string {
+	return label + " " + formatSeconds(sec)
+}
+
+func formatSeconds(sec float64) string {
+	switch {
+	case sec >= 1:
+		return trimFloat(sec, 3) + "s"
+	case sec >= 1e-3:
+		return trimFloat(sec*1e3, 3) + "ms"
+	default:
+		return trimFloat(sec*1e6, 3) + "us"
+	}
+}
+
+func trimFloat(v float64, digits int) string {
+	return fmt.Sprintf("%.*f", digits, v)
+}
+
+// bestModelAt returns, for one algorithm/dataset, the better compute model
+// of the given data structure at a stage (used by Fig 6's "best compute
+// model" control).
+func (h *Harness) bestModelAt(dataset, alg, dsName string, stage int) (compute.Model, error) {
+	var best compute.Model
+	bestMean := 0.0
+	for _, m := range Models {
+		res, err := h.run(dataset, dsName, alg, m.Key)
+		if err != nil {
+			return best, err
+		}
+		mean := res.StageSummaries(core.MetricTotal)[stage].Mean
+		if best == "" || mean < bestMean {
+			best, bestMean = m.Key, mean
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,186 @@
+// Package compute implements the SAGA-Bench compute phase: six
+// vertex-centric algorithms (BFS, CC, MC, PR, SSSP, SSWP — Table I) in two
+// compute models (paper Section III-B):
+//
+//   - FS: recomputation from scratch — every batch resets the vertex
+//     properties and reruns a conventional static-graph algorithm
+//     (GAP-style) on the freshly updated topology.
+//   - INC: incremental computation — processing amortization (start from
+//     the previous batch's values) plus selective triggering (recompute
+//     only vertices affected directly or transitively by the batch),
+//     implementing the paper's Algorithm 1.
+//
+// Vertex property values are held in a separate float64 array (paper
+// footnote 4), one slot per vertex, uniform across algorithms.
+package compute
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// Model selects a compute model.
+type Model string
+
+// The two compute models of the paper.
+const (
+	FS  Model = "fs"
+	INC Model = "inc"
+)
+
+// Options tunes an engine; zero values select the paper's defaults.
+type Options struct {
+	// Source is the root vertex for BFS/SSSP/SSWP.
+	Source graph.NodeID
+	// Threads is the compute-phase worker count; 0 means 1.
+	Threads int
+	// PRTolerance stops FS PageRank power iteration (default 1e-4, as
+	// in GAP).
+	PRTolerance float64
+	// PRMaxIters bounds FS PageRank iterations (default 20, as in GAP).
+	PRMaxIters int
+	// Delta is the SSSP delta-stepping bucket width (default 8).
+	Delta float64
+	// Epsilon overrides the INC triggering threshold (default 1e-7 for
+	// PR, exact change for the monotone algorithms).
+	Epsilon float64
+}
+
+func (o Options) threads() int {
+	if o.Threads <= 0 {
+		return 1
+	}
+	return o.Threads
+}
+
+func (o Options) prTolerance() float64 {
+	if o.PRTolerance <= 0 {
+		return 1e-4
+	}
+	return o.PRTolerance
+}
+
+func (o Options) prMaxIters() int {
+	if o.PRMaxIters <= 0 {
+		return 20
+	}
+	return o.PRMaxIters
+}
+
+func (o Options) delta() float64 {
+	if o.Delta <= 0 {
+		return 8
+	}
+	return o.Delta
+}
+
+// Engine runs one algorithm under one compute model across successive
+// batches. PerformAlg is the performAlg() entry point of the paper's API:
+// it is invoked once per batch, after the update phase, with the vertices
+// the batch touched.
+type Engine interface {
+	// Name reports the algorithm name ("bfs", "cc", ...).
+	Name() string
+	// Model reports the compute model.
+	Model() Model
+	// PerformAlg runs the compute phase. affected lists the batch's
+	// endpoint vertices (deduplicated); FS engines ignore it.
+	PerformAlg(g ds.Graph, affected []graph.NodeID)
+	// Values exposes the vertex property array (length = NumNodes of
+	// the last PerformAlg call).
+	Values() []float64
+	// Stats reports counters from the most recent PerformAlg call.
+	Stats() Stats
+	// HandlesDeletions reports whether the engine stays correct when
+	// the update phase removes edges. Every FS engine does (it recomputes
+	// from scratch). INC engines do too: PageRank's damped recompute is a
+	// contraction that re-converges after any topology change, and the
+	// monotone algorithms repair through KickStarter-style trimming (see
+	// trim.go) when the pipeline notifies them of deletions.
+	HandlesDeletions() bool
+}
+
+// Stats describes one compute phase's work.
+type Stats struct {
+	// Iterations counts frontier rounds (INC) or algorithm iterations
+	// (FS).
+	Iterations int
+	// Processed counts vertex recomputations.
+	Processed uint64
+	// EdgesTraversed counts neighbor records read.
+	EdgesTraversed uint64
+}
+
+// AlgNames lists the six algorithms in the paper's order.
+func AlgNames() []string { return []string{"bfs", "cc", "mc", "pr", "sssp", "sswp"} }
+
+// NewEngine constructs an engine for the named algorithm and model.
+func NewEngine(alg string, model Model, opts Options) (Engine, error) {
+	spec, ok := specs[alg]
+	if !ok {
+		known := make([]string, 0, len(specs))
+		for k := range specs {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("compute: unknown algorithm %q (have %v)", alg, known)
+	}
+	switch model {
+	case FS:
+		return newFSEngine(spec, opts), nil
+	case INC:
+		return newIncEngine(spec, opts), nil
+	default:
+		return nil, fmt.Errorf("compute: unknown model %q (have %q, %q)", model, FS, INC)
+	}
+}
+
+// MustNewEngine is NewEngine that panics on error.
+func MustNewEngine(alg string, model Model, opts Options) Engine {
+	e, err := NewEngine(alg, model, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// parallelFor splits [0,n) into up to `threads` contiguous ranges and runs
+// fn on each in its own goroutine, blocking until all complete.
+func parallelFor(n, threads int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	per := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// growValues extends vals to n slots, filling new slots with fill.
+func growValues(vals []float64, n int, fill float64) []float64 {
+	for len(vals) < n {
+		vals = append(vals, fill)
+	}
+	return vals
+}

@@ -1,0 +1,343 @@
+package compute_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+// refGraph is a simple adjacency-map graph for reference algorithms.
+type refGraph struct {
+	out [][]graph.Neighbor
+	in  [][]graph.Neighbor
+}
+
+func buildRef(o *graph.Oracle) *refGraph {
+	n := o.NumNodes()
+	r := &refGraph{out: make([][]graph.Neighbor, n), in: make([][]graph.Neighbor, n)}
+	for v := 0; v < n; v++ {
+		r.out[v] = o.Out(graph.NodeID(v))
+		r.in[v] = o.In(graph.NodeID(v))
+	}
+	return r
+}
+
+const testInf = math.MaxFloat64
+
+// refBFS computes exact hop distances from src by sequential BFS.
+func refBFS(g *refGraph, src int) []float64 {
+	d := make([]float64, len(g.out))
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	if src >= len(g.out) {
+		return d
+	}
+	d[src] = 0
+	q := []int{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, nb := range g.out[u] {
+			if math.IsInf(d[nb.ID], 1) {
+				d[nb.ID] = d[u] + 1
+				q = append(q, int(nb.ID))
+			}
+		}
+	}
+	return d
+}
+
+// refSSSP is sequential Dijkstra-without-heap (Bellman-Ford queue), exact
+// for positive weights.
+func refSSSP(g *refGraph, src int) []float64 {
+	d := make([]float64, len(g.out))
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	if src >= len(g.out) {
+		return d
+	}
+	d[src] = 0
+	q := []int{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, nb := range g.out[u] {
+			if nd := d[u] + float64(nb.Weight); nd < d[nb.ID] {
+				d[nb.ID] = nd
+				q = append(q, int(nb.ID))
+			}
+		}
+	}
+	return d
+}
+
+// refSSWP is sequential widest-path label correcting.
+func refSSWP(g *refGraph, src int) []float64 {
+	w := make([]float64, len(g.out))
+	if src >= len(g.out) {
+		return w
+	}
+	w[src] = math.Inf(1)
+	q := []int{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, nb := range g.out[u] {
+			nw := math.Min(w[u], float64(nb.Weight))
+			if nw > w[nb.ID] {
+				w[nb.ID] = nw
+				q = append(q, int(nb.ID))
+			}
+		}
+	}
+	return w
+}
+
+// refCC assigns each vertex the minimum vertex ID reachable over edges in
+// either direction (weak connectivity labels).
+func refCC(g *refGraph) []float64 {
+	n := len(g.out)
+	label := make([]float64, n)
+	seen := make([]bool, n)
+	for v := range label {
+		label[v] = float64(v)
+	}
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		// v is the smallest unseen ID of its component.
+		comp := []int{v}
+		seen[v] = true
+		for len(comp) > 0 {
+			u := comp[len(comp)-1]
+			comp = comp[:len(comp)-1]
+			label[u] = float64(v)
+			for _, nb := range g.out[u] {
+				if !seen[nb.ID] {
+					seen[nb.ID] = true
+					comp = append(comp, int(nb.ID))
+				}
+			}
+			for _, nb := range g.in[u] {
+				if !seen[nb.ID] {
+					seen[nb.ID] = true
+					comp = append(comp, int(nb.ID))
+				}
+			}
+		}
+	}
+	return label
+}
+
+// refMC computes the fixpoint of v.value = max(v, max over in-neighbors).
+func refMC(g *refGraph) []float64 {
+	n := len(g.out)
+	val := make([]float64, n)
+	for v := range val {
+		val[v] = float64(v)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < n; v++ {
+			best := val[v]
+			for _, nb := range g.in[v] {
+				if val[nb.ID] > best {
+					best = val[nb.ID]
+				}
+			}
+			if best != val[v] {
+				val[v] = best
+				changed = true
+			}
+		}
+	}
+	return val
+}
+
+func affectedOf(b graph.Batch) []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, e := range b {
+		if !seen[e.Src] {
+			seen[e.Src] = true
+			out = append(out, e.Src)
+		}
+		if !seen[e.Dst] {
+			seen[e.Dst] = true
+			out = append(out, e.Dst)
+		}
+	}
+	return out
+}
+
+func randBatches(seed int64, numBatches, batchSize, numNodes int) []graph.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([]graph.Batch, numBatches)
+	for b := range batches {
+		batch := make(graph.Batch, batchSize)
+		for i := range batch {
+			src := graph.NodeID(rng.Intn(numNodes))
+			dst := graph.NodeID(rng.Intn(numNodes))
+			// Weight is a pure function of the endpoints so duplicate
+			// edges ingested in nondeterministic parallel order agree
+			// with the sequentially built oracle.
+			w := graph.Weight((uint32(src)*7+uint32(dst)*13)%20) + 1
+			batch[i] = graph.Edge{Src: src, Dst: dst, Weight: w}
+		}
+		batches[b] = batch
+	}
+	return batches
+}
+
+func valsEqual(t *testing.T, what string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", what, len(got), len(want))
+	}
+	for v := range got {
+		g, w := got[v], want[v]
+		if math.IsInf(g, 1) && math.IsInf(w, 1) {
+			continue
+		}
+		if math.Abs(g-w) > tol {
+			t.Fatalf("%s: vertex %d: got %v want %v (tol %v)", what, v, g, w, tol)
+		}
+	}
+}
+
+// TestAlgorithmsMatchReference streams batches and, after every batch,
+// checks both compute models of every algorithm on every data structure
+// against sequential reference implementations.
+func TestAlgorithmsMatchReference(t *testing.T) {
+	batches := randBatches(11, 5, 600, 150)
+	opts := compute.Options{Source: 0, Threads: 4, PRTolerance: 1e-12, PRMaxIters: 200, Epsilon: 1e-12}
+
+	for _, dsName := range ds.Names() {
+		g := ds.MustNew(dsName, ds.Config{Directed: true, Threads: 4})
+		oracle := graph.NewOracle(true)
+
+		engines := map[string]compute.Engine{}
+		for _, alg := range compute.AlgNames() {
+			engines[alg+"/fs"] = compute.MustNewEngine(alg, compute.FS, opts)
+			engines[alg+"/inc"] = compute.MustNewEngine(alg, compute.INC, opts)
+		}
+
+		for bi, b := range batches {
+			g.Update(b)
+			oracle.Update(b)
+			aff := affectedOf(b)
+			ref := buildRef(oracle)
+
+			want := map[string][]float64{
+				"bfs":  refBFS(ref, 0),
+				"cc":   refCC(ref),
+				"mc":   refMC(ref),
+				"sssp": refSSSP(ref, 0),
+				"sswp": refSSWP(ref, 0),
+			}
+			for _, alg := range []string{"bfs", "cc", "mc", "sssp", "sswp"} {
+				for _, model := range []string{"fs", "inc"} {
+					e := engines[alg+"/"+model]
+					e.PerformAlg(g, aff)
+					valsEqual(t, dsName+" batch "+itoa(bi)+" "+alg+"/"+model, e.Values(), want[alg], 1e-9)
+				}
+			}
+			// PageRank: both models approximate the same fixpoint;
+			// with tight tolerances they must agree closely.
+			fs := engines["pr/fs"]
+			inc := engines["pr/inc"]
+			fs.PerformAlg(g, aff)
+			inc.PerformAlg(g, aff)
+			valsEqual(t, dsName+" batch "+itoa(bi)+" pr fs-vs-inc", inc.Values(), fs.Values(), 1e-6)
+			sum := 0.0
+			for _, r := range fs.Values() {
+				sum += r
+			}
+			if sum <= 0 || math.IsNaN(sum) {
+				t.Fatalf("%s: implausible PR mass %v", dsName, sum)
+			}
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestIncDoesLessWorkThanFS checks the incremental model's raison d'être:
+// after the first batch, INC recomputes far fewer vertices than FS on a
+// growing graph.
+func TestIncDoesLessWorkThanFS(t *testing.T) {
+	batches := randBatches(13, 10, 400, 4000)
+	g := ds.MustNew("adjshared", ds.Config{Directed: true, Threads: 2})
+	opts := compute.Options{Threads: 2}
+	fs := compute.MustNewEngine("cc", compute.FS, opts)
+	inc := compute.MustNewEngine("cc", compute.INC, opts)
+	var fsWork, incWork uint64
+	for _, b := range batches {
+		g.Update(b)
+		aff := affectedOf(b)
+		fs.PerformAlg(g, aff)
+		inc.PerformAlg(g, aff)
+		fsWork += fs.Stats().Processed
+		incWork += inc.Stats().Processed
+	}
+	if incWork >= fsWork {
+		t.Fatalf("INC processed %d vertices, FS %d; INC should be cheaper", incWork, fsWork)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := compute.NewEngine("nope", compute.FS, compute.Options{}); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+	if _, err := compute.NewEngine("bfs", "weird", compute.Options{}); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestEmptyGraphCompute(t *testing.T) {
+	g := ds.MustNew("adjshared", ds.Config{Directed: true})
+	for _, alg := range compute.AlgNames() {
+		for _, model := range []compute.Model{compute.FS, compute.INC} {
+			e := compute.MustNewEngine(alg, model, compute.Options{})
+			e.PerformAlg(g, nil) // must not panic on an empty graph
+			if len(e.Values()) != 0 {
+				t.Errorf("%s/%s: values on empty graph", alg, model)
+			}
+		}
+	}
+}
+
+func TestSourceOutsideGraph(t *testing.T) {
+	g := ds.MustNew("adjshared", ds.Config{Directed: true})
+	g.Update(graph.Batch{{Src: 0, Dst: 1, Weight: 1}})
+	opts := compute.Options{Source: 50}
+	for _, model := range []compute.Model{compute.FS, compute.INC} {
+		e := compute.MustNewEngine("bfs", model, opts)
+		e.PerformAlg(g, []graph.NodeID{0, 1})
+		for v, d := range e.Values() {
+			if !math.IsInf(d, 1) {
+				t.Errorf("%s: vertex %d reachable from absent source: %v", model, v, d)
+			}
+		}
+	}
+	_ = testInf
+}

@@ -1,0 +1,76 @@
+package compute
+
+import (
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// fsEngine implements the recomputation-from-scratch model: every batch it
+// resets the vertex properties to their initial values and reruns a
+// conventional static-graph algorithm on the freshly updated topology,
+// oblivious to the previous batch's results (paper Section III-B).
+type fsEngine struct {
+	spec spec
+	opts Options
+
+	vals     values
+	stats    Stats
+	valsCopy []float64
+
+	// scratch reused across batches by the per-algorithm runners.
+	visited  []uint32
+	frontier []graph.NodeID
+	next     []graph.NodeID
+	aux      values
+}
+
+func newFSEngine(s spec, opts Options) *fsEngine {
+	return &fsEngine{spec: s, opts: opts}
+}
+
+func (e *fsEngine) Name() string { return e.spec.name }
+func (e *fsEngine) Model() Model { return FS }
+
+// Values materializes the property array.
+func (e *fsEngine) Values() []float64 {
+	e.valsCopy = e.vals.materialize(e.valsCopy)
+	return e.valsCopy
+}
+
+func (e *fsEngine) Stats() Stats { return e.stats }
+
+// HandlesDeletions implements Engine: recomputation from scratch is
+// correct under any topology change.
+func (e *fsEngine) HandlesDeletions() bool { return true }
+
+// PerformAlg implements Engine.
+func (e *fsEngine) PerformAlg(g ds.Graph, _ []graph.NodeID) {
+	n := g.NumNodes()
+	e.stats = Stats{}
+	if cap(e.vals) < n {
+		e.vals = make(values, n)
+	}
+	e.vals = e.vals[:n]
+	for v := range e.vals {
+		e.vals.set(v, e.spec.initValue(graph.NodeID(v), n))
+	}
+	if e.spec.hasSource && int(e.opts.Source) < n {
+		e.vals.set(int(e.opts.Source), e.spec.sourceValue)
+	}
+	if n == 0 {
+		return
+	}
+	e.spec.fsRun(e, g)
+}
+
+// resetVisited clears and sizes the visited scratch.
+func (e *fsEngine) resetVisited(n int) {
+	if cap(e.visited) < n {
+		e.visited = make([]uint32, n)
+		return
+	}
+	e.visited = e.visited[:n]
+	for i := range e.visited {
+		e.visited[i] = 0
+	}
+}

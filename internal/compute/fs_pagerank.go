@@ -1,0 +1,67 @@
+package compute
+
+import (
+	"sync/atomic"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// fsPR is GAP-style PageRank power iteration: Jacobi sweeps (reading the
+// previous iteration's ranks, writing a fresh array) until the summed
+// absolute rank change drops below the tolerance (GAP's convergence
+// criterion) or the iteration cap is reached.
+func fsPR(e *fsEngine, g ds.Graph) {
+	n := g.NumNodes()
+	threads := e.opts.threads()
+	tol := e.opts.prTolerance()
+	maxIters := e.opts.prMaxIters()
+
+	if cap(e.aux) < n {
+		e.aux = make(values, n)
+	}
+	e.aux = e.aux[:n]
+
+	var processed, edges atomic.Uint64
+	for iter := 0; iter < maxIters; iter++ {
+		var sumDelta atomic.Uint64 // float64 bits of the summed |delta|
+		parallelFor(n, threads, func(lo, hi int) {
+			ctx := &recomputeCtx{g: g, vals: e.vals, numNodes: n, opts: e.opts}
+			localSum := 0.0
+			for v := lo; v < hi; v++ {
+				newv := e.spec.recompute(ctx, graph.NodeID(v))
+				e.aux.set(v, newv)
+				localSum += abs(newv - e.vals.get(v))
+			}
+			addFloat(&sumDelta, localSum)
+			processed.Add(uint64(hi - lo))
+			edges.Add(ctx.edges)
+		})
+		e.vals, e.aux = e.aux, e.vals
+		e.stats.Iterations++
+		if loadFloat(&sumDelta) < tol {
+			break
+		}
+	}
+	e.stats.Processed = processed.Load()
+	e.stats.EdgesTraversed = edges.Load()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// addFloat atomically adds v to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, floatBits(floatFromBits(old)+v)) {
+			return
+		}
+	}
+}
+
+func loadFloat(bits *atomic.Uint64) float64 { return floatFromBits(bits.Load()) }

@@ -1,0 +1,189 @@
+package compute
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// fsBFS is GAP-style direction-optimizing BFS for the FS model: levels
+// expand top-down (push over out-neighbors, claiming unvisited vertices
+// with a CAS) while the frontier is small, and switch bottom-up (every
+// unvisited vertex pulls over in-neighbors looking for a visited parent)
+// once the frontier's edge volume crosses a fraction of the remaining
+// unexplored edges — the Beamer et al. heuristic that GAP implements.
+func fsBFS(e *fsEngine, g ds.Graph) {
+	n := g.NumNodes()
+	src := e.opts.Source
+	if int(src) >= n {
+		return
+	}
+	e.resetVisited(n)
+	e.visited[src] = 1
+	frontier := append(e.frontier[:0], src)
+	threads := e.opts.threads()
+	var processed, edges atomic.Uint64
+	depth := 0.0
+	unvisited := n - 1
+	for len(frontier) > 0 {
+		depth++
+		// Heuristic: frontier out-degree vs a slice of the unexplored
+		// volume (GAP's alpha=15 tuning collapses to a frontier-size
+		// threshold at our scales).
+		frontierEdges := 0
+		for _, u := range frontier {
+			frontierEdges += g.OutDegree(u)
+		}
+		if frontierEdges > unvisited/4 && len(frontier) > 64 {
+			frontier = e.bfsBottomUp(g, depth, threads, &processed, &edges, frontier)
+		} else {
+			frontier = e.bfsTopDown(g, depth, threads, &processed, &edges, frontier)
+		}
+		unvisited -= len(frontier)
+		e.stats.Iterations++
+	}
+	e.frontier = frontier[:0]
+	e.stats.Processed = processed.Load()
+	e.stats.EdgesTraversed = edges.Load()
+}
+
+// bfsTopDown expands the frontier push-style and returns the next frontier.
+func (e *fsEngine) bfsTopDown(g ds.Graph, depth float64, threads int, processed, edges *atomic.Uint64, frontier []graph.NodeID) []graph.NodeID {
+	var mu sync.Mutex
+	next := e.next[:0]
+	parallelFor(len(frontier), threads, func(lo, hi int) {
+		var local []graph.NodeID
+		var buf []graph.Neighbor
+		var nEdges uint64
+		for _, u := range frontier[lo:hi] {
+			buf = g.OutNeigh(u, buf[:0])
+			nEdges += uint64(len(buf))
+			for _, nb := range buf {
+				if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
+					e.vals.set(int(nb.ID), depth)
+					local = append(local, nb.ID)
+				}
+			}
+		}
+		processed.Add(uint64(hi - lo))
+		edges.Add(nEdges)
+		if len(local) > 0 {
+			mu.Lock()
+			next = append(next, local...)
+			mu.Unlock()
+		}
+	})
+	e.next = frontier
+	return next
+}
+
+// bfsBottomUp sweeps every unvisited vertex, pulling over in-neighbors for
+// a parent at the previous depth; it returns the next frontier.
+func (e *fsEngine) bfsBottomUp(g ds.Graph, depth float64, threads int, processed, edges *atomic.Uint64, frontier []graph.NodeID) []graph.NodeID {
+	n := g.NumNodes()
+	prev := depth - 1
+	var mu sync.Mutex
+	next := e.next[:0]
+	parallelFor(n, threads, func(lo, hi int) {
+		var local []graph.NodeID
+		var buf []graph.Neighbor
+		var nEdges uint64
+		var nProc uint64
+		for v := lo; v < hi; v++ {
+			if atomic.LoadUint32(&e.visited[v]) != 0 {
+				continue
+			}
+			nProc++
+			buf = g.InNeigh(graph.NodeID(v), buf[:0])
+			for _, nb := range buf {
+				nEdges++
+				if e.vals.get(int(nb.ID)) == prev {
+					// No contention: v's slot is owned by this
+					// range worker.
+					atomic.StoreUint32(&e.visited[v], 1)
+					e.vals.set(v, depth)
+					local = append(local, graph.NodeID(v))
+					break
+				}
+			}
+		}
+		processed.Add(nProc)
+		edges.Add(nEdges)
+		if len(local) > 0 {
+			mu.Lock()
+			next = append(next, local...)
+			mu.Unlock()
+		}
+	})
+	e.next = frontier
+	return next
+}
+
+// fsLabelProp runs round-synchronous pull-style propagation to a fixpoint:
+// every active vertex recomputes its value from its neighbors (writing only
+// its own slot, so rounds parallelize without atomics on the values), and
+// changed vertices activate their push-direction neighbors for the next
+// round. CC (min over both directions) and MC (max over in-edges) are both
+// instances.
+func fsLabelProp(e *fsEngine, g ds.Graph) {
+	n := g.NumNodes()
+	threads := e.opts.threads()
+	// Round 1 processes every vertex.
+	active := e.frontier[:0]
+	for v := 0; v < n; v++ {
+		active = append(active, graph.NodeID(v))
+	}
+	e.resetVisited(n)
+	var processed, edges atomic.Uint64
+	for len(active) > 0 {
+		var mu sync.Mutex
+		next := e.next[:0]
+		// Snapshot-free Gauss-Seidel rounds: values read may be from
+		// this round or the last, which only accelerates convergence
+		// of min/max fixpoints.
+		parallelFor(len(active), threads, func(lo, hi int) {
+			ctx := &recomputeCtx{g: g, vals: e.vals, numNodes: n, opts: e.opts}
+			var local []graph.NodeID
+			var pushBuf []graph.Neighbor
+			for _, v := range active[lo:hi] {
+				old := e.vals.get(int(v))
+				newv := e.spec.recompute(ctx, v)
+				if newv == old {
+					continue
+				}
+				e.vals.set(int(v), newv)
+				pushBuf = g.OutNeigh(v, pushBuf[:0])
+				if e.spec.pushBoth {
+					pushBuf = g.InNeigh(v, pushBuf)
+				}
+				ctx.edges += uint64(len(pushBuf))
+				for _, nb := range pushBuf {
+					if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
+						local = append(local, nb.ID)
+					}
+				}
+			}
+			processed.Add(uint64(hi - lo))
+			edges.Add(ctx.edges)
+			if len(local) > 0 {
+				mu.Lock()
+				next = append(next, local...)
+				mu.Unlock()
+			}
+		})
+		for _, v := range next {
+			e.visited[v] = 0
+		}
+		active, e.next = next, active
+		e.stats.Iterations++
+	}
+	e.frontier = active[:0]
+	e.stats.Processed = processed.Load()
+	e.stats.EdgesTraversed = edges.Load()
+}
+
+func fsCC(e *fsEngine, g ds.Graph) { fsLabelProp(e, g) }
+
+func fsMC(e *fsEngine, g ds.Graph) { fsLabelProp(e, g) }

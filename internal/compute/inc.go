@@ -1,0 +1,151 @@
+package compute
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// incEngine implements the paper's Algorithm 1: incremental computation via
+// processing amortization (vertex values persist across batches; only new
+// vertices are initialized) and selective triggering (recomputation starts
+// from the batch-affected vertices and propagates only changes larger than
+// the triggering threshold, frontier round by frontier round, until no
+// vertex triggers).
+type incEngine struct {
+	spec spec
+	opts Options
+
+	vals     values
+	visited  []uint32
+	stats    Stats
+	valsCopy []float64
+
+	// pendingInvalid holds the deletion-invalidated cone awaiting the
+	// next compute phase (see trim.go).
+	pendingInvalid []graph.NodeID
+}
+
+func newIncEngine(s spec, opts Options) *incEngine {
+	return &incEngine{spec: s, opts: opts}
+}
+
+func (e *incEngine) Name() string { return e.spec.name }
+func (e *incEngine) Model() Model { return INC }
+
+// Values materializes the property array.
+func (e *incEngine) Values() []float64 {
+	e.valsCopy = e.vals.materialize(e.valsCopy)
+	return e.valsCopy
+}
+
+func (e *incEngine) Stats() Stats { return e.stats }
+
+// HandlesDeletions implements Engine: PageRank re-converges natively, and
+// the monotone algorithms repair through KickStarter-style trimming
+// (NotifyDeletions in trim.go).
+func (e *incEngine) HandlesDeletions() bool { return e.spec.deletionSafe || e.spec.tight != nil }
+
+// PerformAlg implements Engine.
+func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
+	n := g.NumNodes()
+	e.stats = Stats{}
+	// Lines 2-4: initialize new vertices only (processing amortization —
+	// old vertices keep the previous batch's values).
+	//
+	// PageRank's fresh value depends on |V|: paper line 4 assigns 1/|V|
+	// at the current vertex count.
+	for v := len(e.vals); v < n; v++ {
+		e.vals = append(e.vals, 0)
+		e.vals.set(v, e.spec.initValue(graph.NodeID(v), n))
+	}
+	if e.spec.hasSource && int(e.opts.Source) < n {
+		e.vals.set(int(e.opts.Source), e.spec.sourceValue)
+	}
+	for len(e.visited) < n {
+		e.visited = append(e.visited, 0)
+	}
+
+	eps := e.spec.epsilon(e.opts, n)
+	threads := e.opts.threads()
+
+	var processed, edges atomic.Uint64
+
+	// processRound re-executes lines 9-15 for every vertex in curr,
+	// returning the next frontier. Values are written in place; the
+	// visited bitvector (CAS-guarded, line 14) deduplicates pushes.
+	processRound := func(curr []graph.NodeID) []graph.NodeID {
+		var mu sync.Mutex
+		var next []graph.NodeID
+		parallelFor(len(curr), threads, func(lo, hi int) {
+			ctx := &recomputeCtx{g: g, vals: e.vals, numNodes: n, opts: e.opts}
+			var local []graph.NodeID
+			var pushBuf []graph.Neighbor
+			var nProc uint64
+			for _, v := range curr[lo:hi] {
+				nProc++
+				old := e.vals.get(int(v))
+				newv := e.spec.recompute(ctx, v)
+				if e.spec.hasSource && v == e.opts.Source {
+					newv = e.spec.sourceValue
+				}
+				e.vals.set(int(v), newv)
+				trigger := false
+				if eps > 0 {
+					d := newv - old
+					if d < 0 {
+						d = -d
+					}
+					trigger = d > eps
+				} else {
+					trigger = newv != old
+				}
+				if !trigger {
+					continue
+				}
+				pushBuf = g.OutNeigh(v, pushBuf[:0])
+				if e.spec.pushBoth {
+					pushBuf = g.InNeigh(v, pushBuf)
+				}
+				ctx.edges += uint64(len(pushBuf))
+				for _, nb := range pushBuf {
+					if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
+						local = append(local, nb.ID)
+					}
+				}
+			}
+			processed.Add(nProc)
+			edges.Add(ctx.edges)
+			if len(local) > 0 {
+				mu.Lock()
+				next = append(next, local...)
+				mu.Unlock()
+			}
+		})
+		// Line 20: visited <- {false}. Only entries in next were set.
+		for _, v := range next {
+			e.visited[v] = 0
+		}
+		return next
+	}
+
+	// Deletion-invalidated vertices join the batch's affected set (their
+	// values were reset by NotifyDeletions and must rebuild first).
+	if len(e.pendingInvalid) > 0 {
+		affected = append(append([]graph.NodeID{}, affected...), e.pendingInvalid...)
+		e.pendingInvalid = e.pendingInvalid[:0]
+	}
+
+	// Lines 6-15: first pass over the affected vertices.
+	curr := processRound(affected)
+	e.stats.Iterations = 1
+	// Lines 19-25: propagate until no vertex triggers.
+	for len(curr) > 0 {
+		curr = processRound(curr)
+		e.stats.Iterations++
+	}
+	e.stats.Processed = processed.Load()
+	e.stats.EdgesTraversed = edges.Load()
+}

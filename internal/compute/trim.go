@@ -1,0 +1,92 @@
+package compute
+
+import (
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// DeletionAware is implemented by engines that can repair their state when
+// the update phase removes edges. core.Pipeline.ProcessMixed calls
+// NotifyDeletions after the topology change and before PerformAlg.
+type DeletionAware interface {
+	NotifyDeletions(g ds.Graph, dels graph.Batch)
+}
+
+// NotifyDeletions implements KickStarter-style trimmed approximation (Vora
+// et al., the paper's reference [12]) for the monotone incremental
+// algorithms: a deleted edge may have been the support of its endpoint's
+// value, and that endpoint the support of its dependents, so the engine
+//
+//  1. seeds an invalidation cone with deletion endpoints whose value was
+//     *tight* through the removed edge (it could have been derived from
+//     the other endpoint across that edge),
+//  2. grows the cone along tight edges in the value-dependence direction
+//     (out-edges for the pull-from-in-neighbors algorithms, both
+//     directions for connectivity),
+//  3. resets the cone to initial values, and
+//  4. queues the cone as affected vertices, so the next PerformAlg's
+//     selective triggering rebuilds them from their intact neighbors.
+//
+// Values outside the cone never depended on a deleted edge, so they remain
+// exact; cone values are rebuilt monotonically from the survivors.
+// PageRank needs no trimming — its damped recompute is a contraction that
+// re-converges after any topology change — so it returns immediately.
+func (e *incEngine) NotifyDeletions(g ds.Graph, dels graph.Batch) {
+	if e.spec.tight == nil {
+		return // non-monotone (PageRank): plain recompute handles it
+	}
+	n := g.NumNodes()
+	for len(e.vals) < n {
+		// Deletions arrive with adds in one mixed batch; make sure the
+		// value array covers any vertices the adds introduced.
+		e.vals = append(e.vals, 0)
+		e.vals.set(len(e.vals)-1, e.spec.initValue(graph.NodeID(len(e.vals)-1), n))
+	}
+	invalid := make(map[graph.NodeID]bool)
+	var stack []graph.NodeID
+	mark := func(v graph.NodeID) {
+		if int(v) < n && !invalid[v] && !(e.spec.hasSource && v == e.opts.Source) {
+			invalid[v] = true
+			stack = append(stack, v)
+		}
+	}
+	// Seed: endpoints whose value was tight through a removed edge.
+	for _, d := range dels {
+		if int(d.Src) >= n || int(d.Dst) >= n {
+			continue
+		}
+		w := float64(d.Weight)
+		if e.spec.tight(e.vals.get(int(d.Src)), w, e.vals.get(int(d.Dst))) {
+			mark(d.Dst)
+		}
+		if e.spec.pushBoth && e.spec.tight(e.vals.get(int(d.Dst)), w, e.vals.get(int(d.Src))) {
+			mark(d.Src)
+		}
+	}
+	// Grow the cone along tight dependence edges, judging tightness with
+	// the pre-reset values.
+	var buf []graph.Neighbor
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		vv := e.vals.get(int(v))
+		buf = g.OutNeigh(v, buf[:0])
+		if e.spec.pushBoth {
+			buf = g.InNeigh(v, buf)
+		}
+		for _, nb := range buf {
+			if invalid[nb.ID] {
+				continue
+			}
+			if e.spec.tight(vv, float64(nb.Weight), e.vals.get(int(nb.ID))) {
+				mark(nb.ID)
+			}
+		}
+	}
+	// Reset the cone and queue it for the next compute phase.
+	e.pendingInvalid = e.pendingInvalid[:0]
+	for v := range invalid {
+		e.vals.set(int(v), e.spec.initValue(v, n))
+		e.pendingInvalid = append(e.pendingInvalid, v)
+	}
+}

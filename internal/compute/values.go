@@ -1,0 +1,27 @@
+package compute
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// values is the vertex property array. Both compute models relax values
+// chaotically — a worker may pull a neighbor's value while its owner
+// rewrites it — so slots are stored as float64 bit patterns accessed with
+// atomic loads and stores (plain MOVs on amd64), making the relaxation
+// race well-defined: a reader sees either the old or the new value, both
+// of which are valid intermediate states of the fixpoint iteration.
+type values []uint64
+
+func (v values) get(i int) float64 { return math.Float64frombits(atomic.LoadUint64(&v[i])) }
+
+func (v values) set(i int, f float64) { atomic.StoreUint64(&v[i], math.Float64bits(f)) }
+
+// materialize copies the values into dst as plain float64s.
+func (v values) materialize(dst []float64) []float64 {
+	dst = dst[:0]
+	for i := range v {
+		dst = append(dst, v.get(i))
+	}
+	return dst
+}

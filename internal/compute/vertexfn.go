@@ -1,0 +1,209 @@
+package compute
+
+import (
+	"math"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// inf is the identity for min-reductions over distances.
+var inf = math.Inf(1)
+
+// recomputeCtx is per-worker state for pull-style vertex recomputation.
+type recomputeCtx struct {
+	g        ds.Graph
+	vals     values
+	numNodes int
+	opts     Options
+	buf      []graph.Neighbor
+	edges    uint64 // neighbor records read
+}
+
+// spec describes one algorithm: its Table I vertex function expressed as a
+// pull-style recompute, its initialization, and its INC trigger rule.
+type spec struct {
+	name string
+	// hasSource pins opts.Source to sourceValue (BFS/SSSP/SSWP).
+	hasSource   bool
+	sourceValue float64
+	// initValue is the reset (FS) / fresh-vertex (INC) property value.
+	initValue func(v graph.NodeID, numNodes int) float64
+	// recompute evaluates the vertex function for v by pulling from
+	// neighbors. It must not write ctx.vals.
+	recompute func(ctx *recomputeCtx, v graph.NodeID) float64
+	// pushBoth propagates changes along both edge directions (CC treats
+	// the graph as undirected connectivity).
+	pushBoth bool
+	// epsilon is the INC triggering threshold given the current vertex
+	// count; 0 means any change triggers (the monotone algorithms).
+	epsilon func(opts Options, numNodes int) float64
+	// deletionSafe marks algorithms whose INC recompute re-converges
+	// after edge deletions without help (non-monotone contractions like
+	// PageRank).
+	deletionSafe bool
+	// tight reports whether valV could have been derived from valU across
+	// an edge of weight w — the value-dependence test KickStarter-style
+	// trimming uses to grow the invalidation cone after deletions. nil
+	// for non-monotone algorithms (no trimming needed).
+	tight func(valU, w, valV float64) bool
+	// fsRun executes the conventional static-graph algorithm for the
+	// FS model (GAP-style where GAP implements it).
+	fsRun func(e *fsEngine, g ds.Graph)
+}
+
+func exactChange(Options, int) float64 { return 0 }
+
+// prEpsilon is the PageRank triggering threshold. The paper fixes it at
+// 1e-7 on graphs with millions of vertices, where ranks are ~1/|V| ≈ 2e-7
+// — i.e. the trigger fires on changes of about half a rank unit. To keep
+// the same looseness relative to rank magnitude on scaled graphs, the
+// default tracks 0.5/|V|.
+func prEpsilon(o Options, numNodes int) float64 {
+	if o.Epsilon > 0 {
+		return o.Epsilon
+	}
+	if numNodes <= 0 {
+		return 1e-7
+	}
+	return 0.5 / float64(numNodes)
+}
+
+// specs registers the six SAGA-Bench algorithms.
+var specs = map[string]spec{
+	"bfs": {
+		name:        "bfs",
+		hasSource:   true,
+		sourceValue: 0,
+		initValue:   func(graph.NodeID, int) float64 { return inf },
+		// Table I: v.depth <- min over inEdges(v) (e.source.depth + 1).
+		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
+			best := inf
+			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
+			ctx.edges += uint64(len(ctx.buf))
+			for _, nb := range ctx.buf {
+				if d := ctx.vals.get(int(nb.ID)) + 1; d < best {
+					best = d
+				}
+			}
+			return best
+		},
+		epsilon: exactChange,
+		tight:   func(valU, _, valV float64) bool { return valV == valU+1 },
+		fsRun:   fsBFS,
+	},
+	"cc": {
+		name:      "cc",
+		initValue: func(v graph.NodeID, _ int) float64 { return float64(v) },
+		// Table I: v.value <- min(v.value, min over Edges(v) of
+		// e.other.value) — connectivity over both directions.
+		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
+			best := ctx.vals.get(int(v))
+			ctx.buf = ctx.g.OutNeigh(v, ctx.buf[:0])
+			ctx.buf = ctx.g.InNeigh(v, ctx.buf)
+			ctx.edges += uint64(len(ctx.buf))
+			for _, nb := range ctx.buf {
+				if nv := ctx.vals.get(int(nb.ID)); nv < best {
+					best = nv
+				}
+			}
+			return best
+		},
+		pushBoth: true,
+		epsilon:  exactChange,
+		tight:    func(valU, _, valV float64) bool { return valV == valU },
+		fsRun:    fsCC,
+	},
+	"mc": {
+		name:      "mc",
+		initValue: func(v graph.NodeID, _ int) float64 { return float64(v) },
+		// Table I: v.value <- max(v.value, max over inEdges(v) of
+		// e.source.value).
+		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
+			best := ctx.vals.get(int(v))
+			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
+			ctx.edges += uint64(len(ctx.buf))
+			for _, nb := range ctx.buf {
+				if nv := ctx.vals.get(int(nb.ID)); nv > best {
+					best = nv
+				}
+			}
+			return best
+		},
+		epsilon: exactChange,
+		tight:   func(valU, _, valV float64) bool { return valV == valU },
+		fsRun:   fsMC,
+	},
+	"pr": {
+		name:      "pr",
+		initValue: func(_ graph.NodeID, numNodes int) float64 { return 1 / float64(numNodes) },
+		// Table I: v.rank <- 0.15/|V| + 0.85 * sum over inEdges(v) of
+		// e.source.rank (normalized by the source's out-degree,
+		// Section V-B).
+		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
+			sum := 0.0
+			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
+			ctx.edges += uint64(len(ctx.buf))
+			for _, nb := range ctx.buf {
+				if d := ctx.g.OutDegree(nb.ID); d > 0 {
+					sum += ctx.vals.get(int(nb.ID)) / float64(d)
+				}
+			}
+			return prBase/float64(ctx.numNodes) + prDamping*sum
+		},
+		epsilon:      prEpsilon,
+		deletionSafe: true,
+		fsRun:        fsPR,
+	},
+	"sssp": {
+		name:        "sssp",
+		hasSource:   true,
+		sourceValue: 0,
+		initValue:   func(graph.NodeID, int) float64 { return inf },
+		// Table I: v.path <- min over inEdges(v) (e.source.path +
+		// e.weight).
+		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
+			best := inf
+			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
+			ctx.edges += uint64(len(ctx.buf))
+			for _, nb := range ctx.buf {
+				if d := ctx.vals.get(int(nb.ID)) + float64(nb.Weight); d < best {
+					best = d
+				}
+			}
+			return best
+		},
+		epsilon: exactChange,
+		tight:   func(valU, w, valV float64) bool { return valV == valU+w },
+		fsRun:   fsSSSP,
+	},
+	"sswp": {
+		name:        "sswp",
+		hasSource:   true,
+		sourceValue: inf,
+		initValue:   func(graph.NodeID, int) float64 { return 0 },
+		// Table I: v.path <- max over inEdges(v) of
+		// min(e.source.path, e.weight).
+		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
+			best := 0.0
+			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
+			ctx.edges += uint64(len(ctx.buf))
+			for _, nb := range ctx.buf {
+				w := math.Min(ctx.vals.get(int(nb.ID)), float64(nb.Weight))
+				if w > best {
+					best = w
+				}
+			}
+			return best
+		},
+		epsilon: exactChange,
+		tight:   func(valU, w, valV float64) bool { return valV == math.Min(valU, w) },
+		fsRun:   fsSSWP,
+	},
+}
+
+// PageRank constants (Table I).
+const (
+	prBase    = 0.15
+	prDamping = 0.85
+)

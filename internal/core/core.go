@@ -1,0 +1,342 @@
+// Package core is the SAGA-Bench platform: it wires a dynamic graph data
+// structure and a compute engine into the streaming execution flow of the
+// paper (Fig 1/Fig 2b) — for each incoming edge batch, run the update
+// phase (ingest the batch) then the compute phase (run the algorithm on
+// the freshly updated structure) — and measures the two latencies whose
+// sum is the batch processing latency, the paper's performance metric
+// (Equation 1).
+//
+// The package exposes two levels:
+//
+//   - Pipeline: the programmatic API a downstream application uses to
+//     stream its own edges (see examples/).
+//   - Runner: the measurement harness the characterization experiments
+//     use — it generates a dataset, feeds all batches (optionally
+//     repeated), and aggregates per-batch latencies into the paper's P1 /
+//     P2 / P3 stages with 95% confidence intervals.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/ds"
+	"sagabench/internal/gen"
+	"sagabench/internal/graph"
+	"sagabench/internal/stats"
+)
+
+// Pipeline couples one data structure with one compute engine.
+type Pipeline struct {
+	g      ds.Graph
+	engine compute.Engine
+
+	affected     []graph.NodeID
+	affectedMark []uint8
+}
+
+// PipelineConfig selects the pipeline's components.
+type PipelineConfig struct {
+	// DataStructure is a ds registry name: "adjshared", "adjchunked",
+	// "stinger", "dah", or the log-structured extension "graphone".
+	DataStructure string
+	// Algorithm is a compute algorithm name: "bfs", "cc", "mc", "pr",
+	// "sssp", or "sswp".
+	Algorithm string
+	// Model is compute.FS or compute.INC.
+	Model compute.Model
+	// Directed declares the input stream's directedness.
+	Directed bool
+	// Threads is the worker count for both phases (0 = 1).
+	Threads int
+	// MaxNodesHint pre-sizes vertex-indexed state.
+	MaxNodesHint int
+	// Compute carries algorithm tuning (source vertex, tolerances).
+	// Its Threads field is overridden by Threads above.
+	Compute compute.Options
+	// DS carries data-structure tuning (block size, chunk count, flush
+	// threshold). Directed/Threads/MaxNodesHint above take precedence.
+	DS ds.Config
+}
+
+// NewPipeline validates the config and builds the pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	dcfg := cfg.DS
+	dcfg.Directed = cfg.Directed
+	dcfg.Threads = cfg.Threads
+	dcfg.MaxNodesHint = cfg.MaxNodesHint
+	g, err := ds.New(cfg.DataStructure, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	copts := cfg.Compute
+	copts.Threads = cfg.Threads
+	engine, err := compute.NewEngine(cfg.Algorithm, cfg.Model, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{g: g, engine: engine}, nil
+}
+
+// Graph exposes the topology (read-only between updates).
+func (p *Pipeline) Graph() ds.Graph { return p.g }
+
+// Engine exposes the compute engine.
+func (p *Pipeline) Engine() compute.Engine { return p.engine }
+
+// Values exposes the vertex property array after the latest batch.
+func (p *Pipeline) Values() []float64 { return p.engine.Values() }
+
+// BatchLatency is the timing of one processed batch.
+type BatchLatency struct {
+	Update  time.Duration
+	Compute time.Duration
+}
+
+// Total is the batch processing latency (Equation 1).
+func (l BatchLatency) Total() time.Duration { return l.Update + l.Compute }
+
+// Process ingests one batch (update phase) and runs the algorithm on the
+// result (compute phase), returning both latencies.
+func (p *Pipeline) Process(batch graph.Batch) BatchLatency {
+	var lat BatchLatency
+	t0 := time.Now()
+	p.g.Update(batch)
+	lat.Update = time.Since(t0)
+
+	aff := p.affectedOf(batch)
+	t1 := time.Now()
+	p.engine.PerformAlg(p.g, aff)
+	lat.Compute = time.Since(t1)
+	return lat
+}
+
+// affectedOf deduplicates the batch's endpoint vertices — the affected
+// array of Algorithm 1. (Marking is outside the timed compute phase; the
+// paper's update phase likewise knows which vertices it touched.)
+func (p *Pipeline) affectedOf(batch graph.Batch) []graph.NodeID {
+	n := p.g.NumNodes()
+	for len(p.affectedMark) < n {
+		p.affectedMark = append(p.affectedMark, 0)
+	}
+	p.affected = p.affected[:0]
+	for _, e := range batch {
+		if p.affectedMark[e.Src] == 0 {
+			p.affectedMark[e.Src] = 1
+			p.affected = append(p.affected, e.Src)
+		}
+		if p.affectedMark[e.Dst] == 0 {
+			p.affectedMark[e.Dst] = 1
+			p.affected = append(p.affected, e.Dst)
+		}
+	}
+	for _, v := range p.affected {
+		p.affectedMark[v] = 0
+	}
+	return p.affected
+}
+
+// Metric selects which latency series to aggregate.
+type Metric string
+
+// Aggregatable latency series.
+const (
+	MetricUpdate  Metric = "update"
+	MetricCompute Metric = "compute"
+	MetricTotal   Metric = "total"
+)
+
+// RunConfig describes one measured experiment.
+type RunConfig struct {
+	PipelineConfig
+	// Dataset generates the input stream.
+	Dataset gen.Spec
+	// Seed drives generation; repeat r uses Seed+r so repeats see the
+	// same stream ordering per repeat index across configurations.
+	Seed int64
+	// Repeats re-runs the full stream on fresh state (default 1; the
+	// paper uses 3).
+	Repeats int
+	// OnBatch, if set, observes each processed batch (used by the
+	// architecture profiler to replay traces).
+	OnBatch func(batch int, edges graph.Batch, p *Pipeline, lat BatchLatency)
+}
+
+// RunResult holds the per-batch latency series of all repeats.
+type RunResult struct {
+	BatchCount int
+	// Update[r][b] / Compute[r][b] are seconds for repeat r, batch b.
+	Update  [][]float64
+	Compute [][]float64
+}
+
+// Run executes the experiment.
+func Run(cfg RunConfig) (*RunResult, error) {
+	repeats := cfg.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	cfg.PipelineConfig.Directed = cfg.Dataset.Directed
+	if cfg.PipelineConfig.MaxNodesHint == 0 {
+		cfg.PipelineConfig.MaxNodesHint = cfg.Dataset.NumNodes
+	}
+	res := &RunResult{}
+	for r := 0; r < repeats; r++ {
+		edges := cfg.Dataset.Generate(cfg.Seed + int64(r))
+		if err := res.measureOnce(cfg.PipelineConfig, edges, cfg.Dataset.BatchSize, cfg.OnBatch, r); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// StreamConfig measures a caller-provided edge stream (e.g. a SNAP edge
+// list loaded with elio) instead of a generated dataset. Repeats re-run
+// the identical stream on fresh state.
+type StreamConfig struct {
+	PipelineConfig
+	Edges     []graph.Edge
+	BatchSize int
+	Repeats   int
+	OnBatch   func(batch int, edges graph.Batch, p *Pipeline, lat BatchLatency)
+}
+
+// RunStream executes the stream experiment.
+func RunStream(cfg StreamConfig) (*RunResult, error) {
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("core: batch size must be positive")
+	}
+	repeats := cfg.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	res := &RunResult{}
+	for r := 0; r < repeats; r++ {
+		if err := res.measureOnce(cfg.PipelineConfig, cfg.Edges, cfg.BatchSize, cfg.OnBatch, r); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// measureOnce streams one repeat on a fresh pipeline, appending its latency
+// series.
+func (res *RunResult) measureOnce(pc PipelineConfig, edges []graph.Edge, batchSize int, onBatch func(int, graph.Batch, *Pipeline, BatchLatency), repeat int) error {
+	p, err := NewPipeline(pc)
+	if err != nil {
+		return err
+	}
+	batches := graph.Batches(edges, batchSize)
+	if res.BatchCount == 0 {
+		res.BatchCount = len(batches)
+	} else if res.BatchCount != len(batches) {
+		return fmt.Errorf("core: repeat %d produced %d batches, want %d", repeat, len(batches), res.BatchCount)
+	}
+	upd := make([]float64, 0, len(batches))
+	cmp := make([]float64, 0, len(batches))
+	for bi, b := range batches {
+		lat := p.Process(b)
+		upd = append(upd, lat.Update.Seconds())
+		cmp = append(cmp, lat.Compute.Seconds())
+		if onBatch != nil {
+			onBatch(bi, b, p, lat)
+		}
+	}
+	res.Update = append(res.Update, upd)
+	res.Compute = append(res.Compute, cmp)
+	return nil
+}
+
+// Series returns the per-batch series of one repeat for the metric.
+func (r *RunResult) Series(metric Metric, repeat int) []float64 {
+	u, c := r.Update[repeat], r.Compute[repeat]
+	switch metric {
+	case MetricUpdate:
+		return u
+	case MetricCompute:
+		return c
+	case MetricTotal:
+		t := make([]float64, len(u))
+		for i := range t {
+			t[i] = u[i] + c[i]
+		}
+		return t
+	}
+	panic(fmt.Sprintf("core: unknown metric %q", metric))
+}
+
+// StageSummaries aggregates the metric into the paper's P1/P2/P3 stages:
+// each stage pools the corresponding third of every repeat's batch series
+// (Section IV-B's averaging methodology).
+func (r *RunResult) StageSummaries(metric Metric) [3]stats.Summary {
+	var pooled [3][]float64
+	for rep := range r.Update {
+		series := r.Series(metric, rep)
+		for si, rg := range stats.Stages(len(series)) {
+			pooled[si] = append(pooled[si], series[rg[0]:rg[1]]...)
+		}
+	}
+	var out [3]stats.Summary
+	for i := range out {
+		out[i] = stats.Summarize(pooled[i])
+	}
+	return out
+}
+
+// UpdateShare reports, per stage, the fraction of batch processing latency
+// spent in the update phase (Fig 8).
+func (r *RunResult) UpdateShare() [3]float64 {
+	upd := r.StageSummaries(MetricUpdate)
+	tot := r.StageSummaries(MetricTotal)
+	var out [3]float64
+	for i := range out {
+		out[i] = stats.Ratio(upd[i].Mean, tot[i].Mean)
+	}
+	return out
+}
+
+// MixedBatch couples the insertions and deletions that arrived in one
+// stream window. The paper's framework handles insert-only streams; mixed
+// streams are the natural extension (STINGER-style) and are supported by
+// every bundled data structure.
+type MixedBatch struct {
+	Adds graph.Batch
+	Dels graph.Batch
+}
+
+// ProcessMixed ingests the additions, applies the deletions, and runs the
+// compute phase. It fails up front if the data structure cannot delete or
+// if the engine's results would be invalidated by deletions (monotone
+// incremental algorithms; see compute.Engine.HandlesDeletions).
+func (p *Pipeline) ProcessMixed(mb MixedBatch) (BatchLatency, error) {
+	var lat BatchLatency
+	if len(mb.Dels) > 0 {
+		if !ds.SupportsDelete(p.g) {
+			return lat, fmt.Errorf("core: data structure %T does not support deletions", p.g)
+		}
+		if !p.engine.HandlesDeletions() {
+			return lat, fmt.Errorf("core: %s/%s cannot incrementally process deletions (use the fs model)",
+				p.engine.Name(), p.engine.Model())
+		}
+	}
+	t0 := time.Now()
+	p.g.Update(mb.Adds)
+	if len(mb.Dels) > 0 {
+		if err := p.g.(ds.Deleter).Delete(mb.Dels); err != nil {
+			return lat, err
+		}
+	}
+	lat.Update = time.Since(t0)
+
+	if len(mb.Dels) > 0 {
+		if da, ok := p.engine.(compute.DeletionAware); ok {
+			da.NotifyDeletions(p.g, mb.Dels)
+		}
+	}
+	aff := p.affectedOf(append(append(graph.Batch{}, mb.Adds...), mb.Dels...))
+	t1 := time.Now()
+	p.engine.PerformAlg(p.g, aff)
+	lat.Compute = time.Since(t1)
+	return lat, nil
+}

@@ -1,0 +1,247 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+// TestProcessMixedFSMatchesReference applies interleaved inserts and
+// deletes with the FS model and checks BFS depths against a reference on
+// the mutated oracle.
+func TestProcessMixedFSMatchesReference(t *testing.T) {
+	for _, dsName := range []string{"adjshared", "stinger", "dah", "graphone"} {
+		p, err := core.NewPipeline(core.PipelineConfig{
+			DataStructure: dsName,
+			Algorithm:     "bfs",
+			Model:         compute.FS,
+			Directed:      true,
+			Threads:       2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := graph.NewOracle(true)
+		rng := rand.New(rand.NewSource(3))
+		var live graph.Batch
+		for round := 0; round < 5; round++ {
+			mb := core.MixedBatch{}
+			for i := 0; i < 400; i++ {
+				e := graph.Edge{
+					Src:    graph.NodeID(rng.Intn(80)),
+					Dst:    graph.NodeID(rng.Intn(80)),
+					Weight: 1,
+				}
+				mb.Adds = append(mb.Adds, e)
+			}
+			for i := 0; i < 100 && len(live) > 0; i++ {
+				mb.Dels = append(mb.Dels, live[rng.Intn(len(live))])
+			}
+			if _, err := p.ProcessMixed(mb); err != nil {
+				t.Fatalf("%s: %v", dsName, err)
+			}
+			oracle.Update(mb.Adds)
+			oracle.Delete(mb.Dels)
+			live = append(live, mb.Adds...)
+
+			want := bfsOnOracle(oracle, 0)
+			got := p.Values()
+			if len(got) != len(want) {
+				t.Fatalf("%s round %d: %d values want %d", dsName, round, len(got), len(want))
+			}
+			for v := range got {
+				gi, wi := math.IsInf(got[v], 1), math.IsInf(want[v], 1)
+				if gi != wi || (!gi && got[v] != want[v]) {
+					t.Fatalf("%s round %d vertex %d: got %v want %v", dsName, round, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func bfsOnOracle(o *graph.Oracle, src int) []float64 {
+	d := make([]float64, o.NumNodes())
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	if src >= len(d) {
+		return d
+	}
+	d[src] = 0
+	q := []graph.NodeID{graph.NodeID(src)}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, nb := range o.Out(u) {
+			if math.IsInf(d[nb.ID], 1) {
+				d[nb.ID] = d[u] + 1
+				q = append(q, nb.ID)
+			}
+		}
+	}
+	return d
+}
+
+// TestProcessMixedIncPageRank checks the one INC engine that supports
+// deletions: PR must track the FS fixpoint after removals.
+func TestProcessMixedIncPageRank(t *testing.T) {
+	mk := func(model compute.Model) *core.Pipeline {
+		p, err := core.NewPipeline(core.PipelineConfig{
+			DataStructure: "adjshared",
+			Algorithm:     "pr",
+			Model:         model,
+			Directed:      true,
+			Threads:       2,
+			Compute:       compute.Options{PRTolerance: 1e-12, PRMaxIters: 300, Epsilon: 1e-12},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	inc, fs := mk(compute.INC), mk(compute.FS)
+	rng := rand.New(rand.NewSource(5))
+	oracle := graph.NewOracle(true)
+	var live graph.Batch
+	for round := 0; round < 4; round++ {
+		mb := core.MixedBatch{}
+		for i := 0; i < 300; i++ {
+			mb.Adds = append(mb.Adds, graph.Edge{
+				Src: graph.NodeID(rng.Intn(60)), Dst: graph.NodeID(rng.Intn(60)), Weight: 1,
+			})
+		}
+		for i := 0; i < 80 && len(live) > 0; i++ {
+			mb.Dels = append(mb.Dels, live[rng.Intn(len(live))])
+		}
+		live = append(live, mb.Adds...)
+		if _, err := inc.ProcessMixed(mb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.ProcessMixed(mb); err != nil {
+			t.Fatal(err)
+		}
+		oracle.Update(mb.Adds)
+		oracle.Delete(mb.Dels)
+		iv, fv := inc.Values(), fs.Values()
+		for v := range iv {
+			// Fully isolated vertices keep Algorithm 1's 1/|V| fresh
+			// value under INC (they are never affected), while FS's
+			// fixpoint gives them 0.15/|V| — the paper's processing
+			// amortization semantics, not a divergence. Compare only
+			// vertices the stream ever connected.
+			id := graph.NodeID(v)
+			if oracle.InDegree(id) == 0 && oracle.OutDegree(id) == 0 {
+				continue
+			}
+			if math.Abs(iv[v]-fv[v]) > 1e-6 {
+				t.Fatalf("round %d vertex %d: inc %v vs fs %v", round, v, iv[v], fv[v])
+			}
+		}
+	}
+}
+
+// TestTrimmedIncMatchesFSUnderDeletions is the KickStarter-trimming
+// correctness suite: every monotone algorithm, run incrementally over a
+// random mixed stream (inserts + deletions), must match the from-scratch
+// model exactly after every batch.
+func TestTrimmedIncMatchesFSUnderDeletions(t *testing.T) {
+	for _, alg := range []string{"bfs", "cc", "mc", "sssp", "sswp"} {
+		for _, dsName := range []string{"adjshared", "dah"} {
+			mk := func(model compute.Model) *core.Pipeline {
+				p, err := core.NewPipeline(core.PipelineConfig{
+					DataStructure: dsName,
+					Algorithm:     alg,
+					Model:         model,
+					Directed:      true,
+					Threads:       2,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			inc, fs := mk(compute.INC), mk(compute.FS)
+			rng := rand.New(rand.NewSource(21))
+			var live graph.Batch
+			for round := 0; round < 6; round++ {
+				mb := core.MixedBatch{}
+				for i := 0; i < 350; i++ {
+					src := graph.NodeID(rng.Intn(70))
+					dst := graph.NodeID(rng.Intn(70))
+					w := graph.Weight((uint32(src)*5+uint32(dst)*11)%20 + 1)
+					mb.Adds = append(mb.Adds, graph.Edge{Src: src, Dst: dst, Weight: w})
+				}
+				for i := 0; i < 120 && len(live) > 0; i++ {
+					mb.Dels = append(mb.Dels, live[rng.Intn(len(live))])
+				}
+				live = append(live, mb.Adds...)
+				if _, err := inc.ProcessMixed(mb); err != nil {
+					t.Fatalf("%s/%s inc: %v", alg, dsName, err)
+				}
+				if _, err := fs.ProcessMixed(mb); err != nil {
+					t.Fatalf("%s/%s fs: %v", alg, dsName, err)
+				}
+				iv, fv := inc.Values(), fs.Values()
+				for v := range iv {
+					gi, wi := math.IsInf(iv[v], 1), math.IsInf(fv[v], 1)
+					if gi != wi || (!gi && iv[v] != fv[v]) {
+						t.Fatalf("%s/%s round %d vertex %d: inc %v fs %v",
+							alg, dsName, round, v, iv[v], fv[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrimmingCone pins the mechanism on a hand-built graph: deleting the
+// only path into a chain must reset exactly the downstream cone.
+func TestTrimmingCone(t *testing.T) {
+	p, err := core.NewPipeline(core.PipelineConfig{
+		DataStructure: "adjshared",
+		Algorithm:     "bfs",
+		Model:         compute.INC,
+		Directed:      true,
+		Threads:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 1 -> 2 -> 3, plus an independent 0 -> 4.
+	p.Process(graph.Batch{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1},
+		{Src: 0, Dst: 4, Weight: 1},
+	})
+	// Cut 0->1: vertices 1..3 become unreachable, 4 must be untouched.
+	if _, err := p.ProcessMixed(core.MixedBatch{
+		Dels: graph.Batch{{Src: 0, Dst: 1, Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vals := p.Values()
+	for _, v := range []int{1, 2, 3} {
+		if !math.IsInf(vals[v], 1) {
+			t.Fatalf("vertex %d still reachable: %v", v, vals[v])
+		}
+	}
+	if vals[0] != 0 || vals[4] != 1 {
+		t.Fatalf("untouched vertices changed: %v", vals)
+	}
+	// Reconnect deeper: 4 -> 2 restores 2,3 through the other branch.
+	if _, err := p.ProcessMixed(core.MixedBatch{
+		Adds: graph.Batch{{Src: 4, Dst: 2, Weight: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vals = p.Values()
+	if vals[2] != 2 || vals[3] != 3 {
+		t.Fatalf("reconnection depths wrong: %v", vals)
+	}
+}

@@ -1,0 +1,173 @@
+// Package adjshared implements AS: an adjacency list with shared-style
+// multithreading (paper Section III-A1). The topology is an array of
+// per-vertex neighbor vectors. Any update worker may ingest any edge; a
+// worker locks the source vertex's vector, linearly scans it for the target
+// edge, and appends when the search is negative. The per-vertex lock means
+// there is no intra-node parallelism: concurrent updates to one hub vertex
+// serialize, which is exactly the contention pathology the paper observes
+// for heavy-tailed graphs.
+package adjshared
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// Name is the registry key.
+const Name = "adjshared"
+
+func init() {
+	ds.Register(Name, func(cfg ds.Config) ds.Graph {
+		threads := cfg.Threads
+		if threads <= 0 {
+			threads = 1
+		}
+		hint := cfg.MaxNodesHint
+		return ds.NewTwoCopy(cfg.Directed, func() ds.OneDir {
+			return newStore(threads, hint)
+		})
+	})
+}
+
+// store is the single-direction AS store.
+type store struct {
+	threads int
+
+	adj   [][]graph.Neighbor
+	locks []sync.Mutex
+
+	numEdges atomic.Int64
+
+	profMu sync.Mutex
+	prof   ds.UpdateProfile
+}
+
+func newStore(threads, hint int) *store {
+	s := &store{threads: threads}
+	if hint > 0 {
+		s.adj = make([][]graph.Neighbor, 0, hint)
+		s.locks = make([]sync.Mutex, 0, hint)
+	}
+	return s
+}
+
+// EnsureNodes implements ds.OneDir.
+func (s *store) EnsureNodes(n int) {
+	for len(s.adj) < n {
+		s.adj = append(s.adj, nil)
+	}
+	// Mutexes must not be copied once used, so the lock array never
+	// relocates: it is re-allocated only while no workers are running
+	// (EnsureNodes is called between batches).
+	if len(s.locks) < n {
+		grown := make([]sync.Mutex, n+n/2)
+		s.locks = grown
+	}
+}
+
+// UpdateEdges implements ds.OneDir. Workers share the whole vertex space.
+func (s *store) UpdateEdges(edges []graph.Edge) {
+	var conflicts, scans, inserted atomic.Uint64
+	ds.ForEachShard(edges, s.threads, func(shard []graph.Edge) {
+		var localScan, localIns, localConf uint64
+		for _, e := range shard {
+			mu := &s.locks[e.Src]
+			if !mu.TryLock() {
+				localConf++
+				mu.Lock()
+			}
+			vec := s.adj[e.Src]
+			found := false
+			for i := range vec {
+				localScan++
+				if vec[i].ID == e.Dst {
+					vec[i].Weight = e.Weight
+					found = true
+					break
+				}
+			}
+			if !found {
+				s.adj[e.Src] = append(vec, graph.Neighbor{ID: e.Dst, Weight: e.Weight})
+				localIns++
+			}
+			mu.Unlock()
+		}
+		conflicts.Add(localConf)
+		scans.Add(localScan)
+		inserted.Add(localIns)
+	})
+	s.numEdges.Add(int64(inserted.Load()))
+	s.profMu.Lock()
+	s.prof.EdgesIngested += uint64(len(edges))
+	s.prof.Inserted += inserted.Load()
+	s.prof.ScanSteps += scans.Load()
+	s.prof.LockConflicts += conflicts.Load()
+	s.profMu.Unlock()
+}
+
+// Degree implements ds.OneDir.
+func (s *store) Degree(v graph.NodeID) int { return len(s.adj[v]) }
+
+// Neighbors implements ds.OneDir. The per-vertex vector is contiguous, so
+// traversal is a single sequential scan — the cheapest traversal mechanism
+// of the four structures.
+func (s *store) Neighbors(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	return append(buf, s.adj[v]...)
+}
+
+// NumEdges implements ds.OneDir.
+func (s *store) NumEdges() int { return int(s.numEdges.Load()) }
+
+// NumNodes implements ds.OneDir.
+func (s *store) NumNodes() int { return len(s.adj) }
+
+// UpdateProfile implements ds.Profiler.
+func (s *store) UpdateProfile() ds.UpdateProfile {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	return s.prof
+}
+
+// ResetProfile implements ds.Profiler.
+func (s *store) ResetProfile() {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	s.prof = ds.UpdateProfile{}
+}
+
+// VectorCap reports the capacity of v's neighbor vector; the architecture
+// replayer uses it to model reallocation traffic.
+func (s *store) VectorCap(v graph.NodeID) int { return cap(s.adj[v]) }
+
+// DeleteEdges implements ds.OneDirDeleter: lock the source vector, scan
+// for the record, and remove it by swapping in the last element.
+func (s *store) DeleteEdges(edges []graph.Edge) {
+	var removed, scans atomic.Uint64
+	ds.ForEachShard(edges, s.threads, func(shard []graph.Edge) {
+		var localRem, localScan uint64
+		for _, e := range shard {
+			mu := &s.locks[e.Src]
+			mu.Lock()
+			vec := s.adj[e.Src]
+			for i := range vec {
+				localScan++
+				if vec[i].ID == e.Dst {
+					vec[i] = vec[len(vec)-1]
+					s.adj[e.Src] = vec[:len(vec)-1]
+					localRem++
+					break
+				}
+			}
+			mu.Unlock()
+		}
+		removed.Add(localRem)
+		scans.Add(localScan)
+	})
+	s.numEdges.Add(-int64(removed.Load()))
+	s.profMu.Lock()
+	s.prof.ScanSteps += scans.Load()
+	s.profMu.Unlock()
+}

@@ -1,0 +1,252 @@
+package all_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+// randomBatches produces deterministic random batches over a vertex space
+// sized to produce plenty of duplicate edges (exercising unique ingestion).
+func randomBatches(rng *rand.Rand, numBatches, batchSize, numNodes int) []graph.Batch {
+	batches := make([]graph.Batch, numBatches)
+	for b := range batches {
+		batch := make(graph.Batch, batchSize)
+		for i := range batch {
+			src := graph.NodeID(rng.Intn(numNodes))
+			dst := graph.NodeID(rng.Intn(numNodes))
+			batch[i] = graph.Edge{Src: src, Dst: dst, Weight: pairWeight(src, dst)}
+		}
+		batches[b] = batch
+	}
+	return batches
+}
+
+// pairWeight derives a weight deterministically (and symmetrically, for
+// undirected ingestion) from the endpoints so that duplicate edges ingested
+// in nondeterministic parallel order still agree with the oracle.
+func pairWeight(src, dst graph.NodeID) graph.Weight {
+	return graph.Weight((uint32(src)^uint32(dst))*13+(uint32(src)+uint32(dst))*3) + 1
+}
+
+// hubBatches produces heavy-tailed batches: a large share of the edges
+// touch a single hub vertex, mimicking the Wiki/Talk per-batch degree
+// profile that stresses intra-node behaviour.
+func hubBatches(rng *rand.Rand, numBatches, batchSize, numNodes int, hub graph.NodeID) []graph.Batch {
+	batches := make([]graph.Batch, numBatches)
+	for b := range batches {
+		batch := make(graph.Batch, batchSize)
+		for i := range batch {
+			e := graph.Edge{
+				Src: graph.NodeID(rng.Intn(numNodes)),
+				Dst: graph.NodeID(rng.Intn(numNodes)),
+			}
+			switch rng.Intn(3) {
+			case 0:
+				e.Src = hub
+			case 1:
+				e.Dst = hub
+			}
+			e.Weight = pairWeight(e.Src, e.Dst)
+			batch[i] = e
+		}
+		batches[b] = batch
+	}
+	return batches
+}
+
+func checkAgainstOracle(t *testing.T, name string, g ds.Graph, oracle *graph.Oracle) {
+	t.Helper()
+	if g.NumNodes() != oracle.NumNodes() {
+		t.Fatalf("%s: NumNodes=%d want %d", name, g.NumNodes(), oracle.NumNodes())
+	}
+	if g.NumEdges() != oracle.NumEdges() {
+		t.Fatalf("%s: NumEdges=%d want %d", name, g.NumEdges(), oracle.NumEdges())
+	}
+	var buf []graph.Neighbor
+	for v := 0; v < oracle.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if got, want := g.OutDegree(id), oracle.OutDegree(id); got != want {
+			t.Fatalf("%s: OutDegree(%d)=%d want %d", name, v, got, want)
+		}
+		if got, want := g.InDegree(id), oracle.InDegree(id); got != want {
+			t.Fatalf("%s: InDegree(%d)=%d want %d", name, v, got, want)
+		}
+		buf = g.OutNeigh(id, buf[:0])
+		compareNeighborSets(t, fmt.Sprintf("%s out(%d)", name, v), buf, oracle.Out(id))
+		buf = g.InNeigh(id, buf[:0])
+		compareNeighborSets(t, fmt.Sprintf("%s in(%d)", name, v), buf, oracle.In(id))
+	}
+}
+
+func compareNeighborSets(t *testing.T, what string, got, want []graph.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, want %d", what, len(got), len(want))
+	}
+	m := make(map[graph.NodeID]graph.Weight, len(got))
+	for _, n := range got {
+		if _, dup := m[n.ID]; dup {
+			t.Fatalf("%s: duplicate neighbor %d", what, n.ID)
+		}
+		m[n.ID] = n.Weight
+	}
+	for _, n := range want {
+		w, ok := m[n.ID]
+		if !ok {
+			t.Fatalf("%s: missing neighbor %d", what, n.ID)
+		}
+		if w != n.Weight {
+			t.Fatalf("%s: neighbor %d weight=%v want %v", what, n.ID, w, n.Weight)
+		}
+	}
+}
+
+func runEquivalence(t *testing.T, directed bool, threads int, batches []graph.Batch) {
+	oracle := graph.NewOracle(directed)
+	cfg := ds.Config{Directed: directed, Threads: threads}
+	graphs := map[string]ds.Graph{}
+	for _, name := range ds.Names() {
+		graphs[name] = ds.MustNew(name, cfg)
+	}
+	for _, b := range batches {
+		oracle.Update(b)
+		for name, g := range graphs {
+			g.Update(b)
+			_ = name
+		}
+	}
+	for name, g := range graphs {
+		checkAgainstOracle(t, name, g, oracle)
+	}
+}
+
+func TestAllStructuresMatchOracleDirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	runEquivalence(t, true, 4, randomBatches(rng, 8, 1500, 400))
+}
+
+func TestAllStructuresMatchOracleUndirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	runEquivalence(t, true, 4, randomBatches(rng, 6, 1000, 300))
+	rng = rand.New(rand.NewSource(3))
+	runEquivalence(t, false, 4, randomBatches(rng, 6, 1000, 300))
+}
+
+func TestAllStructuresMatchOracleHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	runEquivalence(t, true, 8, hubBatches(rng, 6, 2000, 500, 7))
+}
+
+func TestAllStructuresSingleThread(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	runEquivalence(t, true, 1, randomBatches(rng, 4, 800, 200))
+}
+
+func TestDuplicateEdgeOverwritesWeight(t *testing.T) {
+	for _, name := range ds.Names() {
+		g := ds.MustNew(name, ds.Config{Directed: true, Threads: 2})
+		g.Update(graph.Batch{{Src: 1, Dst: 2, Weight: 5}})
+		g.Update(graph.Batch{{Src: 1, Dst: 2, Weight: 9}})
+		if got := g.NumEdges(); got != 1 {
+			t.Errorf("%s: NumEdges=%d want 1", name, got)
+		}
+		ns := g.OutNeigh(1, nil)
+		if len(ns) != 1 || ns[0].ID != 2 || ns[0].Weight != 9 {
+			t.Errorf("%s: OutNeigh(1)=%v want [{2 9}]", name, ns)
+		}
+	}
+}
+
+func TestEmptyBatchIsNoOp(t *testing.T) {
+	for _, name := range ds.Names() {
+		g := ds.MustNew(name, ds.Config{Directed: true, Threads: 2})
+		g.Update(nil)
+		g.Update(graph.Batch{})
+		if g.NumNodes() != 0 || g.NumEdges() != 0 {
+			t.Errorf("%s: not empty after empty updates", name)
+		}
+	}
+}
+
+func TestOutOfRangeQueriesAreSafe(t *testing.T) {
+	for _, name := range ds.Names() {
+		g := ds.MustNew(name, ds.Config{Directed: true, Threads: 1})
+		g.Update(graph.Batch{{Src: 0, Dst: 1, Weight: 1}})
+		if d := g.OutDegree(99); d != 0 {
+			t.Errorf("%s: OutDegree(99)=%d want 0", name, d)
+		}
+		if d := g.InDegree(99); d != 0 {
+			t.Errorf("%s: InDegree(99)=%d want 0", name, d)
+		}
+		if ns := g.OutNeigh(99, nil); len(ns) != 0 {
+			t.Errorf("%s: OutNeigh(99)=%v want empty", name, ns)
+		}
+		if ns := g.InNeigh(99, nil); len(ns) != 0 {
+			t.Errorf("%s: InNeigh(99)=%v want empty", name, ns)
+		}
+	}
+}
+
+// TestConcurrentHubInsertUnique hammers a single hub vertex from many
+// goroutine shards in one batch; uniqueness must survive the contention.
+func TestConcurrentHubInsertUnique(t *testing.T) {
+	const hub = 3
+	for _, name := range ds.Names() {
+		for trial := 0; trial < 5; trial++ {
+			g := ds.MustNew(name, ds.Config{Directed: true, Threads: 8})
+			rng := rand.New(rand.NewSource(int64(trial)))
+			batch := make(graph.Batch, 4000)
+			for i := range batch {
+				batch[i] = graph.Edge{Src: hub, Dst: graph.NodeID(rng.Intn(97)), Weight: 1}
+			}
+			g.Update(batch)
+			ns := g.OutNeigh(hub, nil)
+			seen := map[graph.NodeID]bool{}
+			for _, n := range ns {
+				if seen[n.ID] {
+					t.Fatalf("%s trial %d: duplicate neighbor %d", name, trial, n.ID)
+				}
+				seen[n.ID] = true
+			}
+			if g.OutDegree(hub) != len(seen) {
+				t.Fatalf("%s trial %d: degree=%d distinct=%d", name, trial, g.OutDegree(hub), len(seen))
+			}
+		}
+	}
+}
+
+func TestProfileCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	batches := randomBatches(rng, 3, 1000, 100)
+	for _, name := range ds.Names() {
+		g := ds.MustNew(name, ds.Config{Directed: true, Threads: 4})
+		for _, b := range batches {
+			g.Update(b)
+		}
+		p, ok := ds.ProfileOf(g)
+		if !ok {
+			t.Fatalf("%s: no profile", name)
+		}
+		if p.EdgesIngested != 3000*2 { // out + in copies
+			t.Errorf("%s: EdgesIngested=%d want 6000", name, p.EdgesIngested)
+		}
+		if p.Inserted == 0 || p.Inserted > p.EdgesIngested {
+			t.Errorf("%s: implausible Inserted=%d", name, p.Inserted)
+		}
+		// Directed graphs keep two copies, so total inserts are twice
+		// the distinct out-edge count.
+		if int(p.Inserted) != 2*g.NumEdges() {
+			t.Errorf("%s: Inserted=%d vs 2*NumEdges=%d", name, p.Inserted, 2*g.NumEdges())
+		}
+		ds.ResetProfileOf(g)
+		p, _ = ds.ProfileOf(g)
+		if p.EdgesIngested != 0 {
+			t.Errorf("%s: profile not reset", name)
+		}
+	}
+}

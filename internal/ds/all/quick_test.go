@@ -1,0 +1,84 @@
+package all_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+// TestQuickMixedOps drives every structure with arbitrary interleaved
+// insert/delete programs (decoded from random bytes) and compares the
+// surviving edge set against the oracle after every step.
+func TestQuickMixedOps(t *testing.T) {
+	decode := func(prog []byte) (batches []graph.Batch, dels []graph.Batch) {
+		var curAdds, curDels graph.Batch
+		for i := 0; i+2 < len(prog); i += 3 {
+			e := graph.Edge{
+				Src:    graph.NodeID(prog[i] % 24),
+				Dst:    graph.NodeID(prog[i+1] % 24),
+				Weight: 1,
+			}
+			if prog[i+2]%4 == 0 {
+				curDels = append(curDels, e)
+			} else {
+				curAdds = append(curAdds, e)
+			}
+			if prog[i+2]%16 == 0 { // batch boundary
+				batches = append(batches, curAdds)
+				dels = append(dels, curDels)
+				curAdds, curDels = nil, nil
+			}
+		}
+		batches = append(batches, curAdds)
+		dels = append(dels, curDels)
+		return
+	}
+
+	for _, name := range ds.Names() {
+		name := name
+		f := func(prog []byte) bool {
+			g := ds.MustNew(name, ds.Config{Directed: true, Threads: 2})
+			oracle := graph.NewOracle(true)
+			adds, dels := decode(prog)
+			for b := range adds {
+				g.Update(adds[b])
+				oracle.Update(adds[b])
+				if err := g.(ds.Deleter).Delete(dels[b]); err != nil {
+					return false
+				}
+				oracle.Delete(dels[b])
+				if g.NumEdges() != oracle.NumEdges() || g.NumNodes() != oracle.NumNodes() {
+					return false
+				}
+			}
+			var buf []graph.Neighbor
+			for v := 0; v < oracle.NumNodes(); v++ {
+				id := graph.NodeID(v)
+				if g.OutDegree(id) != oracle.OutDegree(id) || g.InDegree(id) != oracle.InDegree(id) {
+					return false
+				}
+				buf = g.OutNeigh(id, buf[:0])
+				want := oracle.Out(id)
+				if len(buf) != len(want) {
+					return false
+				}
+				seen := map[graph.NodeID]bool{}
+				for _, nb := range buf {
+					seen[nb.ID] = true
+				}
+				for _, nb := range want {
+					if !seen[nb.ID] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

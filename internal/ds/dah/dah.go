@@ -1,0 +1,283 @@
+// Package dah implements DAH: degree-aware hashing (paper Section III-A4,
+// Fig 5; after Iwabuchi et al.'s DegAwareRHH). Each chunk is a
+// single-threaded, lockless pair of hash tables: a Robin Hood table keyed
+// by source vertex stores the edges of low-degree vertices, and a
+// high-degree directory (open-addressing) maps hub vertices to dedicated
+// per-source open-addressing edge tables. Edge updates are amortized
+// constant time, but every update and traversal pays degree-query
+// meta-operations (directory probes) and low→high flushes, which the paper
+// identifies as DAH's overhead on short-tailed graphs. Multithreading is
+// chunked-style like AC, so a heavy-tailed batch funnels into the hub's
+// chunk — the workload-imbalance pathology of Section VI-B.
+package dah
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// Name is the registry key.
+const Name = "dah"
+
+// DefaultFlushThreshold is the low→high degree boundary.
+const DefaultFlushThreshold = 16
+
+func init() {
+	ds.Register(Name, func(cfg ds.Config) ds.Graph {
+		chunks := cfg.Chunks
+		if chunks <= 0 {
+			if cfg.Threads > 0 {
+				chunks = cfg.Threads
+			} else {
+				chunks = 1
+			}
+		}
+		ft := cfg.FlushThreshold
+		if ft <= 0 {
+			ft = DefaultFlushThreshold
+		}
+		return ds.NewTwoCopy(cfg.Directed, func() ds.OneDir {
+			return newStore(chunks, ft)
+		})
+	})
+}
+
+// chunkStore is the single-threaded per-chunk state. Vertex v belongs to
+// chunk v mod chunks and is indexed locally by v div chunks.
+type chunkStore struct {
+	low  *rhTable
+	dir  *dirTable
+	deg  []int32       // distinct degree per local vertex
+	meta atomic.Uint64 // degree-query + flush meta-operations
+}
+
+func (c *chunkStore) ensureLocal(n int) {
+	for len(c.deg) < n {
+		c.deg = append(c.deg, 0)
+	}
+}
+
+type store struct {
+	chunks    int
+	flushAt   int
+	numNodes  int
+	numEdges  int
+	chunkData []*chunkStore
+
+	profMu sync.Mutex
+	prof   ds.UpdateProfile
+}
+
+func newStore(chunks, flushAt int) *store {
+	s := &store{chunks: chunks, flushAt: flushAt}
+	s.chunkData = make([]*chunkStore, chunks)
+	for i := range s.chunkData {
+		s.chunkData[i] = &chunkStore{low: newRHTable(), dir: newDirTable()}
+	}
+	s.prof.ChunkLoads = make([]uint64, chunks)
+	return s
+}
+
+// EnsureNodes implements ds.OneDir.
+func (s *store) EnsureNodes(n int) {
+	if n <= s.numNodes {
+		return
+	}
+	s.numNodes = n
+	for c, cs := range s.chunkData {
+		// Local count: vertices v < n with v mod chunks == c.
+		local := (n - c + s.chunks - 1) / s.chunks
+		cs.ensureLocal(local)
+	}
+}
+
+func (s *store) chunkOf(v graph.NodeID) (*chunkStore, int) {
+	c := int(v) % s.chunks
+	return s.chunkData[c], int(v) / s.chunks
+}
+
+// UpdateEdges implements ds.OneDir: chunked-style multithreading; each
+// chunk's bucket is ingested by one worker with no locks.
+func (s *store) UpdateEdges(edges []graph.Edge) {
+	inserted := make([]uint64, s.chunks)
+	loads := make([]uint64, s.chunks)
+	ds.GroupByChunk(edges, s.chunks, func(chunk int, bucket []graph.Edge) {
+		cs := s.chunkData[chunk]
+		var ins uint64
+		for _, e := range bucket {
+			if s.insertInChunk(cs, e.Src, e.Dst, e.Weight) {
+				ins++
+			}
+		}
+		inserted[chunk] = ins
+		loads[chunk] = uint64(len(bucket))
+	})
+	s.profMu.Lock()
+	s.prof.EdgesIngested += uint64(len(edges))
+	for c := 0; c < s.chunks; c++ {
+		s.prof.Inserted += inserted[c]
+		s.prof.ChunkLoads[c] += loads[c]
+		s.numEdges += int(inserted[c])
+	}
+	s.profMu.Unlock()
+}
+
+// insertInChunk performs one degree-aware insertion; reports whether a new
+// edge was created.
+func (s *store) insertInChunk(cs *chunkStore, src, dst graph.NodeID, w graph.Weight) bool {
+	local := int(src) / s.chunks
+	// Meta-operation 1: query which table owns src before placement.
+	cs.meta.Add(1)
+	if et := cs.dir.get(src); et != nil {
+		if et.put(dst, w) {
+			cs.deg[local]++
+			return true
+		}
+		return false
+	}
+	// Low-degree path: unique ingestion via Robin Hood search.
+	if idx := cs.low.lookup(src, dst); idx >= 0 {
+		cs.low.slots[idx].w = w
+		return false
+	}
+	cs.low.insert(src, dst, w)
+	cs.deg[local]++
+	// Meta-operation 2: flush src's edges to the high-degree table once
+	// its degree crosses the threshold.
+	if int(cs.deg[local]) > s.flushAt {
+		moved := cs.low.removeAll(src)
+		et := newEdgeTable(len(moved) * 2)
+		for _, nb := range moved {
+			et.put(nb.ID, nb.Weight)
+		}
+		cs.dir.put(src, et)
+		cs.meta.Add(uint64(len(moved)))
+	}
+	return true
+}
+
+// Degree implements ds.OneDir.
+func (s *store) Degree(v graph.NodeID) int {
+	cs, local := s.chunkOf(v)
+	if local >= len(cs.deg) {
+		return 0
+	}
+	return int(cs.deg[local])
+}
+
+// Neighbors implements ds.OneDir. Traversal pays the same degree-query
+// meta-operation as updates: a directory probe decides which table to walk.
+func (s *store) Neighbors(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	cs, local := s.chunkOf(v)
+	if local >= len(cs.deg) {
+		return buf
+	}
+	cs.meta.Add(1)
+	if et := cs.dir.get(v); et != nil {
+		et.forEach(func(dst graph.NodeID, w graph.Weight) {
+			buf = append(buf, graph.Neighbor{ID: dst, Weight: w})
+		})
+		return buf
+	}
+	cs.low.forEach(v, func(dst graph.NodeID, w graph.Weight) {
+		buf = append(buf, graph.Neighbor{ID: dst, Weight: w})
+	})
+	return buf
+}
+
+// NumEdges implements ds.OneDir.
+func (s *store) NumEdges() int {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	return s.numEdges
+}
+
+// NumNodes implements ds.OneDir.
+func (s *store) NumNodes() int { return s.numNodes }
+
+// UpdateProfile implements ds.Profiler; hash probes across all tables are
+// charged as scan steps and directory/flush work as meta-operations.
+func (s *store) UpdateProfile() ds.UpdateProfile {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	p := s.prof
+	p.ChunkLoads = append([]uint64(nil), s.prof.ChunkLoads...)
+	for _, cs := range s.chunkData {
+		p.MetaOps += cs.meta.Load()
+		p.ScanSteps += cs.low.probes.Load() + cs.dir.probes.Load()
+		cs.dir.forEach(func(_ graph.NodeID, et *edgeTable) {
+			p.ScanSteps += et.probes.Load()
+		})
+	}
+	return p
+}
+
+// ResetProfile implements ds.Profiler.
+func (s *store) ResetProfile() {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	s.prof = ds.UpdateProfile{ChunkLoads: make([]uint64, s.chunks)}
+	for _, cs := range s.chunkData {
+		cs.meta.Store(0)
+		cs.low.probes.Store(0)
+		cs.dir.probes.Store(0)
+		cs.dir.forEach(func(_ graph.NodeID, et *edgeTable) { et.probes.Store(0) })
+	}
+}
+
+// DeleteEdges implements ds.OneDirDeleter: the owning chunk routes the
+// removal to whichever table holds the source (one more degree-query
+// meta-operation) and deletes with backward shifting. Flushed vertices
+// are not demoted back to the low-degree table.
+func (s *store) DeleteEdges(edges []graph.Edge) {
+	removed := make([]uint64, s.chunks)
+	ds.GroupByChunk(edges, s.chunks, func(chunk int, bucket []graph.Edge) {
+		cs := s.chunkData[chunk]
+		var rem uint64
+		for _, e := range bucket {
+			local := int(e.Src) / s.chunks
+			cs.meta.Add(1)
+			if et := cs.dir.get(e.Src); et != nil {
+				if et.del(e.Dst) {
+					cs.deg[local]--
+					rem++
+				}
+				continue
+			}
+			if idx := cs.low.lookup(e.Src, e.Dst); idx >= 0 {
+				cs.low.deleteAt(uint64(idx))
+				cs.deg[local]--
+				rem++
+			}
+		}
+		removed[chunk] = rem
+	})
+	s.profMu.Lock()
+	for c := 0; c < s.chunks; c++ {
+		s.numEdges -= int(removed[c])
+	}
+	s.profMu.Unlock()
+}
+
+// Chunks reports the chunk count.
+func (s *store) Chunks() int { return s.chunks }
+
+// IsHighDegree reports whether v has been flushed to the high-degree table
+// (for layout tests and the architecture replayer).
+func (s *store) IsHighDegree(v graph.NodeID) bool {
+	cs, _ := s.chunkOf(v)
+	return cs.dir.get(v) != nil
+}
+
+// LowTableStats reports per-chunk Robin Hood occupancy (count, capacity);
+// layout tests use it.
+func (s *store) LowTableStats() (counts, caps []int) {
+	for _, cs := range s.chunkData {
+		counts = append(counts, cs.low.count)
+		caps = append(caps, len(cs.low.slots))
+	}
+	return
+}

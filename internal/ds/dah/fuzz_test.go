@@ -1,0 +1,107 @@
+package dah
+
+import (
+	"testing"
+
+	"sagabench/internal/graph"
+)
+
+// FuzzRobinHoodOps drives the Robin Hood table with an arbitrary byte
+// program (2 bytes = one op: insert/lookup/removeAll over a small key
+// space) and checks it against a map model after every op.
+func FuzzRobinHoodOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 128, 7, 9, 200, 14, 3})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		tb := newRHTable()
+		type pair struct{ src, dst graph.NodeID }
+		model := map[pair]graph.Weight{}
+		for i := 0; i+1 < len(prog); i += 2 {
+			src := graph.NodeID(prog[i] % 32)
+			dst := graph.NodeID(prog[i+1])
+			switch prog[i] % 3 {
+			case 0: // insert (unique-ingestion discipline)
+				p := pair{src, dst}
+				if idx := tb.lookup(src, dst); idx >= 0 {
+					tb.slots[idx].w = graph.Weight(i)
+				} else {
+					tb.insert(src, dst, graph.Weight(i))
+				}
+				model[p] = graph.Weight(i)
+			case 1: // lookup must agree with the model
+				_, want := model[pair{src, dst}]
+				if got := tb.lookup(src, dst) >= 0; got != want {
+					t.Fatalf("op %d: lookup(%d,%d)=%v want %v", i, src, dst, got, want)
+				}
+			case 2: // removeAll
+				removed := tb.removeAll(src)
+				n := 0
+				for p := range model {
+					if p.src == src {
+						delete(model, p)
+						n++
+					}
+				}
+				if len(removed) != n {
+					t.Fatalf("op %d: removeAll(%d) removed %d want %d", i, src, len(removed), n)
+				}
+			}
+			if tb.count != len(model) {
+				t.Fatalf("op %d: count=%d want %d", i, tb.count, len(model))
+			}
+		}
+		// Final state: everything in the model is enumerable.
+		perSrc := map[graph.NodeID]int{}
+		for p := range model {
+			perSrc[p.src]++
+		}
+		for src, want := range perSrc {
+			got := 0
+			tb.forEach(src, func(graph.NodeID, graph.Weight) { got++ })
+			if got != want {
+				t.Fatalf("forEach(%d) yielded %d want %d", src, got, want)
+			}
+		}
+	})
+}
+
+// FuzzEdgeTableOps drives the open-addressing edge table (put/del) against
+// a map model, exercising backward-shift deletion.
+func FuzzEdgeTableOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		et := newEdgeTable(0)
+		model := map[graph.NodeID]bool{}
+		for i := 0; i+1 < len(prog); i += 2 {
+			dst := graph.NodeID(prog[i+1])
+			if prog[i]%2 == 0 {
+				fresh := et.put(dst, 1)
+				if fresh == model[dst] {
+					t.Fatalf("op %d: put(%d) fresh=%v but present=%v", i, dst, fresh, model[dst])
+				}
+				model[dst] = true
+			} else {
+				existed := et.del(dst)
+				if existed != model[dst] {
+					t.Fatalf("op %d: del(%d)=%v want %v", i, dst, existed, model[dst])
+				}
+				delete(model, dst)
+			}
+			if et.count != len(model) {
+				t.Fatalf("op %d: count=%d want %d", i, et.count, len(model))
+			}
+		}
+		seen := 0
+		et.forEach(func(dst graph.NodeID, _ graph.Weight) {
+			if !model[dst] {
+				t.Fatalf("phantom entry %d", dst)
+			}
+			seen++
+		})
+		if seen != len(model) {
+			t.Fatalf("forEach yielded %d want %d", seen, len(model))
+		}
+	})
+}

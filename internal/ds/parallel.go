@@ -1,0 +1,82 @@
+package ds
+
+import (
+	"sync"
+
+	"sagabench/internal/graph"
+)
+
+// ForEachShard splits edges into up to `threads` contiguous shards and runs
+// fn on each shard in its own goroutine, blocking until all finish. It is
+// the shared-style multithreading used by AS and Stinger: every worker may
+// touch any vertex and relies on the structure's own locks.
+func ForEachShard(edges []graph.Edge, threads int, fn func(shard []graph.Edge)) {
+	if threads <= 1 || len(edges) <= 1 {
+		fn(edges)
+		return
+	}
+	if threads > len(edges) {
+		threads = len(edges)
+	}
+	var wg sync.WaitGroup
+	per := (len(edges) + threads - 1) / threads
+	for start := 0; start < len(edges); start += per {
+		end := start + per
+		if end > len(edges) {
+			end = len(edges)
+		}
+		wg.Add(1)
+		go func(sh []graph.Edge) {
+			defer wg.Done()
+			fn(sh)
+		}(edges[start:end])
+	}
+	wg.Wait()
+}
+
+// GroupByChunk buckets the edges of a batch by source-vertex chunk
+// (chunk = src mod chunks) and runs fn(chunk, edges) for each non-empty
+// bucket in its own goroutine. This is the chunked-style multithreading of
+// AC and DAH: a chunk is owned by exactly one worker, so intra-chunk
+// ingestion needs no locks. Bucket contents preserve batch order, keeping
+// ingestion order deterministic per chunk.
+func GroupByChunk(edges []graph.Edge, chunks int, fn func(chunk int, edges []graph.Edge)) {
+	if chunks <= 1 {
+		fn(0, edges)
+		return
+	}
+	buckets := make([][]graph.Edge, chunks)
+	sizes := make([]int, chunks)
+	for _, e := range edges {
+		sizes[int(e.Src)%chunks]++
+	}
+	for c, n := range sizes {
+		if n > 0 {
+			buckets[c] = make([]graph.Edge, 0, n)
+		}
+	}
+	for _, e := range edges {
+		c := int(e.Src) % chunks
+		buckets[c] = append(buckets[c], e)
+	}
+	var wg sync.WaitGroup
+	for c, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c int, b []graph.Edge) {
+			defer wg.Done()
+			fn(c, b)
+		}(c, b)
+	}
+	wg.Wait()
+}
+
+// ChunkOf reports the chunk owning vertex v under the modulo partition.
+func ChunkOf(v graph.NodeID, chunks int) int {
+	if chunks <= 1 {
+		return 0
+	}
+	return int(v) % chunks
+}

@@ -1,0 +1,191 @@
+package ds
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"sagabench/internal/graph"
+)
+
+func TestForEachShardCoversAllEdges(t *testing.T) {
+	edges := make([]graph.Edge, 103)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.NodeID(i)}
+	}
+	var mu sync.Mutex
+	seen := map[graph.NodeID]int{}
+	calls := 0
+	ForEachShard(edges, 8, func(shard []graph.Edge) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		for _, e := range shard {
+			seen[e.Src]++
+		}
+	})
+	if calls > 8 {
+		t.Errorf("more shards than threads: %d", calls)
+	}
+	if len(seen) != len(edges) {
+		t.Fatalf("covered %d/%d edges", len(seen), len(edges))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("edge %d visited %d times", v, n)
+		}
+	}
+}
+
+func TestForEachShardSingleThread(t *testing.T) {
+	edges := make([]graph.Edge, 5)
+	calls := 0
+	ForEachShard(edges, 1, func(shard []graph.Edge) {
+		calls++
+		if len(shard) != 5 {
+			t.Errorf("shard size %d", len(shard))
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls=%d want 1", calls)
+	}
+}
+
+func TestForEachShardMoreThreadsThanEdges(t *testing.T) {
+	edges := make([]graph.Edge, 3)
+	var total atomic.Int64
+	ForEachShard(edges, 16, func(shard []graph.Edge) { total.Add(int64(len(shard))) })
+	if total.Load() != 3 {
+		t.Errorf("total=%d want 3", total.Load())
+	}
+}
+
+func TestGroupByChunkOwnership(t *testing.T) {
+	const chunks = 7
+	edges := make([]graph.Edge, 211)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.NodeID(i * 13 % 97), Dst: graph.NodeID(i)}
+	}
+	var mu sync.Mutex
+	count := 0
+	GroupByChunk(edges, chunks, func(chunk int, bucket []graph.Edge) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range bucket {
+			if int(e.Src)%chunks != chunk {
+				t.Errorf("edge src %d in chunk %d", e.Src, chunk)
+			}
+			count++
+		}
+	})
+	if count != len(edges) {
+		t.Fatalf("delivered %d/%d edges", count, len(edges))
+	}
+}
+
+func TestGroupByChunkPreservesOrder(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 2, Dst: 0}, {Src: 2, Dst: 1}, {Src: 2, Dst: 2},
+	}
+	GroupByChunk(edges, 4, func(chunk int, bucket []graph.Edge) {
+		if chunk != 2 {
+			t.Errorf("unexpected chunk %d", chunk)
+		}
+		for i, e := range bucket {
+			if int(e.Dst) != i {
+				t.Errorf("order broken at %d: %v", i, e)
+			}
+		}
+	})
+}
+
+func TestGroupByChunkSingleChunk(t *testing.T) {
+	edges := make([]graph.Edge, 4)
+	calls := 0
+	GroupByChunk(edges, 1, func(chunk int, bucket []graph.Edge) {
+		calls++
+		if chunk != 0 || len(bucket) != 4 {
+			t.Errorf("chunk=%d len=%d", chunk, len(bucket))
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls=%d want 1", calls)
+	}
+}
+
+// Property: chunk grouping partitions the batch for arbitrary inputs.
+func TestGroupByChunkProperty(t *testing.T) {
+	f := func(srcs []uint16, chunksRaw uint8) bool {
+		chunks := int(chunksRaw%16) + 1
+		edges := make([]graph.Edge, len(srcs))
+		for i, s := range srcs {
+			edges[i] = graph.Edge{Src: graph.NodeID(s)}
+		}
+		var total atomic.Int64
+		ok := atomic.Bool{}
+		ok.Store(true)
+		GroupByChunk(edges, chunks, func(chunk int, bucket []graph.Edge) {
+			for _, e := range bucket {
+				if ChunkOf(e.Src, chunks) != chunk {
+					ok.Store(false)
+				}
+			}
+			total.Add(int64(len(bucket)))
+		})
+		return ok.Load() && total.Load() == int64(len(edges))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.threads() != 1 || c.chunks() != 1 {
+		t.Errorf("zero config: threads=%d chunks=%d", c.threads(), c.chunks())
+	}
+	c.Threads = 6
+	if c.chunks() != 6 {
+		t.Errorf("chunks should default to threads: %d", c.chunks())
+	}
+	c.Chunks = 3
+	if c.chunks() != 3 {
+		t.Errorf("explicit chunks ignored: %d", c.chunks())
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := New("definitely-not-registered", Config{}); err == nil {
+		t.Error("expected error for unknown structure")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on unknown structure")
+		}
+	}()
+	MustNew("definitely-not-registered", Config{})
+}
+
+func TestUpdateProfileHelpers(t *testing.T) {
+	p := UpdateProfile{EdgesIngested: 10, LockConflicts: 5}
+	if p.ConflictRate() != 0.5 {
+		t.Errorf("ConflictRate=%v", p.ConflictRate())
+	}
+	if (&UpdateProfile{}).ConflictRate() != 0 {
+		t.Error("empty conflict rate should be 0")
+	}
+	p2 := UpdateProfile{ChunkLoads: []uint64{30, 10, 10, 10}}
+	if got := p2.Imbalance(); got != 2 {
+		t.Errorf("Imbalance=%v want 2 (30 vs mean 15)", got)
+	}
+	if (&UpdateProfile{}).Imbalance() != 1 {
+		t.Error("empty imbalance should be 1")
+	}
+	var sum UpdateProfile
+	sum.Add(p)
+	sum.Add(p2)
+	if sum.EdgesIngested != 10 || len(sum.ChunkLoads) != 4 || sum.ChunkLoads[0] != 30 {
+		t.Errorf("Add merged wrong: %+v", sum)
+	}
+}

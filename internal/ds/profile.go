@@ -1,0 +1,115 @@
+package ds
+
+// UpdateProfile accumulates concurrency-relevant counters across Update
+// calls. The architecture-level performance model (Fig 9) consumes these:
+// lock conflicts quantify the thread contention that limits shared-style
+// structures on short-tailed graphs, and per-chunk loads quantify the
+// workload imbalance that limits chunked structures on heavy-tailed graphs.
+type UpdateProfile struct {
+	// EdgesIngested counts edge records offered to the store (including
+	// duplicates that only refreshed a weight).
+	EdgesIngested uint64
+	// Inserted counts records that created a new adjacency entry.
+	Inserted uint64
+	// ScanSteps counts elements examined by pre-insert searches (vector
+	// elements, Stinger block slots, or hash probes).
+	ScanSteps uint64
+	// LockConflicts counts lock acquisitions that found the lock already
+	// held (shared-style structures only).
+	LockConflicts uint64
+	// ChunkLoads is the cumulative per-chunk edge count (chunked-style
+	// structures only); its spread measures workload imbalance.
+	ChunkLoads []uint64
+	// MetaOps counts degree-query and flush meta-operations (DAH only).
+	MetaOps uint64
+}
+
+// Add merges o into p (chunk loads are summed index-wise).
+func (p *UpdateProfile) Add(o UpdateProfile) {
+	p.EdgesIngested += o.EdgesIngested
+	p.Inserted += o.Inserted
+	p.ScanSteps += o.ScanSteps
+	p.LockConflicts += o.LockConflicts
+	p.MetaOps += o.MetaOps
+	for len(p.ChunkLoads) < len(o.ChunkLoads) {
+		p.ChunkLoads = append(p.ChunkLoads, 0)
+	}
+	for i, v := range o.ChunkLoads {
+		p.ChunkLoads[i] += v
+	}
+}
+
+// Imbalance reports max/mean of the chunk loads (1 = perfectly balanced,
+// larger = more of the batch funnels into few chunks). Returns 1 when the
+// store is not chunked or has seen no work.
+func (p *UpdateProfile) Imbalance() float64 {
+	var max, sum uint64
+	n := 0
+	for _, v := range p.ChunkLoads {
+		sum += v
+		if v > max {
+			max = v
+		}
+		n++
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(n)
+	return float64(max) / mean
+}
+
+// ConflictRate reports LockConflicts / EdgesIngested (0 when idle).
+func (p *UpdateProfile) ConflictRate() float64 {
+	if p.EdgesIngested == 0 {
+		return 0
+	}
+	return float64(p.LockConflicts) / float64(p.EdgesIngested)
+}
+
+// Profiler is implemented by stores that expose an UpdateProfile.
+type Profiler interface {
+	UpdateProfile() UpdateProfile
+	ResetProfile()
+}
+
+// ProfileOf collects the profile of g if it is profiled; TwoCopy-wrapped
+// graphs merge the out- and in-store profiles.
+func ProfileOf(g Graph) (UpdateProfile, bool) {
+	switch t := g.(type) {
+	case *TwoCopy:
+		var p UpdateProfile
+		any := false
+		if pr, ok := t.OutStore().(Profiler); ok {
+			p.Add(pr.UpdateProfile())
+			any = true
+		}
+		if t.Directed() {
+			if pr, ok := t.InStore().(Profiler); ok {
+				p.Add(pr.UpdateProfile())
+				any = true
+			}
+		}
+		return p, any
+	case Profiler:
+		return t.UpdateProfile(), true
+	}
+	return UpdateProfile{}, false
+}
+
+// ResetProfileOf clears accumulated profiles where supported.
+func ResetProfileOf(g Graph) {
+	switch t := g.(type) {
+	case *TwoCopy:
+		if pr, ok := t.OutStore().(Profiler); ok {
+			pr.ResetProfile()
+		}
+		if t.Directed() {
+			if pr, ok := t.InStore().(Profiler); ok {
+				pr.ResetProfile()
+			}
+		}
+	case Profiler:
+		t.ResetProfile()
+	}
+}

@@ -1,0 +1,202 @@
+package ds
+
+import "sagabench/internal/graph"
+
+// OneDir is a single-direction adjacency store. Each SAGA-Bench data
+// structure implements concurrent unique ingestion of (src → dst) records
+// plus traversal; TwoCopy composes one or two OneDir stores into the full
+// Graph API, implementing the paper's rule that directed graphs keep a
+// second copy of the structure for in-neighbors (footnote 3) while
+// undirected graphs ingest both orientations into a single store.
+type OneDir interface {
+	// EnsureNodes grows vertex-indexed state to cover IDs [0,n). It is
+	// called while no concurrent ingestion is running.
+	EnsureNodes(n int)
+	// UpdateEdges concurrently ingests the records using the store's own
+	// multithreading style. Every edge's endpoints are < NumNodes().
+	UpdateEdges(edges []graph.Edge)
+	// Degree reports the distinct neighbor count of v (v < NumNodes()).
+	Degree(v graph.NodeID) int
+	// Neighbors appends v's neighbors to buf and returns it.
+	Neighbors(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor
+	// NumEdges reports the distinct records stored.
+	NumEdges() int
+	// NumNodes reports the covered vertex-ID space.
+	NumNodes() int
+}
+
+// TwoCopy adapts OneDir stores to the Graph interface.
+type TwoCopy struct {
+	directed bool
+	out      OneDir
+	in       OneDir // nil when undirected
+	scratch  []graph.Edge
+}
+
+// NewTwoCopy wraps mk-constructed stores: two for a directed graph, one for
+// an undirected graph.
+func NewTwoCopy(directed bool, mk func() OneDir) *TwoCopy {
+	t := &TwoCopy{directed: directed, out: mk()}
+	if directed {
+		t.in = mk()
+	}
+	return t
+}
+
+// Update implements Graph.
+func (t *TwoCopy) Update(batch graph.Batch) {
+	if len(batch) == 0 {
+		return
+	}
+	max, _ := batch.MaxNode()
+	n := int(max) + 1
+	t.out.EnsureNodes(n)
+	if t.directed {
+		t.in.EnsureNodes(n)
+		t.out.UpdateEdges(batch)
+		t.scratch = t.scratch[:0]
+		for _, e := range batch {
+			t.scratch = append(t.scratch, graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+		}
+		t.in.UpdateEdges(t.scratch)
+		return
+	}
+	t.scratch = t.scratch[:0]
+	t.scratch = append(t.scratch, batch...)
+	for _, e := range batch {
+		t.scratch = append(t.scratch, graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+	}
+	t.out.UpdateEdges(t.scratch)
+}
+
+// NumNodes implements Graph.
+func (t *TwoCopy) NumNodes() int { return t.out.NumNodes() }
+
+// NumEdges implements Graph.
+func (t *TwoCopy) NumEdges() int { return t.out.NumEdges() }
+
+// OutDegree implements Graph.
+func (t *TwoCopy) OutDegree(v graph.NodeID) int {
+	if int(v) >= t.out.NumNodes() {
+		return 0
+	}
+	return t.out.Degree(v)
+}
+
+// InDegree implements Graph.
+func (t *TwoCopy) InDegree(v graph.NodeID) int {
+	st := t.in
+	if !t.directed {
+		st = t.out
+	}
+	if int(v) >= st.NumNodes() {
+		return 0
+	}
+	return st.Degree(v)
+}
+
+// OutNeigh implements Graph.
+func (t *TwoCopy) OutNeigh(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	if int(v) >= t.out.NumNodes() {
+		return buf
+	}
+	return t.out.Neighbors(v, buf)
+}
+
+// InNeigh implements Graph.
+func (t *TwoCopy) InNeigh(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	st := t.in
+	if !t.directed {
+		st = t.out
+	}
+	if int(v) >= st.NumNodes() {
+		return buf
+	}
+	return st.Neighbors(v, buf)
+}
+
+// Directed implements Graph.
+func (t *TwoCopy) Directed() bool { return t.directed }
+
+// OutStore exposes the underlying out-direction store; the architecture
+// replayer uses it to walk the concrete memory layout.
+func (t *TwoCopy) OutStore() OneDir { return t.out }
+
+// InStore exposes the in-direction store (the out store when undirected).
+func (t *TwoCopy) InStore() OneDir {
+	if !t.directed {
+		return t.out
+	}
+	return t.in
+}
+
+// TwoPhaseUpdater is implemented by log-structured stores whose ingestion
+// splits into an append-only Stage — safe to run concurrently with compute
+// reads of the sealed topology, the update/compute-parallelism property of
+// the data structures the paper cites as future work — and an exclusive
+// Seal that merges the staged records.
+type TwoPhaseUpdater interface {
+	Stage(edges []graph.Edge)
+	Seal()
+}
+
+// StageBatch stages a batch into both copies without sealing. It returns
+// false when the underlying stores are not two-phase.
+func (t *TwoCopy) StageBatch(batch graph.Batch) bool {
+	out, ok := t.out.(TwoPhaseUpdater)
+	if !ok {
+		return false
+	}
+	if len(batch) == 0 {
+		return true
+	}
+	if !t.directed {
+		both := make([]graph.Edge, 0, 2*len(batch))
+		both = append(both, batch...)
+		for _, e := range batch {
+			both = append(both, graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+		}
+		out.Stage(both)
+		return true
+	}
+	in, ok := t.in.(TwoPhaseUpdater)
+	if !ok {
+		return false
+	}
+	out.Stage(batch)
+	reversed := make([]graph.Edge, len(batch))
+	for i, e := range batch {
+		reversed[i] = graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight}
+	}
+	in.Stage(reversed)
+	return true
+}
+
+// SealBatch seals both copies after StageBatch.
+func (t *TwoCopy) SealBatch() {
+	if out, ok := t.out.(TwoPhaseUpdater); ok {
+		out.Seal()
+	}
+	if t.directed {
+		if in, ok := t.in.(TwoPhaseUpdater); ok {
+			in.Seal()
+		}
+	}
+}
+
+// SupportsTwoPhase reports whether g can stage ingestion concurrently with
+// compute.
+func SupportsTwoPhase(g Graph) bool {
+	t, ok := g.(*TwoCopy)
+	if !ok {
+		return false
+	}
+	if _, ok := t.out.(TwoPhaseUpdater); !ok {
+		return false
+	}
+	if t.directed {
+		_, ok := t.in.(TwoPhaseUpdater)
+		return ok
+	}
+	return true
+}

@@ -1,0 +1,40 @@
+package elio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the parser never panics and that accepted inputs
+// round-trip through Write/Read.
+func FuzzRead(f *testing.F) {
+	f.Add("0 1\n1 2 3\n")
+	f.Add("# comment\n5 6 7.25\n")
+	f.Add("")
+	f.Add("999 999999 0.5")
+	f.Add("a b c")
+	f.Add("1 2 3 4 5")
+	f.Fuzz(func(t *testing.T, input string) {
+		edges, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, edges); err != nil {
+			t.Fatalf("Write of accepted edges failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of Write output failed: %v", err)
+		}
+		if len(back) != len(edges) {
+			t.Fatalf("round trip changed edge count %d -> %d", len(edges), len(back))
+		}
+		for i := range edges {
+			if back[i].Src != edges[i].Src || back[i].Dst != edges[i].Dst {
+				t.Fatalf("round trip changed edge %d: %v -> %v", i, edges[i], back[i])
+			}
+		}
+	})
+}

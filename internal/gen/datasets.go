@@ -1,0 +1,135 @@
+package gen
+
+import "fmt"
+
+// Profile scales the dataset registry. The paper runs 5M–500M-edge streams
+// on a dual-socket server; these profiles keep the structural contrasts
+// (relative dataset sizes, batch counts, hub loads) at laptop scale.
+type Profile string
+
+// Available profiles.
+const (
+	// ProfileTiny is for unit tests: ~10× smaller than default.
+	ProfileTiny Profile = "tiny"
+	// ProfileDefault drives the standard benchmark harness.
+	ProfileDefault Profile = "default"
+	// ProfileLarge is ~5× the default, for longer-running studies.
+	ProfileLarge Profile = "large"
+)
+
+func (p Profile) factor() (float64, error) {
+	switch p {
+	case ProfileTiny:
+		return 0.1, nil
+	case ProfileDefault, "":
+		return 1, nil
+	case ProfileLarge:
+		return 5, nil
+	default:
+		return 0, fmt.Errorf("gen: unknown profile %q", p)
+	}
+}
+
+// baseSpecs is the default-profile registry mirroring paper Table II:
+// LiveJournal and Orkut social networks (short-tailed; Orkut undirected),
+// synthetic RMAT with the paper's (a,b,c,d), the Wikipedia hyperlink graph
+// (heavy in-degree tail), and the Wikipedia communication graph (heavy
+// out-degree tail, very sparse).
+var baseSpecs = []Spec{
+	{
+		Name: "lj", Kind: KindPowerLaw, Directed: true,
+		NumNodes: 4800, NumEdges: 69000, BatchSize: 1000,
+		HubCount: 8, HubInShare: 0.004, HubOutShare: 0.004, Skew: 0.4,
+	},
+	{
+		Name: "orkut", Kind: KindPowerLaw, Directed: false,
+		NumNodes: 3000, NumEdges: 117000, BatchSize: 1000,
+		HubCount: 8, HubInShare: 0.004, HubOutShare: 0.004, Skew: 0.4,
+	},
+	{
+		Name: "rmat", Kind: KindRMAT, Directed: true,
+		NumNodes: 16384, NumEdges: 200000, BatchSize: 1000,
+		A: 0.55, B: 0.15, C: 0.15, D: 0.25,
+	},
+	{
+		Name: "wiki", Kind: KindPowerLaw, Directed: true,
+		NumNodes: 18000, NumEdges: 28500, BatchSize: 1000,
+		HubCount: 1, HubInShare: 0.45, HubOutShare: 0.002, Skew: 0.4,
+	},
+	{
+		Name: "talk", Kind: KindPowerLaw, Directed: true,
+		NumNodes: 12000, NumEdges: 10000, BatchSize: 1000,
+		HubCount: 1, HubInShare: 0.002, HubOutShare: 0.45, Skew: 0.3,
+	},
+}
+
+// ShortTailed lists the datasets whose per-batch degree distribution has a
+// short tail (best on AS per the paper); the rest are heavy-tailed (best
+// on DAH at P3).
+var ShortTailed = map[string]bool{"lj": true, "orkut": true, "rmat": true}
+
+// DatasetNames lists the registry in Table II order.
+func DatasetNames() []string { return []string{"lj", "orkut", "rmat", "wiki", "talk"} }
+
+// Datasets returns the registry scaled to the profile.
+func Datasets(p Profile) ([]Spec, error) {
+	f, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Spec, len(baseSpecs))
+	for i, s := range baseSpecs {
+		s.NumEdges = scaleInt(s.NumEdges, f, 1000)
+		s.NumNodes = scaleNodes(s.NumNodes, f, s.Kind)
+		s.BatchSize = scaleInt(s.BatchSize, f, 100)
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Dataset looks up one dataset by name under the profile.
+func Dataset(name string, p Profile) (Spec, error) {
+	specs, err := Datasets(p)
+	if err != nil {
+		return Spec{}, err
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, DatasetNames())
+}
+
+// MustDataset is Dataset that panics on error.
+func MustDataset(name string, p Profile) Spec {
+	s, err := Dataset(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func scaleInt(v int, f float64, min int) int {
+	n := int(float64(v) * f)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// scaleNodes scales the vertex space; RMAT's must stay a power of two.
+func scaleNodes(v int, f float64, k Kind) int {
+	n := int(float64(v) * f)
+	if n < 64 {
+		n = 64
+	}
+	if k != KindRMAT {
+		return n
+	}
+	p := 64
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

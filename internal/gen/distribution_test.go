@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sagabench/internal/graph"
+)
+
+// TestRMATQuadrantSkew checks the recursive-matrix property: with
+// a=0.55 > d=0.25, low-ID vertices dominate both endpoint distributions
+// (the self-similar skew RMAT exists to produce).
+func TestRMATQuadrantSkew(t *testing.T) {
+	s := MustDataset("rmat", ProfileDefault)
+	edges := s.Generate(5)
+	half := graph.NodeID(s.NumNodes / 2)
+	lowSrc, lowDst := 0, 0
+	for _, e := range edges {
+		if e.Src < half {
+			lowSrc++
+		}
+		if e.Dst < half {
+			lowDst++
+		}
+	}
+	fSrc := float64(lowSrc) / float64(len(edges))
+	fDst := float64(lowDst) / float64(len(edges))
+	// One recursion level sends a+b=0.70 of rows and a+c=0.70 of columns
+	// into the low half.
+	if math.Abs(fSrc-0.70) > 0.02 {
+		t.Errorf("low-half source fraction %v want ~0.70", fSrc)
+	}
+	if math.Abs(fDst-0.70) > 0.02 {
+		t.Errorf("low-half destination fraction %v want ~0.70", fDst)
+	}
+}
+
+// TestHubShares checks the generator hits the configured hub endpoint
+// shares (the knob everything else is calibrated around).
+func TestHubShares(t *testing.T) {
+	wiki := MustDataset("wiki", ProfileDefault)
+	edges := wiki.Generate(6)
+	hubIn := 0
+	for _, e := range edges {
+		if e.Dst == 0 {
+			hubIn++
+		}
+	}
+	got := float64(hubIn) / float64(len(edges))
+	if math.Abs(got-wiki.HubInShare) > 0.03 {
+		t.Errorf("wiki hub in-share %v want ~%v", got, wiki.HubInShare)
+	}
+
+	talk := MustDataset("talk", ProfileDefault)
+	edges = talk.Generate(6)
+	hubOut := 0
+	for _, e := range edges {
+		if e.Src == 0 {
+			hubOut++
+		}
+	}
+	got = float64(hubOut) / float64(len(edges))
+	if math.Abs(got-talk.HubOutShare) > 0.03 {
+		t.Errorf("talk hub out-share %v want ~%v", got, talk.HubOutShare)
+	}
+}
+
+// TestBackgroundSkewMonotone: the background sampler must prefer low IDs
+// under positive skew and be near-uniform at skew 0.
+func TestBackgroundSkewMonotone(t *testing.T) {
+	const n = 1000
+	const draws = 200000
+	count := func(skew float64) (firstDecile, lastDecile int) {
+		b := newBackgroundSampler(n, skew)
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < draws; i++ {
+			v := int(b.sample(rng))
+			if v < n/10 {
+				firstDecile++
+			}
+			if v >= n*9/10 {
+				lastDecile++
+			}
+		}
+		return
+	}
+	f0, l0 := count(0)
+	if math.Abs(float64(f0-l0)) > float64(draws)/50 {
+		t.Errorf("uniform sampler skewed: first=%d last=%d", f0, l0)
+	}
+	f4, l4 := count(0.4)
+	if f4 <= l4 || float64(f4) < 1.2*float64(l4) {
+		t.Errorf("skewed sampler not head-heavy: first=%d last=%d", f4, l4)
+	}
+}
+
+// TestBatchCountsScaleWithPaperOrdering: the per-dataset batch-count
+// ordering of Table II (talk < wiki < lj < orkut < rmat) must survive
+// scaling.
+func TestBatchCountsScaleWithPaperOrdering(t *testing.T) {
+	for _, p := range []Profile{ProfileTiny, ProfileDefault, ProfileLarge} {
+		counts := map[string]int{}
+		for _, name := range DatasetNames() {
+			counts[name] = MustDataset(name, p).BatchCount()
+		}
+		if !(counts["talk"] <= counts["wiki"] && counts["wiki"] <= counts["lj"] &&
+			counts["lj"] <= counts["orkut"] && counts["orkut"] <= counts["rmat"]) {
+			t.Errorf("profile %s: batch counts out of order: %v", p, counts)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package gen synthesizes the input edge streams for the five evaluation
+// datasets (paper Table II). The SNAP datasets themselves are not
+// redistributable here, so each is replaced by a generator that reproduces
+// its distinguishing structural property — the per-batch degree
+// distribution that Section V-B identifies as the factor deciding the best
+// data structure:
+//
+//   - LJ-like, Orkut-like, RMAT: short-tailed — the per-batch maximum
+//     degree is a few edges, so no single vertex dominates a batch.
+//   - Wiki-like: heavy-tailed in-degree — hub pages receive a large share
+//     of each batch's destination endpoints.
+//   - Talk-like: heavy-tailed out-degree — hub talkers emit a large share
+//     of each batch's source endpoints.
+//
+// Hub shares are calibrated so the absolute per-batch hub load (hundreds
+// of edge updates funneling into one vertex per batch) matches the paper's
+// despite the scaled-down batch size; see DESIGN.md's substitution table.
+//
+// All generators are deterministic given a seed, and streams are shuffled
+// (paper Section IV-B randomly shuffles inputs to break file ordering).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sagabench/internal/graph"
+)
+
+// Kind selects a generator family.
+type Kind string
+
+// Generator families.
+const (
+	KindRMAT     Kind = "rmat"     // recursive matrix (Chakrabarti et al.)
+	KindPowerLaw Kind = "powerlaw" // Chung-Lu-style with explicit hubs
+)
+
+// Spec describes one synthetic dataset.
+type Spec struct {
+	Name     string
+	Kind     Kind
+	Directed bool
+	// NumNodes is the vertex-ID space.
+	NumNodes int
+	// NumEdges is the stream length (including duplicates, like a raw
+	// SNAP edge file).
+	NumEdges int
+	// BatchSize is the dataset's default ingest batch size.
+	BatchSize int
+
+	// RMAT quadrant probabilities (KindRMAT).
+	A, B, C, D float64
+
+	// Power-law parameters (KindPowerLaw).
+	//
+	// HubCount top vertices absorb HubInShare of destination endpoints
+	// (in-degree hubs) and HubOutShare of source endpoints (out-degree
+	// hubs), split harmonically so hub 0 is the heaviest. The remaining
+	// endpoints are drawn from a mildly skewed background distribution.
+	HubCount    int
+	HubInShare  float64
+	HubOutShare float64
+	// Skew is the background bias: endpoint v is drawn with probability
+	// proportional to (v+64)^-Skew. 0 means uniform.
+	Skew float64
+}
+
+// BatchCount reports NumEdges/BatchSize rounded up (Table II).
+func (s Spec) BatchCount() int {
+	return (s.NumEdges + s.BatchSize - 1) / s.BatchSize
+}
+
+// MaxWeight bounds generated edge weights (weights are 1..MaxWeight).
+const MaxWeight = 64
+
+// Generate produces the shuffled edge stream for the spec.
+func (s Spec) Generate(seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	switch s.Kind {
+	case KindRMAT:
+		edges = genRMAT(rng, s)
+	case KindPowerLaw:
+		edges = genPowerLaw(rng, s)
+	default:
+		panic(fmt.Sprintf("gen: unknown kind %q", s.Kind))
+	}
+	Shuffle(edges, seed+1)
+	return edges
+}
+
+// Shuffle permutes edges deterministically (Fisher-Yates).
+func Shuffle(edges []graph.Edge, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+}
+
+// genRMAT draws each edge by recursive quadrant descent over the adjacency
+// matrix with probabilities (A,B,C,D); NumNodes must be a power of two.
+func genRMAT(rng *rand.Rand, s Spec) []graph.Edge {
+	edges := make([]graph.Edge, s.NumEdges)
+	for i := range edges {
+		src, dst := rmatPair(rng, s)
+		edges[i] = graph.Edge{Src: src, Dst: dst, Weight: randWeight(rng)}
+	}
+	return edges
+}
+
+func rmatPair(rng *rand.Rand, s Spec) (graph.NodeID, graph.NodeID) {
+	var row, col int
+	for half := s.NumNodes / 2; half >= 1; half /= 2 {
+		r := rng.Float64()
+		switch {
+		case r < s.A:
+			// top-left: no move
+		case r < s.A+s.B:
+			col += half
+		case r < s.A+s.B+s.C:
+			row += half
+		default:
+			row += half
+			col += half
+		}
+	}
+	return graph.NodeID(row), graph.NodeID(col)
+}
+
+// genPowerLaw draws endpoints from a hub/background mixture.
+func genPowerLaw(rng *rand.Rand, s Spec) []graph.Edge {
+	bg := newBackgroundSampler(s.NumNodes, s.Skew)
+	hubs := s.HubCount
+	if hubs <= 0 {
+		hubs = 1
+	}
+	hubWeights := make([]float64, hubs)
+	total := 0.0
+	for i := range hubWeights {
+		hubWeights[i] = 1 / float64(i+1) // harmonic: hub 0 heaviest
+		total += hubWeights[i]
+	}
+	pickHub := func() graph.NodeID {
+		r := rng.Float64() * total
+		for i, w := range hubWeights {
+			r -= w
+			if r <= 0 {
+				return graph.NodeID(i)
+			}
+		}
+		return graph.NodeID(hubs - 1)
+	}
+	edges := make([]graph.Edge, s.NumEdges)
+	for i := range edges {
+		var src, dst graph.NodeID
+		if rng.Float64() < s.HubOutShare {
+			src = pickHub()
+		} else {
+			src = bg.sample(rng)
+		}
+		if rng.Float64() < s.HubInShare {
+			dst = pickHub()
+		} else {
+			dst = bg.sample(rng)
+		}
+		if src == dst {
+			dst = graph.NodeID((int(dst) + 1) % s.NumNodes)
+		}
+		edges[i] = graph.Edge{Src: src, Dst: dst, Weight: randWeight(rng)}
+	}
+	return edges
+}
+
+func randWeight(rng *rand.Rand) graph.Weight {
+	return graph.Weight(rng.Intn(MaxWeight) + 1)
+}
+
+// backgroundSampler draws vertex v with probability proportional to
+// (v+64)^-skew via inverse-CDF binary search over precomputed cumulative
+// weights. skew 0 degenerates to uniform.
+type backgroundSampler struct {
+	cum []float64 // cumulative weights, len NumNodes
+}
+
+func newBackgroundSampler(n int, skew float64) *backgroundSampler {
+	b := &backgroundSampler{cum: make([]float64, n)}
+	acc := 0.0
+	for v := 0; v < n; v++ {
+		w := 1.0
+		if skew > 0 {
+			w = math.Pow(float64(v)+64, -skew)
+		}
+		acc += w
+		b.cum[v] = acc
+	}
+	return b
+}
+
+func (b *backgroundSampler) sample(rng *rand.Rand) graph.NodeID {
+	target := rng.Float64() * b.cum[len(b.cum)-1]
+	lo, hi := 0, len(b.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return graph.NodeID(lo)
+}

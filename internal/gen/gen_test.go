@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"testing"
+
+	"sagabench/internal/graph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range DatasetNames() {
+		s := MustDataset(name, ProfileTiny)
+		a := s.Generate(7)
+		b := s.Generate(7)
+		if len(a) != len(b) || len(a) != s.NumEdges {
+			t.Fatalf("%s: lengths %d/%d want %d", name, len(a), len(b), s.NumEdges)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: edge %d differs across same-seed runs", name, i)
+			}
+		}
+		c := s.Generate(8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	for _, name := range DatasetNames() {
+		s := MustDataset(name, ProfileTiny)
+		for _, e := range s.Generate(3) {
+			if int(e.Src) >= s.NumNodes || int(e.Dst) >= s.NumNodes {
+				t.Fatalf("%s: edge (%d,%d) outside %d nodes", name, e.Src, e.Dst, s.NumNodes)
+			}
+			if e.Weight < 1 || e.Weight > MaxWeight {
+				t.Fatalf("%s: weight %v out of range", name, e.Weight)
+			}
+			if e.Src == e.Dst && s.Kind == KindPowerLaw {
+				t.Fatalf("%s: self loop on power-law dataset", name)
+			}
+		}
+	}
+}
+
+// TestTailContrast verifies the structural property that drives the
+// paper's data-structure crossover: heavy-tailed datasets must show a much
+// higher per-batch maximum degree than short-tailed ones.
+func TestTailContrast(t *testing.T) {
+	maxPerBatch := map[string]int{}
+	for _, name := range DatasetNames() {
+		s := MustDataset(name, ProfileDefault)
+		st := ComputeStats(s, 42)
+		m := st.Batch.MaxIn
+		if st.Batch.MaxOut > m {
+			m = st.Batch.MaxOut
+		}
+		maxPerBatch[name] = m
+	}
+	for _, short := range []string{"lj", "orkut", "rmat"} {
+		for _, heavy := range []string{"wiki", "talk"} {
+			if maxPerBatch[heavy] < 8*maxPerBatch[short] {
+				t.Errorf("per-batch max degree: %s=%d should dwarf %s=%d",
+					heavy, maxPerBatch[heavy], short, maxPerBatch[short])
+			}
+		}
+	}
+}
+
+// TestTailDirection pins the asymmetry: wiki is in-degree heavy, talk is
+// out-degree heavy (Table IV).
+func TestTailDirection(t *testing.T) {
+	wiki := ComputeStats(MustDataset("wiki", ProfileDefault), 42)
+	if wiki.Batch.MaxIn < 4*wiki.Batch.MaxOut {
+		t.Errorf("wiki batch: MaxIn=%d should dwarf MaxOut=%d", wiki.Batch.MaxIn, wiki.Batch.MaxOut)
+	}
+	talk := ComputeStats(MustDataset("talk", ProfileDefault), 42)
+	if talk.Batch.MaxOut < 4*talk.Batch.MaxIn {
+		t.Errorf("talk batch: MaxOut=%d should dwarf MaxIn=%d", talk.Batch.MaxOut, talk.Batch.MaxIn)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	tiny := MustDataset("lj", ProfileTiny)
+	def := MustDataset("lj", ProfileDefault)
+	large := MustDataset("lj", ProfileLarge)
+	if !(tiny.NumEdges < def.NumEdges && def.NumEdges < large.NumEdges) {
+		t.Errorf("profile scaling broken: %d %d %d", tiny.NumEdges, def.NumEdges, large.NumEdges)
+	}
+	if _, err := Datasets(Profile("bogus")); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+	if _, err := Dataset("nope", ProfileTiny); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestRMATPowerOfTwoNodes(t *testing.T) {
+	for _, p := range []Profile{ProfileTiny, ProfileDefault, ProfileLarge} {
+		s := MustDataset("rmat", p)
+		if s.NumNodes&(s.NumNodes-1) != 0 {
+			t.Errorf("profile %s: RMAT nodes %d not a power of two", p, s.NumNodes)
+		}
+	}
+}
+
+func TestBatchCount(t *testing.T) {
+	s := Spec{NumEdges: 1001, BatchSize: 100}
+	if s.BatchCount() != 11 {
+		t.Errorf("BatchCount=%d want 11", s.BatchCount())
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	mk := func() []graph.Edge {
+		es := make([]graph.Edge, 100)
+		for i := range es {
+			es[i] = graph.Edge{Src: graph.NodeID(i), Dst: graph.NodeID(i + 1)}
+		}
+		return es
+	}
+	a, b := mk(), mk()
+	Shuffle(a, 5)
+	Shuffle(b, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+	moved := 0
+	for i := range a {
+		if int(a[i].Src) != i {
+			moved++
+		}
+	}
+	if moved < 50 {
+		t.Errorf("shuffle barely permuted: %d/100 moved", moved)
+	}
+}

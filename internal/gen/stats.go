@@ -1,0 +1,35 @@
+package gen
+
+import "sagabench/internal/graph"
+
+// DatasetStats backs Tables II and IV: stream-level counts plus degree
+// extremes for the entire dataset and for one representative batch.
+type DatasetStats struct {
+	Name       string
+	NumNodes   int // 1 + highest vertex ID in the stream
+	NumEdges   int
+	BatchSize  int
+	BatchCount int
+
+	Entire graph.DegreeStats // whole stream
+	Batch  graph.DegreeStats // first batch of the shuffled stream
+}
+
+// ComputeStats generates the spec's stream and derives Table II/IV rows.
+func ComputeStats(s Spec, seed int64) DatasetStats {
+	edges := s.Generate(seed)
+	d := DatasetStats{
+		Name:       s.Name,
+		NumEdges:   len(edges),
+		BatchSize:  s.BatchSize,
+		BatchCount: s.BatchCount(),
+		Entire:     graph.ComputeDegreeStats(edges),
+	}
+	d.NumNodes = d.Entire.NumNodes
+	bs := s.BatchSize
+	if bs > len(edges) {
+		bs = len(edges)
+	}
+	d.Batch = graph.ComputeDegreeStats(edges[:bs])
+	return d
+}

@@ -1,0 +1,74 @@
+package graph
+
+import "sort"
+
+// CSR is a compressed-sparse-row snapshot of a directed graph. The dynamic
+// data structures are the system of record in SAGA-Bench; CSR exists as a
+// static-graph reference layout for oracle tests and for documenting the
+// contrast the paper draws with static analytics (Section II).
+type CSR struct {
+	OutIndex []int64    // len = NumNodes+1
+	OutAdj   []Neighbor // len = NumEdges
+	InIndex  []int64
+	InAdj    []Neighbor
+}
+
+// BuildCSR constructs a CSR snapshot with numNodes vertices from the edge
+// list. Adjacency runs are sorted by neighbor ID for deterministic
+// comparisons. Duplicate edges are preserved as given.
+func BuildCSR(numNodes int, edges []Edge) *CSR {
+	c := &CSR{
+		OutIndex: make([]int64, numNodes+1),
+		InIndex:  make([]int64, numNodes+1),
+		OutAdj:   make([]Neighbor, len(edges)),
+		InAdj:    make([]Neighbor, len(edges)),
+	}
+	for _, e := range edges {
+		c.OutIndex[e.Src+1]++
+		c.InIndex[e.Dst+1]++
+	}
+	for v := 0; v < numNodes; v++ {
+		c.OutIndex[v+1] += c.OutIndex[v]
+		c.InIndex[v+1] += c.InIndex[v]
+	}
+	outPos := make([]int64, numNodes)
+	inPos := make([]int64, numNodes)
+	for _, e := range edges {
+		c.OutAdj[c.OutIndex[e.Src]+outPos[e.Src]] = Neighbor{ID: e.Dst, Weight: e.Weight}
+		outPos[e.Src]++
+		c.InAdj[c.InIndex[e.Dst]+inPos[e.Dst]] = Neighbor{ID: e.Src, Weight: e.Weight}
+		inPos[e.Dst]++
+	}
+	for v := 0; v < numNodes; v++ {
+		sortNeighbors(c.OutAdj[c.OutIndex[v]:c.OutIndex[v+1]])
+		sortNeighbors(c.InAdj[c.InIndex[v]:c.InIndex[v+1]])
+	}
+	return c
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].ID != ns[j].ID {
+			return ns[i].ID < ns[j].ID
+		}
+		return ns[i].Weight < ns[j].Weight
+	})
+}
+
+// NumNodes reports the vertex count.
+func (c *CSR) NumNodes() int { return len(c.OutIndex) - 1 }
+
+// NumEdges reports the directed edge count.
+func (c *CSR) NumEdges() int { return len(c.OutAdj) }
+
+// Out returns the out-adjacency run of v.
+func (c *CSR) Out(v NodeID) []Neighbor { return c.OutAdj[c.OutIndex[v]:c.OutIndex[v+1]] }
+
+// In returns the in-adjacency run of v.
+func (c *CSR) In(v NodeID) []Neighbor { return c.InAdj[c.InIndex[v]:c.InIndex[v+1]] }
+
+// OutDegree reports len(Out(v)).
+func (c *CSR) OutDegree(v NodeID) int { return int(c.OutIndex[v+1] - c.OutIndex[v]) }
+
+// InDegree reports len(In(v)).
+func (c *CSR) InDegree(v NodeID) int { return int(c.InIndex[v+1] - c.InIndex[v]) }

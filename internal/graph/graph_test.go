@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxNode(t *testing.T) {
+	var empty Batch
+	if _, ok := empty.MaxNode(); ok {
+		t.Error("empty batch reported a max node")
+	}
+	b := Batch{{Src: 3, Dst: 9}, {Src: 12, Dst: 1}}
+	max, ok := b.MaxNode()
+	if !ok || max != 12 {
+		t.Errorf("MaxNode=%d,%v want 12,true", max, ok)
+	}
+}
+
+func TestComputeDegreeStats(t *testing.T) {
+	edges := []Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 2}, // duplicates count
+		{Src: 3, Dst: 2},
+	}
+	s := ComputeDegreeStats(edges)
+	if s.MaxOut != 3 || s.MaxOutNode != 0 {
+		t.Errorf("MaxOut=%d@%d want 3@0", s.MaxOut, s.MaxOutNode)
+	}
+	if s.MaxIn != 3 || s.MaxInNode != 2 {
+		t.Errorf("MaxIn=%d@%d want 3@2", s.MaxIn, s.MaxInNode)
+	}
+	if s.NumNodes != 4 || s.NumEdges != 4 {
+		t.Errorf("NumNodes=%d NumEdges=%d", s.NumNodes, s.NumEdges)
+	}
+	if z := ComputeDegreeStats(nil); z.NumNodes != 0 || z.MaxIn != 0 {
+		t.Errorf("empty stats: %+v", z)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	edges := make([]Edge, 10)
+	bs := Batches(edges, 4)
+	if len(bs) != 3 || len(bs[0]) != 4 || len(bs[2]) != 2 {
+		t.Errorf("Batches sizes: %d %d %d", len(bs[0]), len(bs[1]), len(bs[2]))
+	}
+	if len(Batches(nil, 5)) != 0 {
+		t.Error("empty edges should produce no batches")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive batch size should panic")
+		}
+	}()
+	Batches(edges, 0)
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 50
+	edges := make([]Edge, 300)
+	for i := range edges {
+		edges[i] = Edge{
+			Src:    NodeID(rng.Intn(n)),
+			Dst:    NodeID(rng.Intn(n)),
+			Weight: Weight(rng.Intn(9) + 1),
+		}
+	}
+	c := BuildCSR(n, edges)
+	if c.NumNodes() != n || c.NumEdges() != len(edges) {
+		t.Fatalf("CSR dims %d/%d", c.NumNodes(), c.NumEdges())
+	}
+	outDeg := make([]int, n)
+	inDeg := make([]int, n)
+	for _, e := range edges {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+	totalOut, totalIn := 0, 0
+	for v := 0; v < n; v++ {
+		id := NodeID(v)
+		if c.OutDegree(id) != outDeg[v] {
+			t.Fatalf("OutDegree(%d)=%d want %d", v, c.OutDegree(id), outDeg[v])
+		}
+		if c.InDegree(id) != inDeg[v] {
+			t.Fatalf("InDegree(%d)=%d want %d", v, c.InDegree(id), inDeg[v])
+		}
+		// Adjacency runs are sorted.
+		out := c.Out(id)
+		for i := 1; i < len(out); i++ {
+			if out[i].ID < out[i-1].ID {
+				t.Fatalf("Out(%d) unsorted", v)
+			}
+		}
+		totalOut += len(out)
+		totalIn += len(c.In(id))
+	}
+	if totalOut != len(edges) || totalIn != len(edges) {
+		t.Fatalf("adjacency totals %d/%d want %d", totalOut, totalIn, len(edges))
+	}
+	// Every out edge appears as the matching in edge.
+	for _, e := range edges {
+		found := false
+		for _, nb := range c.In(e.Dst) {
+			if nb.ID == e.Src && nb.Weight == e.Weight {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %v missing from In(%d)", e, e.Dst)
+		}
+	}
+}
+
+func TestOracleUniqueness(t *testing.T) {
+	o := NewOracle(true)
+	o.Update(Batch{{Src: 1, Dst: 2, Weight: 3}})
+	o.Update(Batch{{Src: 1, Dst: 2, Weight: 8}})
+	if o.NumEdges() != 1 {
+		t.Fatalf("NumEdges=%d want 1", o.NumEdges())
+	}
+	out := o.Out(1)
+	if len(out) != 1 || out[0].Weight != 8 {
+		t.Fatalf("Out(1)=%v", out)
+	}
+	if o.OutDegree(99) != 0 || o.InDegree(99) != 0 {
+		t.Fatal("out-of-range degrees should be 0")
+	}
+	if o.Out(99) != nil {
+		t.Fatal("out-of-range adjacency should be nil")
+	}
+}
+
+func TestOracleUndirected(t *testing.T) {
+	o := NewOracle(false)
+	o.Update(Batch{{Src: 1, Dst: 2, Weight: 3}})
+	if o.OutDegree(2) != 1 || o.InDegree(1) != 1 {
+		t.Fatal("undirected oracle should mirror edges")
+	}
+	if o.NumEdges() != 2 {
+		t.Fatalf("NumEdges=%d want 2 (both orientations)", o.NumEdges())
+	}
+}
+
+// Property: CSR preserves the multiset of edges for arbitrary inputs.
+func TestCSRProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{
+				Src: NodeID(raw[i] % 64), Dst: NodeID(raw[i+1] % 64), Weight: 1,
+			})
+		}
+		c := BuildCSR(64, edges)
+		return c.NumEdges() == len(edges)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package graph
+
+import "sort"
+
+// Oracle is a straightforward map-backed dynamic graph used as the ground
+// truth in equivalence tests: every SAGA-Bench data structure must expose
+// exactly the edge sets an Oracle exposes after the same batch sequence.
+// It applies the same unique-ingestion rule as the real structures: an edge
+// (src,dst) is stored once and a re-insert overwrites the weight.
+type Oracle struct {
+	directed bool
+	out      []map[NodeID]Weight
+	in       []map[NodeID]Weight
+}
+
+// NewOracle creates an oracle for a directed or undirected graph.
+func NewOracle(directed bool) *Oracle {
+	return &Oracle{directed: directed}
+}
+
+func (o *Oracle) grow(n NodeID) {
+	for len(o.out) <= int(n) {
+		o.out = append(o.out, nil)
+		o.in = append(o.in, nil)
+	}
+}
+
+// Update ingests one batch.
+func (o *Oracle) Update(b Batch) {
+	for _, e := range b {
+		o.insert(e.Src, e.Dst, e.Weight)
+		if !o.directed {
+			o.insert(e.Dst, e.Src, e.Weight)
+		}
+	}
+}
+
+func (o *Oracle) insert(src, dst NodeID, w Weight) {
+	hi := src
+	if dst > hi {
+		hi = dst
+	}
+	o.grow(hi)
+	if o.out[src] == nil {
+		o.out[src] = make(map[NodeID]Weight)
+	}
+	o.out[src][dst] = w
+	if o.in[dst] == nil {
+		o.in[dst] = make(map[NodeID]Weight)
+	}
+	o.in[dst][src] = w
+}
+
+// NumNodes reports 1 + the highest vertex ID ingested.
+func (o *Oracle) NumNodes() int { return len(o.out) }
+
+// NumEdges reports the number of distinct directed edges stored.
+func (o *Oracle) NumEdges() int {
+	n := 0
+	for _, m := range o.out {
+		n += len(m)
+	}
+	return n
+}
+
+// Out returns v's out-neighbors sorted by ID.
+func (o *Oracle) Out(v NodeID) []Neighbor { return sortedNeighbors(o.out, v) }
+
+// In returns v's in-neighbors sorted by ID.
+func (o *Oracle) In(v NodeID) []Neighbor { return sortedNeighbors(o.in, v) }
+
+// OutDegree reports the distinct out-degree of v.
+func (o *Oracle) OutDegree(v NodeID) int {
+	if int(v) >= len(o.out) {
+		return 0
+	}
+	return len(o.out[v])
+}
+
+// InDegree reports the distinct in-degree of v.
+func (o *Oracle) InDegree(v NodeID) int {
+	if int(v) >= len(o.in) {
+		return 0
+	}
+	return len(o.in[v])
+}
+
+func sortedNeighbors(adj []map[NodeID]Weight, v NodeID) []Neighbor {
+	if int(v) >= len(adj) || len(adj[v]) == 0 {
+		return nil
+	}
+	ns := make([]Neighbor, 0, len(adj[v]))
+	for id, w := range adj[v] {
+		ns = append(ns, Neighbor{ID: id, Weight: w})
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	return ns
+}
+
+// Delete removes the batch's edges (absent edges are no-ops), mirroring
+// both orientations for undirected oracles.
+func (o *Oracle) Delete(b Batch) {
+	for _, e := range b {
+		o.remove(e.Src, e.Dst)
+		if !o.directed {
+			o.remove(e.Dst, e.Src)
+		}
+	}
+}
+
+func (o *Oracle) remove(src, dst NodeID) {
+	if int(src) < len(o.out) && o.out[src] != nil {
+		delete(o.out[src], dst)
+	}
+	if int(dst) < len(o.in) && o.in[dst] != nil {
+		delete(o.in[dst], src)
+	}
+}
+
+// Edges materializes the oracle's distinct directed edges in deterministic
+// (src, dst) order.
+func (o *Oracle) Edges() []Edge {
+	var out []Edge
+	for src := range o.out {
+		for _, nb := range o.Out(NodeID(src)) {
+			out = append(out, Edge{Src: NodeID(src), Dst: nb.ID, Weight: nb.Weight})
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package snapshot
+
+import (
+	"math"
+	"testing"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/graph"
+)
+
+func TestFrozenRunsAlgorithms(t *testing.T) {
+	s := New(Config{Directed: true, Every: 2})
+	s.Observe(graph.Batch{
+		{Src: 0, Dst: 1, Weight: 2},
+		{Src: 1, Dst: 2, Weight: 3},
+	}, nil)
+	s.Observe(graph.Batch{{Src: 2, Dst: 3, Weight: 5}}, nil)
+
+	// BFS on the first snapshot: vertex 3 does not exist yet.
+	c0, err := s.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := compute.MustNewEngine("bfs", compute.FS, compute.Options{})
+	e.PerformAlg(Freeze(c0), nil)
+	v0 := e.Values()
+	if len(v0) != 3 || v0[0] != 0 || v0[1] != 1 || v0[2] != 2 {
+		t.Fatalf("snapshot-0 BFS: %v", v0)
+	}
+
+	// SSSP on the final snapshot sees the full chain with weights.
+	c1, err := s.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := compute.MustNewEngine("sssp", compute.FS, compute.Options{})
+	sp.PerformAlg(Freeze(c1), nil)
+	v1 := sp.Values()
+	want := []float64{0, 2, 5, 10}
+	for v := range want {
+		if v1[v] != want[v] {
+			t.Fatalf("snapshot-1 SSSP[%d]=%v want %v", v, v1[v], want[v])
+		}
+	}
+	_ = math.Inf
+}
+
+func TestFrozenIsImmutable(t *testing.T) {
+	s := New(Config{Directed: true})
+	s.Observe(graph.Batch{{Src: 0, Dst: 1, Weight: 1}}, nil)
+	c, err := s.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Freeze(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update on a frozen snapshot should panic")
+		}
+	}()
+	f.Update(graph.Batch{{Src: 1, Dst: 2, Weight: 1}})
+}
+
+func TestFrozenBounds(t *testing.T) {
+	s := New(Config{Directed: true})
+	s.Observe(graph.Batch{{Src: 0, Dst: 1, Weight: 1}}, nil)
+	c, _ := s.At(0)
+	f := Freeze(c)
+	if f.OutDegree(99) != 0 || f.InDegree(99) != 0 {
+		t.Fatal("out-of-range degree")
+	}
+	if len(f.OutNeigh(99, nil)) != 0 || len(f.InNeigh(99, nil)) != 0 {
+		t.Fatal("out-of-range adjacency")
+	}
+	if f.NumNodes() != 2 || f.NumEdges() != 1 || !f.Directed() {
+		t.Fatalf("identity: n=%d e=%d", f.NumNodes(), f.NumEdges())
+	}
+}

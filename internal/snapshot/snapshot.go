@@ -1,0 +1,127 @@
+// Package snapshot implements the multi-snapshot model the paper slates
+// for a future SAGA-Bench version (Section II, footnote 1; in the spirit
+// of Chronos and LLAMA's multiversioned arrays): alongside the latest
+// graph, the system can materialize the topology as of any past batch for
+// temporal analytics ("how did this community look three batches ago?").
+//
+// The store records every batch's insertions and deletions and writes a
+// full edge-list checkpoint every Every batches. Reconstructing batch i
+// replays the deltas after the nearest checkpoint at or before i and
+// freezes the result as a CSR — the classic checkpoint-plus-log tradeoff
+// between snapshot-query latency and memory.
+package snapshot
+
+import (
+	"fmt"
+
+	"sagabench/internal/graph"
+)
+
+// Config tunes the store.
+type Config struct {
+	// Directed declares the stream's directedness (undirected streams
+	// snapshot both orientations, like the live structures).
+	Directed bool
+	// Every is the checkpoint cadence in batches (default 8).
+	Every int
+}
+
+// delta is one batch's topology change.
+type delta struct {
+	adds graph.Batch
+	dels graph.Batch
+	// numNodes is the vertex-space size after this batch.
+	numNodes int
+}
+
+// checkpoint is a materialized distinct-edge state.
+type checkpoint struct {
+	batch    int // state after this batch index
+	edges    []graph.Edge
+	numNodes int
+}
+
+// Store records stream history and serves historical snapshots.
+type Store struct {
+	cfg    Config
+	live   *graph.Oracle
+	deltas []delta
+	checks []checkpoint
+}
+
+// New builds an empty store.
+func New(cfg Config) *Store {
+	if cfg.Every <= 0 {
+		cfg.Every = 8
+	}
+	return &Store{cfg: cfg, live: graph.NewOracle(cfg.Directed)}
+}
+
+// Observe records one processed batch (inserts plus optional deletions).
+// Call it once per batch, in stream order — e.g. from core.RunConfig's
+// OnBatch hook.
+func (s *Store) Observe(adds, dels graph.Batch) {
+	s.live.Update(adds)
+	s.live.Delete(dels)
+	d := delta{
+		adds:     append(graph.Batch(nil), adds...),
+		dels:     append(graph.Batch(nil), dels...),
+		numNodes: s.live.NumNodes(),
+	}
+	s.deltas = append(s.deltas, d)
+	idx := len(s.deltas) - 1
+	if idx%s.cfg.Every == 0 {
+		s.checks = append(s.checks, checkpoint{
+			batch:    idx,
+			edges:    s.live.Edges(),
+			numNodes: s.live.NumNodes(),
+		})
+	}
+}
+
+// Batches reports how many batches have been observed.
+func (s *Store) Batches() int { return len(s.deltas) }
+
+// Checkpoints reports how many full checkpoints exist (for memory
+// accounting and tests).
+func (s *Store) Checkpoints() int { return len(s.checks) }
+
+// Latest returns the current topology as a CSR snapshot.
+func (s *Store) Latest() *graph.CSR {
+	return graph.BuildCSR(s.live.NumNodes(), s.live.Edges())
+}
+
+// At materializes the topology as of batch index i (0-based: the state
+// after batch i was ingested).
+func (s *Store) At(i int) (*graph.CSR, error) {
+	if i < 0 || i >= len(s.deltas) {
+		return nil, fmt.Errorf("snapshot: batch %d outside observed range [0,%d)", i, len(s.deltas))
+	}
+	// Nearest checkpoint at or before i.
+	var base *checkpoint
+	for c := range s.checks {
+		if s.checks[c].batch <= i {
+			base = &s.checks[c]
+		} else {
+			break
+		}
+	}
+	rebuilt := graph.NewOracle(s.cfg.Directed)
+	start := 0
+	if base != nil {
+		// Checkpoint edges are the distinct directed records of the
+		// state (both orientations already present for undirected
+		// graphs; re-mirroring on replay is idempotent).
+		rebuilt.Update(graph.Batch(base.edges))
+		start = base.batch + 1
+	}
+	for b := start; b <= i; b++ {
+		rebuilt.Update(s.deltas[b].adds)
+		rebuilt.Delete(s.deltas[b].dels)
+	}
+	n := s.deltas[i].numNodes
+	if rn := rebuilt.NumNodes(); rn > n {
+		n = rn
+	}
+	return graph.BuildCSR(n, rebuilt.Edges()), nil
+}

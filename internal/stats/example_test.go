@@ -1,0 +1,20 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"sagabench/internal/stats"
+)
+
+// ExampleStageSummaries splits a latency series into the paper's three
+// stages and summarizes each with a 95% confidence interval.
+func ExampleStageSummaries() {
+	latencies := []float64{1, 1, 1, 2, 2, 2, 4, 4, 4}
+	for i, s := range stats.StageSummaries(latencies) {
+		fmt.Printf("P%d mean=%.0f n=%d\n", i+1, s.Mean, s.N)
+	}
+	// Output:
+	// P1 mean=1 n=3
+	// P2 mean=2 n=3
+	// P3 mean=4 n=3
+}

@@ -1,0 +1,112 @@
+// Package stats provides the summary statistics used throughout the
+// SAGA-Bench methodology (paper Section IV-B): per-stage averages with 95%
+// confidence intervals over the per-batch latency samples, and ratio
+// helpers for the normalized figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the mean of a sample set with its 95% confidence half-width.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI95 float64 // half-width of the 95% confidence interval
+}
+
+// z95 is the normal-approximation critical value; the paper's stages
+// contain dozens to hundreds of batch samples, well past the t-to-normal
+// crossover.
+const z95 = 1.959963984540054
+
+// Summarize computes mean, sample standard deviation, and the 95% CI
+// half-width of xs. An empty slice yields a zero Summary; a singleton has
+// zero Std/CI95.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N == 1 {
+		return s
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = z95 * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
+// Overlaps reports whether the two 95% confidence intervals intersect —
+// the paper's criterion for calling two configurations "competitive"
+// (Table III's x/y entries).
+func (s Summary) Overlaps(o Summary) bool {
+	return math.Abs(s.Mean-o.Mean) <= s.CI95+o.CI95
+}
+
+// String renders "mean ±ci".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ±%.2g", s.Mean, s.CI95)
+}
+
+// Ratio reports num/den, or 0 when den is 0.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Stages splits n samples into the paper's three equal stages P1 (early),
+// P2 (middle), P3 (final), returning the three index ranges [lo,hi). Any
+// remainder goes to the final stage.
+func Stages(n int) [3][2]int {
+	third := n / 3
+	return [3][2]int{
+		{0, third},
+		{third, 2 * third},
+		{2 * third, n},
+	}
+}
+
+// StageSummaries summarizes each of the three stages of the sample series.
+func StageSummaries(samples []float64) [3]Summary {
+	var out [3]Summary
+	for i, r := range Stages(len(samples)) {
+		out[i] = Summarize(samples[r[0]:r[1]])
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank on a
+// copy of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("Mean=%v want 5", s.Mean)
+	}
+	wantStd := math.Sqrt(32.0 / 7)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("Std=%v want %v", s.Std, wantStd)
+	}
+	wantCI := z95 * wantStd / math.Sqrt(8)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("CI95=%v want %v", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+	if s := Summarize([]float64{3}); s.Mean != 3 || s.Std != 0 || s.CI95 != 0 {
+		t.Errorf("singleton: %+v", s)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Summary{Mean: 10, CI95: 1}
+	b := Summary{Mean: 11.5, CI95: 1}
+	if !a.Overlaps(b) {
+		t.Error("intervals [9,11] and [10.5,12.5] should overlap")
+	}
+	c := Summary{Mean: 13, CI95: 0.5}
+	if a.Overlaps(c) {
+		t.Error("intervals [9,11] and [12.5,13.5] should not overlap")
+	}
+}
+
+func TestStages(t *testing.T) {
+	r := Stages(10)
+	want := [3][2]int{{0, 3}, {3, 6}, {6, 10}}
+	if r != want {
+		t.Errorf("Stages(10)=%v want %v", r, want)
+	}
+	r = Stages(2)
+	if r[0][1]-r[0][0] != 0 || r[2][1] != 2 {
+		t.Errorf("Stages(2)=%v", r)
+	}
+}
+
+func TestStageSummaries(t *testing.T) {
+	xs := []float64{1, 1, 1, 2, 2, 2, 3, 3, 3}
+	ss := StageSummaries(xs)
+	if ss[0].Mean != 1 || ss[1].Mean != 2 || ss[2].Mean != 3 {
+		t.Errorf("stage means %v %v %v", ss[0].Mean, ss[1].Mean, ss[2].Mean)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("P50=%v want 3", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("P100=%v want 5", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0=%v want 1", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile=%v", p)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Error("Ratio(6,0) != 0")
+	}
+}
+
+// Property: the mean always lies within [min,max] of the samples, stages
+// partition the sample count exactly, and CI95 is non-negative.
+func TestSummaryProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if len(clean) == 0 {
+			return s.N == 0
+		}
+		min, max := clean[0], clean[0]
+		for _, x := range clean {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if s.Mean < min-1e-9 || s.Mean > max+1e-9 || s.CI95 < 0 {
+			return false
+		}
+		r := Stages(len(clean))
+		total := 0
+		for _, st := range r {
+			total += st[1] - st[0]
+		}
+		return total == len(clean) && r[0][0] == 0 && r[2][1] == len(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
