@@ -21,6 +21,7 @@ import (
 	"sagabench/internal/elio"
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
+	"sagabench/internal/telemetry"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 		shuffle = flag.Bool("shuffle", true, "shuffle -input streams before batching (paper methodology)")
 		undir   = flag.Bool("undirected", false, "treat the -input stream as undirected")
 		profile = flag.String("profile", "default", "dataset scale: tiny, default, large")
-		dsName  = flag.String("ds", "adjshared", fmt.Sprintf("data structure %v", []string{"adjshared", "adjchunked", "stinger", "dah"}))
+		dsName  = flag.String("ds", "adjshared", fmt.Sprintf("data structure %v", ds.Names()))
 		alg     = flag.String("alg", "pr", fmt.Sprintf("algorithm %v", compute.AlgNames()))
 		model   = flag.String("model", "inc", "compute model: fs or inc")
 		threads = flag.Int("threads", 4, "worker threads for both phases")
@@ -39,8 +40,34 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		source  = flag.Uint("source", 0, "source vertex for bfs/sssp/sswp")
 		verbose = flag.Bool("v", false, "print every batch latency")
+
+		listen      = flag.String("listen", "", "serve /metrics (Prometheus + expvar) and /debug/pprof on this address during the run, e.g. :8090")
+		events      = flag.String("events", "", "write one JSONL telemetry event per batch to this file")
+		metricsDump = flag.Bool("metrics-dump", false, "print the final metrics in Prometheus text format after the run")
 	)
 	flag.Parse()
+
+	var rec *telemetry.Recorder
+	if *listen != "" || *events != "" || *metricsDump {
+		reg := telemetry.NewRegistry()
+		var sink *telemetry.EventSink
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fatal(err)
+			}
+			sink = telemetry.NewEventSink(f)
+		}
+		rec = telemetry.NewRecorder(reg, sink)
+		if *listen != "" {
+			srv, err := telemetry.ListenAndServe(*listen, reg)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "saga: telemetry on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+		}
+	}
 
 	pc := core.PipelineConfig{
 		DataStructure: *dsName,
@@ -48,6 +75,7 @@ func main() {
 		Model:         compute.Model(*model),
 		Threads:       *threads,
 		Compute:       compute.Options{Source: graph.NodeID(*source)},
+		Telemetry:     rec,
 	}
 	var onBatch func(b int, edges graph.Batch, p *core.Pipeline, lat core.BatchLatency)
 	if *verbose {
@@ -56,8 +84,6 @@ func main() {
 				b, len(edges), p.Graph().NumNodes(), lat.Update, lat.Compute, lat.Total())
 		}
 	}
-	_ = ds.Names() // ensure registry linkage for error messages
-
 	var res *core.RunResult
 	var err error
 	label := *dataset
@@ -113,6 +139,18 @@ func main() {
 	share := res.UpdateShare()
 	fmt.Printf("update share of batch latency: P1=%.0f%% P2=%.0f%% P3=%.0f%%\n",
 		100*share[0], 100*share[1], 100*share[2])
+
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			fatal(err)
+		}
+		if *events != "" {
+			fmt.Fprintf(os.Stderr, "saga: wrote batch events to %s\n", *events)
+		}
+		if *metricsDump {
+			rec.Registry().WritePrometheus(os.Stdout)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"sagabench/internal/bench"
 	_ "sagabench/internal/ds/all"
 	"sagabench/internal/gen"
+	"sagabench/internal/telemetry"
 )
 
 func main() {
@@ -30,8 +31,36 @@ func main() {
 		machdiv    = flag.Int("machdiv", 128, "simulated-machine capacity divisor for fig9/fig10")
 		outdir     = flag.String("outdir", "", "also write the experiment output to <outdir>/<experiment>.txt")
 		csvdir     = flag.String("csv", "", "write each experiment's data series as CSV files into this directory")
+
+		listen      = flag.String("listen", "", "serve /metrics (Prometheus + expvar) and /debug/pprof on this address while experiments run, e.g. :8090")
+		events      = flag.String("events", "", "write one JSONL telemetry event per measured batch to this file")
+		metricsDump = flag.Bool("metrics-dump", false, "print the final metrics in Prometheus text format after the run")
 	)
 	flag.Parse()
+
+	var rec *telemetry.Recorder
+	if *listen != "" || *events != "" || *metricsDump {
+		reg := telemetry.NewRegistry()
+		var sink *telemetry.EventSink
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sagabench:", err)
+				os.Exit(1)
+			}
+			sink = telemetry.NewEventSink(f)
+		}
+		rec = telemetry.NewRecorder(reg, sink)
+		if *listen != "" {
+			srv, err := telemetry.ListenAndServe(*listen, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sagabench:", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "sagabench: telemetry on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+		}
+	}
 
 	var out io.Writer = os.Stdout
 	if *outdir != "" {
@@ -56,6 +85,7 @@ func main() {
 		MachineDiv: *machdiv,
 		Out:        out,
 		CSVDir:     *csvdir,
+		Telemetry:  rec,
 	})
 	start := time.Now()
 	if err := h.RunExperiment(*experiment); err != nil {
@@ -63,6 +93,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n[%s completed in %s]\n", *experiment, time.Since(start).Round(time.Millisecond))
+
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sagabench:", err)
+			os.Exit(1)
+		}
+		if *metricsDump {
+			rec.Registry().WritePrometheus(os.Stdout)
+		}
+	}
 }
 
 func experimentHelp() string {

@@ -20,6 +20,7 @@ import (
 	"sagabench/internal/gen"
 	"sagabench/internal/perfmon"
 	"sagabench/internal/stats"
+	"sagabench/internal/telemetry"
 )
 
 // Options configures a harness invocation.
@@ -40,6 +41,10 @@ type Options struct {
 	// CSVDir, when set, additionally writes each experiment's data
 	// series as CSV files into this directory.
 	CSVDir string
+	// Telemetry, when non-nil, receives one event per batch of every
+	// measured run (live metrics + JSONL event log; see cmd/sagabench
+	// -listen/-events).
+	Telemetry *telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +153,7 @@ func (h *Harness) run(dataset, dsName, alg string, model compute.Model) (*core.R
 			Algorithm:     alg,
 			Model:         model,
 			Threads:       h.opts.Threads,
+			Telemetry:     h.opts.Telemetry,
 		},
 		Dataset: spec,
 		Seed:    h.opts.Seed,

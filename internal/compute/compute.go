@@ -113,6 +113,23 @@ type Stats struct {
 	Processed uint64
 	// EdgesTraversed counts neighbor records read.
 	EdgesTraversed uint64
+	// Triggered counts INC recomputations whose value change exceeded the
+	// triggering threshold and propagated to neighbors; Skipped counts
+	// recomputations the threshold absorbed. Both are zero for FS engines
+	// (recomputation from scratch has no triggering).
+	Triggered uint64
+	Skipped   uint64
+}
+
+// TriggerFraction reports Triggered / (Triggered + Skipped) — the paper's
+// selective-triggering effectiveness — or 0 when the model does not
+// trigger (FS) or no vertex was processed.
+func (s Stats) TriggerFraction() float64 {
+	n := s.Triggered + s.Skipped
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Triggered) / float64(n)
 }
 
 // AlgNames lists the six algorithms in the paper's order.

@@ -71,7 +71,7 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 	eps := e.spec.epsilon(e.opts, n)
 	threads := e.opts.threads()
 
-	var processed, edges atomic.Uint64
+	var processed, edges, triggered atomic.Uint64
 
 	// processRound re-executes lines 9-15 for every vertex in curr,
 	// returning the next frontier. Values are written in place; the
@@ -83,7 +83,7 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 			ctx := &recomputeCtx{g: g, vals: e.vals, numNodes: n, opts: e.opts}
 			var local []graph.NodeID
 			var pushBuf []graph.Neighbor
-			var nProc uint64
+			var nProc, nTrig uint64
 			for _, v := range curr[lo:hi] {
 				nProc++
 				old := e.vals.get(int(v))
@@ -105,6 +105,7 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 				if !trigger {
 					continue
 				}
+				nTrig++
 				pushBuf = g.OutNeigh(v, pushBuf[:0])
 				if e.spec.pushBoth {
 					pushBuf = g.InNeigh(v, pushBuf)
@@ -117,6 +118,7 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 				}
 			}
 			processed.Add(nProc)
+			triggered.Add(nTrig)
 			edges.Add(ctx.edges)
 			if len(local) > 0 {
 				mu.Lock()
@@ -148,4 +150,6 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 	}
 	e.stats.Processed = processed.Load()
 	e.stats.EdgesTraversed = edges.Load()
+	e.stats.Triggered = triggered.Load()
+	e.stats.Skipped = e.stats.Processed - e.stats.Triggered
 }

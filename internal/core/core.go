@@ -25,15 +25,23 @@ import (
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
 	"sagabench/internal/stats"
+	"sagabench/internal/telemetry"
 )
 
 // Pipeline couples one data structure with one compute engine.
 type Pipeline struct {
 	g      ds.Graph
 	engine compute.Engine
+	rec    *telemetry.Recorder
 
 	affected     []graph.NodeID
 	affectedMark []uint8
+	mixedScratch graph.Batch
+
+	// Telemetry bookkeeping, touched only when rec != nil.
+	batchIdx  int
+	repeatTag int
+	lastProf  ds.UpdateProfile
 }
 
 // PipelineConfig selects the pipeline's components.
@@ -58,6 +66,10 @@ type PipelineConfig struct {
 	// DS carries data-structure tuning (block size, chunk count, flush
 	// threshold). Directed/Threads/MaxNodesHint above take precedence.
 	DS ds.Config
+	// Telemetry, when non-nil, receives one event per processed batch
+	// (latencies, affected-set size, compute stats, ds profile deltas).
+	// Nil disables instrumentation at near-zero cost.
+	Telemetry *telemetry.Recorder
 }
 
 // NewPipeline validates the config and builds the pipeline.
@@ -76,8 +88,12 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{g: g, engine: engine}, nil
+	return &Pipeline{g: g, engine: engine, rec: cfg.Telemetry}, nil
 }
+
+// SetTelemetry installs (or removes, with nil) the batch recorder on a
+// built pipeline.
+func (p *Pipeline) SetTelemetry(rec *telemetry.Recorder) { p.rec = rec }
 
 // Graph exposes the topology (read-only between updates).
 func (p *Pipeline) Graph() ds.Graph { return p.g }
@@ -109,7 +125,44 @@ func (p *Pipeline) Process(batch graph.Batch) BatchLatency {
 	t1 := time.Now()
 	p.engine.PerformAlg(p.g, aff)
 	lat.Compute = time.Since(t1)
+	if p.rec != nil {
+		p.record(len(batch), 0, len(aff), lat)
+	}
 	return lat
+}
+
+// record assembles and emits one telemetry event. Callers must guard with
+// p.rec != nil so the disabled path allocates nothing.
+func (p *Pipeline) record(edges, deletes, affected int, lat BatchLatency) {
+	es := p.engine.Stats()
+	ev := telemetry.BatchEvent{
+		Repeat:         p.repeatTag,
+		Batch:          p.batchIdx,
+		Edges:          edges,
+		Deletes:        deletes,
+		Nodes:          p.g.NumNodes(),
+		UpdateNS:       lat.Update.Nanoseconds(),
+		ComputeNS:      lat.Compute.Nanoseconds(),
+		Affected:       affected,
+		Iterations:     es.Iterations,
+		Processed:      es.Processed,
+		EdgesTraversed: es.EdgesTraversed,
+		Triggered:      es.Triggered,
+		Skipped:        es.Skipped,
+		TriggerFrac:    es.TriggerFraction(),
+	}
+	p.batchIdx++
+	if prof, ok := ds.ProfileOf(p.g); ok {
+		d := prof.Delta(&p.lastProf)
+		p.lastProf = prof
+		ev.DSEdgesIngested = d.EdgesIngested
+		ev.DSInserted = d.Inserted
+		ev.DSScanSteps = d.ScanSteps
+		ev.DSLockConflicts = d.LockConflicts
+		ev.DSMetaOps = d.MetaOps
+		ev.DSImbalance = d.Imbalance()
+	}
+	p.rec.RecordBatch(&ev)
 }
 
 // affectedOf deduplicates the batch's endpoint vertices — the affected
@@ -227,6 +280,7 @@ func (res *RunResult) measureOnce(pc PipelineConfig, edges []graph.Edge, batchSi
 	if err != nil {
 		return err
 	}
+	p.repeatTag = repeat
 	batches := graph.Batches(edges, batchSize)
 	if res.BatchCount == 0 {
 		res.BatchCount = len(batches)
@@ -334,9 +388,13 @@ func (p *Pipeline) ProcessMixed(mb MixedBatch) (BatchLatency, error) {
 			da.NotifyDeletions(p.g, mb.Dels)
 		}
 	}
-	aff := p.affectedOf(append(append(graph.Batch{}, mb.Adds...), mb.Dels...))
+	p.mixedScratch = append(append(p.mixedScratch[:0], mb.Adds...), mb.Dels...)
+	aff := p.affectedOf(p.mixedScratch)
 	t1 := time.Now()
 	p.engine.PerformAlg(p.g, aff)
 	lat.Compute = time.Since(t1)
+	if p.rec != nil {
+		p.record(len(mb.Adds), len(mb.Dels), len(aff), lat)
+	}
 	return lat, nil
 }

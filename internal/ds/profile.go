@@ -39,6 +39,39 @@ func (p *UpdateProfile) Add(o UpdateProfile) {
 	}
 }
 
+// Delta returns the field-wise difference p - prev: the increment one
+// batch contributed to the cumulative profile. The telemetry layer uses
+// it to snapshot the profile per batch instead of per run. Counters that
+// went backwards (a ResetProfile between snapshots) clamp to the current
+// cumulative value; ChunkLoads missing from prev count as zero.
+func (p *UpdateProfile) Delta(prev *UpdateProfile) UpdateProfile {
+	d := UpdateProfile{
+		EdgesIngested: sub(p.EdgesIngested, prev.EdgesIngested),
+		Inserted:      sub(p.Inserted, prev.Inserted),
+		ScanSteps:     sub(p.ScanSteps, prev.ScanSteps),
+		LockConflicts: sub(p.LockConflicts, prev.LockConflicts),
+		MetaOps:       sub(p.MetaOps, prev.MetaOps),
+	}
+	if len(p.ChunkLoads) > 0 {
+		d.ChunkLoads = make([]uint64, len(p.ChunkLoads))
+		for i, v := range p.ChunkLoads {
+			if i < len(prev.ChunkLoads) {
+				d.ChunkLoads[i] = sub(v, prev.ChunkLoads[i])
+			} else {
+				d.ChunkLoads[i] = v
+			}
+		}
+	}
+	return d
+}
+
+func sub(cur, prev uint64) uint64 {
+	if prev > cur {
+		return cur
+	}
+	return cur - prev
+}
+
 // Imbalance reports max/mean of the chunk loads (1 = perfectly balanced,
 // larger = more of the batch funnels into few chunks). Returns 1 when the
 // store is not chunked or has seen no work.

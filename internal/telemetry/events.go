@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// BatchEvent is one structured record of the per-batch event log —
+// everything the paper measures per batch, plus the data-structure update
+// profile of Fig 9, as a single JSONL line.
+type BatchEvent struct {
+	// TimeUnixMS is the wall-clock completion time of the batch.
+	TimeUnixMS int64 `json:"ts_ms"`
+	// Repeat is the stream repetition index of the measurement harness.
+	Repeat int `json:"repeat,omitempty"`
+	// Batch is the batch index within the pipeline's lifetime.
+	Batch int `json:"batch"`
+	// Edges is the insertion count of the batch; Deletes the deletion
+	// count (mixed streams only).
+	Edges   int `json:"edges"`
+	Deletes int `json:"deletes,omitempty"`
+	// Nodes is NumNodes after the update phase.
+	Nodes int `json:"nodes"`
+	// UpdateNS / ComputeNS are the two phase latencies of Equation 1.
+	UpdateNS  int64 `json:"update_ns"`
+	ComputeNS int64 `json:"compute_ns"`
+	// Affected is the size of the deduplicated affected vertex set handed
+	// to the compute phase (Algorithm 1).
+	Affected int `json:"affected"`
+
+	// Compute-phase work (engine stats of the batch).
+	Iterations     int    `json:"iterations"`
+	Processed      uint64 `json:"processed"`
+	EdgesTraversed uint64 `json:"edges_traversed"`
+	// Triggered / Skipped split the processed vertices of an INC engine
+	// into those whose recomputation propagated and those absorbed by the
+	// triggering threshold; TriggerFrac is Triggered/Processed.
+	Triggered   uint64  `json:"triggered,omitempty"`
+	Skipped     uint64  `json:"skipped,omitempty"`
+	TriggerFrac float64 `json:"trigger_frac,omitempty"`
+
+	// Update-phase data-structure profile, as per-batch deltas of
+	// ds.UpdateProfile (zero when the structure is not profiled).
+	DSEdgesIngested uint64  `json:"ds_edges_ingested,omitempty"`
+	DSInserted      uint64  `json:"ds_inserted,omitempty"`
+	DSScanSteps     uint64  `json:"ds_scan_steps,omitempty"`
+	DSLockConflicts uint64  `json:"ds_lock_conflicts,omitempty"`
+	DSMetaOps       uint64  `json:"ds_meta_ops,omitempty"`
+	DSImbalance     float64 `json:"ds_imbalance,omitempty"`
+}
+
+// Total is the batch processing latency in nanoseconds (Equation 1).
+func (e *BatchEvent) Total() time.Duration {
+	return time.Duration(e.UpdateNS + e.ComputeNS)
+}
+
+// EventSink writes BatchEvents as JSON lines to a writer. It is safe for
+// concurrent use; writes are buffered until Flush or Close.
+type EventSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	err error
+	n   uint64
+}
+
+// NewEventSink wraps w. If w is also an io.Closer, Close closes it after
+// flushing.
+func NewEventSink(w io.Writer) *EventSink {
+	bw := bufio.NewWriter(w)
+	s := &EventSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write appends one event line. The first encode error is sticky and
+// returned by every later call.
+func (s *EventSink) Write(ev *BatchEvent) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = err
+		return err
+	}
+	s.n++
+	return nil
+}
+
+// Count reports the number of events written so far.
+func (s *EventSink) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *EventSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer if it is closable.
+func (s *EventSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.bw.Flush()
+	if s.err == nil {
+		s.err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); s.err == nil {
+			s.err = cerr
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// ReadEvents decodes a JSONL event stream back into BatchEvents (the
+// inverse of EventSink for tooling and tests).
+func ReadEvents(r io.Reader) ([]BatchEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []BatchEvent
+	for {
+		var ev BatchEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency bucket upper bounds in seconds: a
+// 1-2.5-5 exponential ladder from 1µs to 10s, covering batch phase
+// latencies from tiny synthetic streams to full-size paper datasets.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// FractionBuckets suit metrics bounded in [0,1] such as the INC trigger
+// fraction or the update share of batch latency.
+var FractionBuckets = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation.
+// Observations land in the first bucket whose upper bound is >= the value;
+// values above the last bound land in an implicit +Inf overflow bucket.
+// Quantiles are estimated by linear interpolation inside the target bucket
+// (the standard Prometheus histogram_quantile estimate).
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds (finite)
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (nil selects DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean reports Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// snapshot copies the finite bounds and all bucket counts (the extra final
+// count is the +Inf bucket).
+func (h *Histogram) snapshot() (bounds []float64, counts []uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Quantile estimates the q-th quantile (0..1) by locating the bucket that
+// holds the q*N-th observation and interpolating linearly inside it. The
+// first bucket interpolates from 0; observations in the +Inf bucket clamp
+// to the highest finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, ub := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank {
+			lb := 0.0
+			if i > 0 {
+				lb = h.bounds[i-1]
+			}
+			if c == 0 {
+				return ub
+			}
+			return lb + (ub-lb)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}

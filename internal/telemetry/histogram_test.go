@@ -1,0 +1,103 @@
+package telemetry_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sagabench/internal/stats"
+	"sagabench/internal/telemetry"
+)
+
+// unitBounds returns bucket upper bounds 1..n step 1.
+func unitBounds(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	return b
+}
+
+// TestHistogramQuantileAgainstStats cross-checks the bucket-interpolated
+// quantile estimate against the exact nearest-rank percentile from
+// internal/stats on known distributions. With unit buckets the estimate
+// must land within one bucket width of the exact answer.
+func TestHistogramQuantileAgainstStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 100 },
+		"exponential": func() float64 { return math.Min(rng.ExpFloat64()*10, 99.9) },
+		"bimodal": func() float64 {
+			if rng.Intn(2) == 0 {
+				return 10 + rng.Float64()*5
+			}
+			return 80 + rng.Float64()*5
+		},
+	}
+	for name, draw := range dists {
+		h := telemetry.NewHistogram(unitBounds(100))
+		samples := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := draw()
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		for _, q := range []float64{0.50, 0.95, 0.99} {
+			exact := stats.Percentile(samples, q*100)
+			est := h.Quantile(q)
+			if math.Abs(est-exact) > 1.0 {
+				t.Errorf("%s p%d: histogram %v vs exact %v (diff > bucket width)", name, int(q*100), est, exact)
+			}
+		}
+		if math.Abs(h.Mean()-stats.Summarize(samples).Mean) > 1e-6 {
+			t.Errorf("%s: mean %v vs %v", name, h.Mean(), stats.Summarize(samples).Mean)
+		}
+	}
+}
+
+// TestHistogramEdgeCases covers empty histograms, overflow clamping, and
+// underflow interpolation from zero.
+func TestHistogramEdgeCases(t *testing.T) {
+	h := telemetry.NewHistogram([]float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("overflow quantile = %v, want clamp to 4", got)
+	}
+	lo := telemetry.NewHistogram([]float64{10})
+	lo.Observe(5)
+	lo.Observe(5)
+	if q := lo.Quantile(0.5); q <= 0 || q > 10 {
+		t.Fatalf("underflow quantile = %v, want in (0,10]", q)
+	}
+	if h.Count() != 1 || h.Sum() != 100 {
+		t.Fatalf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramConcurrentObserve proves Observe is safe (and exact in
+// count/sum) under concurrency; meaningful under -race.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := telemetry.NewHistogram(telemetry.DefBuckets)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*per); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	if math.Abs(h.Sum()-float64(workers*per)*0.001) > 1e-6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sagabench/internal/telemetry"
+)
+
+// TestConcurrentCounters hammers one counter and one gauge from many
+// goroutines; run under -race this also proves the increment path is
+// data-race free.
+func TestConcurrentCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("test_total", "concurrent increments")
+	g := reg.Gauge("test_gauge", "concurrent sets")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(2)
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(3*workers*perWorker); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if v := g.Value(); v < 0 || v >= workers {
+		t.Fatalf("gauge = %v, want a worker index", v)
+	}
+}
+
+// TestRegistryGetOrCreate checks that metric constructors are idempotent
+// by name and panic on kind conflicts.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := reg.Counter("dup_total", "")
+	b := reg.Counter("dup_total", "")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	reg.Gauge("dup_total", "")
+}
+
+// TestWritePrometheus checks the text exposition of all three metric
+// kinds, including cumulative histogram buckets.
+func TestWritePrometheus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("batches_total", "processed batches").Add(7)
+	reg.Gauge("nodes", "graph order").Set(42.5)
+	h := reg.Histogram("lat_seconds", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE batches_total counter\nbatches_total 7\n",
+		"# TYPE nodes gauge\nnodes 42.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="2"} 2`,
+		`lat_seconds_bucket{le="4"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_sum 105\n",
+		"lat_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpvarFunc checks the expvar snapshot shape.
+func TestExpvarFunc(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("c_total", "").Add(3)
+	reg.Histogram("h_seconds", "", []float64{1, 2}).Observe(1.5)
+	snap, ok := reg.ExpvarFunc()().(map[string]any)
+	if !ok {
+		t.Fatal("expvar snapshot is not a map")
+	}
+	if snap["c_total"] != uint64(3) {
+		t.Fatalf("c_total = %v", snap["c_total"])
+	}
+	hs, ok := snap["h_seconds"].(map[string]any)
+	if !ok || hs["count"] != uint64(1) {
+		t.Fatalf("h_seconds snapshot = %v", snap["h_seconds"])
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import "time"
+
+// Recorder is the pipeline's hook point: the core package calls
+// RecordBatch once per processed batch, and the recorder fans the event
+// out to the metric registry and the optional JSONL event sink.
+//
+// A nil *Recorder is a valid disabled recorder — every method short-
+// circuits — and the core pipeline additionally guards its event
+// assembly behind a nil check so the disabled path performs no
+// allocation at all.
+type Recorder struct {
+	reg  *Registry
+	sink *EventSink
+
+	batches        *Counter
+	edges          *Counter
+	deletes        *Counter
+	affected       *Counter
+	processed      *Counter
+	edgesTraversed *Counter
+	triggered      *Counter
+	skipped        *Counter
+	nodes          *Gauge
+
+	updateLat   *Histogram
+	computeLat  *Histogram
+	totalLat    *Histogram
+	triggerFrac *Histogram
+
+	dsIngested  *Counter
+	dsInserted  *Counter
+	dsScan      *Counter
+	dsConflicts *Counter
+	dsMetaOps   *Counter
+	dsImbalance *Gauge
+}
+
+// NewRecorder builds a recorder over reg (required) and sink (optional:
+// nil disables the event log but keeps the metrics).
+func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
+	r := &Recorder{reg: reg, sink: sink}
+	r.batches = reg.Counter("saga_batches_total", "Batches processed")
+	r.edges = reg.Counter("saga_edges_ingested_total", "Edge insertions offered to the update phase")
+	r.deletes = reg.Counter("saga_edges_deleted_total", "Edge deletions applied by mixed batches")
+	r.affected = reg.Counter("saga_affected_vertices_total", "Deduplicated affected vertices handed to the compute phase")
+	r.processed = reg.Counter("saga_vertices_processed_total", "Vertex recomputations performed by the compute phase")
+	r.edgesTraversed = reg.Counter("saga_edges_traversed_total", "Neighbor records read by the compute phase")
+	r.triggered = reg.Counter("saga_inc_triggered_total", "INC recomputations that propagated past the triggering threshold")
+	r.skipped = reg.Counter("saga_inc_skipped_total", "INC recomputations absorbed by the triggering threshold")
+	r.nodes = reg.Gauge("saga_graph_nodes", "Vertices in the evolving graph")
+	r.updateLat = reg.Histogram("saga_update_latency_seconds", "Update phase latency per batch", nil)
+	r.computeLat = reg.Histogram("saga_compute_latency_seconds", "Compute phase latency per batch", nil)
+	r.totalLat = reg.Histogram("saga_batch_latency_seconds", "Batch processing latency per batch (Equation 1)", nil)
+	r.triggerFrac = reg.Histogram("saga_inc_trigger_fraction", "Per-batch fraction of processed vertices that triggered", FractionBuckets)
+	r.dsIngested = reg.Counter("saga_ds_edges_ingested_total", "UpdateProfile: edge records offered to the store")
+	r.dsInserted = reg.Counter("saga_ds_inserted_total", "UpdateProfile: records that created a new adjacency entry")
+	r.dsScan = reg.Counter("saga_ds_scan_steps_total", "UpdateProfile: elements examined by pre-insert searches")
+	r.dsConflicts = reg.Counter("saga_ds_lock_conflicts_total", "UpdateProfile: lock acquisitions that found the lock held")
+	r.dsMetaOps = reg.Counter("saga_ds_meta_ops_total", "UpdateProfile: degree-query and flush meta-operations")
+	r.dsImbalance = reg.Gauge("saga_ds_chunk_imbalance", "UpdateProfile: max/mean chunk load of the latest batch")
+	return r
+}
+
+// Registry exposes the metric registry (nil for a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// RecordBatch folds one batch event into the metrics and appends it to
+// the event log. The event's timestamp is stamped here if unset.
+func (r *Recorder) RecordBatch(ev *BatchEvent) {
+	if r == nil {
+		return
+	}
+	if ev.TimeUnixMS == 0 {
+		ev.TimeUnixMS = time.Now().UnixMilli()
+	}
+	r.batches.Inc()
+	r.edges.Add(uint64(ev.Edges))
+	r.deletes.Add(uint64(ev.Deletes))
+	r.affected.Add(uint64(ev.Affected))
+	r.processed.Add(ev.Processed)
+	r.edgesTraversed.Add(ev.EdgesTraversed)
+	r.triggered.Add(ev.Triggered)
+	r.skipped.Add(ev.Skipped)
+	r.nodes.Set(float64(ev.Nodes))
+	r.updateLat.Observe(float64(ev.UpdateNS) / 1e9)
+	r.computeLat.Observe(float64(ev.ComputeNS) / 1e9)
+	r.totalLat.Observe(float64(ev.UpdateNS+ev.ComputeNS) / 1e9)
+	if ev.Triggered+ev.Skipped > 0 {
+		r.triggerFrac.Observe(ev.TriggerFrac)
+	}
+	r.dsIngested.Add(ev.DSEdgesIngested)
+	r.dsInserted.Add(ev.DSInserted)
+	r.dsScan.Add(ev.DSScanSteps)
+	r.dsConflicts.Add(ev.DSLockConflicts)
+	r.dsMetaOps.Add(ev.DSMetaOps)
+	if ev.DSImbalance > 0 {
+		r.dsImbalance.Set(ev.DSImbalance)
+	}
+	if r.sink != nil {
+		r.sink.Write(ev) // first error is sticky inside the sink
+	}
+}
+
+// Flush drains the event sink (no-op without one).
+func (r *Recorder) Flush() error {
+	if r == nil || r.sink == nil {
+		return nil
+	}
+	return r.sink.Flush()
+}
+
+// Close flushes and closes the event sink (no-op without one).
+func (r *Recorder) Close() error {
+	if r == nil || r.sink == nil {
+		return nil
+	}
+	return r.sink.Close()
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-global expvar namespace: expvar.Publish
+// panics on duplicate names, and tests may build several servers.
+var expvarOnce sync.Once
+
+// NewMux builds the observability mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar JSON (reg published under "saga")
+//	/debug/pprof/  live CPU/heap/goroutine profiling (net/http/pprof)
+//	/              endpoint index
+func NewMux(reg *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("saga", reg.ExpvarFunc())
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "saga telemetry\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a started observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener; in-flight requests are abandoned.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ListenAndServe binds addr (e.g. ":8090") and serves the observability
+// mux in a background goroutine, so a streaming run can be scraped and
+// profiled while it executes. The returned server reports the bound
+// address and must be Closed by the caller.
+func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: NewMux(reg)}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}

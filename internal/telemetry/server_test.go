@@ -1,0 +1,49 @@
+package telemetry_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sagabench/internal/telemetry"
+)
+
+// TestServerEndpoints boots the observability endpoint on an ephemeral
+// port and checks /metrics, /debug/vars, and /debug/pprof/ respond with
+// the expected content while the process runs.
+func TestServerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("saga_batches_total", "").Add(5)
+	srv, err := telemetry.ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "saga_batches_total 5") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: code=%d body[:80]=%q", code, body[:min(80, len(body))])
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+	if code, _ := get("/debug/pprof/heap?debug=1"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap: code=%d", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope: code=%d, want 404", code)
+	}
+}
