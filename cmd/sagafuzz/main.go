@@ -1,0 +1,234 @@
+// Command sagafuzz is the differential fuzz driver: it generates a
+// deterministic, seed-driven edge stream and replays it through every
+// selected data structure, cross-checking full adjacency against the
+// sequential oracle after every batch and every (algorithm, model) engine
+// against the sequential reference implementations.
+//
+// A clean sweep exits 0. On divergence it minimizes the failing stream
+// (drop whole batches, then single edges) and writes a replayable repro:
+//
+//	sagafuzz -seed 1 -batches 50              # the sweep
+//	sagafuzz -replay sagafuzz.repro           # re-run a minimized repro
+//
+// -inject plants a deliberate defect in the structures under test to
+// demonstrate the catch-and-shrink loop end to end (see -help).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/crosscheck"
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "stream generation seed (same seed = same stream)")
+		batches   = flag.Int("batches", 50, "number of stream steps")
+		batchSize = flag.Int("batch-size", 400, "edges per step")
+		nodes     = flag.Int("nodes", 96, "vertex ID space (small = dense collisions)")
+		directed  = flag.Bool("directed", true, "stream directedness")
+		deletes   = flag.Bool("deletes", true, "mix deletion batches into the stream")
+		threads   = flag.Int("threads", 4, "worker threads for update and compute phases")
+		dsList    = flag.String("ds", "", "comma-separated data structures (default: all registered)")
+		algList   = flag.String("algs", "", "comma-separated algorithms (default: all six)")
+		modList   = flag.String("models", "", "comma-separated compute models: fs,inc (default: both)")
+		topoOnly  = flag.Bool("topology-only", false, "skip the compute engines, check adjacency only")
+		replay    = flag.String("replay", "", "replay a repro file instead of fuzzing")
+		out       = flag.String("out", "sagafuzz.repro", "where to write the minimized repro on failure")
+		inject    = flag.String("inject", "", "plant a defect: drop-edge:SRC:DST | degree-cap:CAP | stale-weight")
+	)
+	flag.Parse()
+
+	fault, err := parseFault(*inject)
+	if err != nil {
+		fatalf("bad -inject: %v", err)
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay, fault, *threads))
+	}
+
+	mk := injector(fault, *directed, *threads)
+
+	cfg := crosscheck.Config{
+		Stream: crosscheck.StreamConfig{
+			Seed:      *seed,
+			Batches:   *batches,
+			BatchSize: *batchSize,
+			NumNodes:  *nodes,
+			Directed:  *directed,
+			Deletes:   *deletes,
+		},
+		Threads:       *threads,
+		Structures:    validStructures(splitList(*dsList)),
+		Algorithms:    splitList(*algList),
+		TopologyOnly:  *topoOnly,
+		MakeStructure: mk,
+	}
+	for _, m := range splitList(*modList) {
+		switch m {
+		case string(compute.FS), string(compute.INC):
+			cfg.Models = append(cfg.Models, compute.Model(m))
+		default:
+			fatalf("unknown model %q (want fs or inc)", m)
+		}
+	}
+
+	stream := crosscheck.NewStream(cfg.Stream)
+	adds, dels := stream.NumEdges()
+	rep := crosscheck.Replay(cfg, stream)
+	fmt.Printf("sagafuzz: seed %d: %d batches (%d adds, %d dels) x %d structures: %d topology checks, %d value checks\n",
+		*seed, rep.Batches, adds, dels, len(rep.Structures), rep.TopologyChecks, rep.ValueChecks)
+	if rep.OK() {
+		fmt.Println("sagafuzz: PASS: all structures and engines agree with the sequential oracle")
+		return
+	}
+
+	fmt.Printf("sagafuzz: FAIL: %d divergence(s):\n", len(rep.Failures))
+	for _, f := range rep.Failures {
+		fmt.Printf("  %s\n", f)
+	}
+	first := rep.Failures[0]
+	label := "topology"
+	if first.Kind != "topology" {
+		label = fmt.Sprintf("%s/%s", first.Alg, first.Model)
+	}
+	fmt.Printf("sagafuzz: minimizing %s failure on %s...\n", label, first.DS)
+	repro := crosscheck.MinimizeFailure(cfg, stream, first)
+	madds, mdels := repro.Stream.NumEdges()
+	fmt.Printf("sagafuzz: minimized to %d batches / %d adds / %d dels\n", len(repro.Stream), madds, mdels)
+	if err := repro.WriteFile(*out); err != nil {
+		fatalf("writing repro: %v", err)
+	}
+	// The repro stores the stream, not the planted defect: replaying an
+	// -inject run needs the same -inject spec again.
+	rerun := fmt.Sprintf("sagafuzz -replay %s", *out)
+	if *inject != "" {
+		rerun = fmt.Sprintf("sagafuzz -replay %s -inject %s", *out, *inject)
+	}
+	fmt.Printf("sagafuzz: repro written to %s (re-run: %s)\n", *out, rerun)
+	os.Exit(1)
+}
+
+func runReplay(path string, fault *crosscheck.FaultSpec, threads int) int {
+	r, err := crosscheck.ReadReproFile(path)
+	if err != nil {
+		fatalf("reading repro: %v", err)
+	}
+	what := "topology"
+	if r.Alg != "" {
+		what = fmt.Sprintf("%s/%s", r.Alg, r.Model)
+	}
+	radds, rdels := r.Stream.NumEdges()
+	fmt.Printf("sagafuzz: replaying %s: %s on %s, %d batches / %d adds / %d dels\n",
+		path, what, r.DS, len(r.Stream), radds, rdels)
+	rep := r.Replay(injector(fault, r.Directed, threads))
+	if rep.OK() {
+		fmt.Println("sagafuzz: PASS: repro no longer reproduces")
+		return 0
+	}
+	fmt.Printf("sagafuzz: FAIL: still reproduces:\n")
+	for _, f := range rep.Failures {
+		fmt.Printf("  %s\n", f)
+	}
+	return 1
+}
+
+// parseFault parses -inject; an empty spec returns nil (no defect).
+func parseFault(spec string) (*crosscheck.FaultSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	fs := &crosscheck.FaultSpec{}
+	switch parts[0] {
+	case string(crosscheck.FaultDropEdge):
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("want drop-edge:SRC:DST")
+		}
+		src, err1 := strconv.ParseUint(parts[1], 10, 32)
+		dst, err2 := strconv.ParseUint(parts[2], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad vertex in %q", spec)
+		}
+		fs.Fault = crosscheck.FaultDropEdge
+		fs.Src, fs.Dst = graph.NodeID(src), graph.NodeID(dst)
+	case string(crosscheck.FaultDegreeCap):
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("want degree-cap:CAP")
+		}
+		capv, err := strconv.Atoi(parts[1])
+		if err != nil || capv <= 0 {
+			return nil, fmt.Errorf("bad cap in %q", spec)
+		}
+		fs.Fault = crosscheck.FaultDegreeCap
+		fs.Cap = capv
+	case string(crosscheck.FaultStaleWeight):
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("stale-weight takes no arguments")
+		}
+		fs.Fault = crosscheck.FaultStaleWeight
+	default:
+		return nil, fmt.Errorf("unknown fault %q", parts[0])
+	}
+	return fs, nil
+}
+
+// injector builds the structure factory for a parsed fault; nil fault
+// returns nil so the harness uses plain registry construction.
+func injector(fault *crosscheck.FaultSpec, directed bool, threads int) func(string) ds.Graph {
+	if fault == nil {
+		return nil
+	}
+	return func(name string) ds.Graph {
+		g, err := ds.New(name, ds.Config{Directed: directed, Threads: threads})
+		if err != nil {
+			fatalf("constructing %s: %v", name, err)
+		}
+		return crosscheck.InjectFault(g, *fault)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// validStructures rejects unknown -ds names before the sweep starts, so a
+// typo fails with the registry listing instead of a spurious divergence.
+func validStructures(names []string) []string {
+	for _, name := range names {
+		known := false
+		for _, have := range ds.Names() {
+			if name == have {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fatalf("unknown -ds %q (have %v)", name, ds.Names())
+		}
+	}
+	return names
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sagafuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

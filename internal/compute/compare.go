@@ -1,0 +1,84 @@
+package compute
+
+import (
+	"fmt"
+	"math"
+
+	"sagabench/internal/graph"
+)
+
+// Result extraction for differential comparison: the crosscheck harness
+// (internal/crosscheck) and the convergence tests compare engine Values()
+// against sequential oracle references. This file centralizes how a
+// reference answer is produced for an (algorithm, Options) pair and how
+// two property vectors are declared equal, so every caller applies the
+// same tolerance policy.
+
+// Reference computes the sequential ground-truth property vector for alg
+// on the oracle graph, honoring the same Options the engines see (source
+// vertex, PageRank tolerance and iteration cap).
+func Reference(alg string, o *graph.Oracle, opts Options) ([]float64, error) {
+	switch alg {
+	case "bfs":
+		return graph.RefBFS(o, opts.Source), nil
+	case "cc":
+		return graph.RefCC(o), nil
+	case "mc":
+		return graph.RefMC(o), nil
+	case "pr":
+		return graph.RefPR(o, opts.prTolerance(), opts.prMaxIters()), nil
+	case "sssp":
+		return graph.RefSSSP(o, opts.Source), nil
+	case "sswp":
+		return graph.RefSSWP(o, opts.Source), nil
+	}
+	return nil, fmt.Errorf("compute: no reference implementation for %q", alg)
+}
+
+// MustReference is Reference that panics on unknown algorithms.
+func MustReference(alg string, o *graph.Oracle, opts Options) []float64 {
+	vals, err := Reference(alg, o, opts)
+	if err != nil {
+		panic(err)
+	}
+	return vals
+}
+
+// Tolerance reports the comparison tolerance for alg's property values:
+// 0 (exact) for the integer-valued algorithms (BFS depths, CC/MC labels),
+// a tiny epsilon for the weighted path algorithms (float64 sums/mins of
+// float32 weights), and a looser epsilon for PageRank, whose two models
+// approximate the same fixpoint down to their triggering thresholds.
+func Tolerance(alg string) float64 {
+	switch alg {
+	case "bfs", "cc", "mc":
+		return 0
+	case "pr":
+		return 1e-6
+	default: // sssp, sswp
+		return 1e-9
+	}
+}
+
+// DiffValues returns the index of the first slot where got and want differ
+// by more than tol (+Inf matches +Inf), or -1 when the vectors agree. A
+// length mismatch reports the first index past the shorter vector.
+func DiffValues(got, want []float64, tol float64) int {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for v := 0; v < n; v++ {
+		g, w := got[v], want[v]
+		if math.IsInf(g, 1) && math.IsInf(w, 1) {
+			continue
+		}
+		if math.Abs(g-w) > tol || math.IsNaN(g) != math.IsNaN(w) {
+			return v
+		}
+	}
+	if len(got) != len(want) {
+		return n
+	}
+	return -1
+}

@@ -11,158 +11,6 @@ import (
 	"sagabench/internal/graph"
 )
 
-// refGraph is a simple adjacency-map graph for reference algorithms.
-type refGraph struct {
-	out [][]graph.Neighbor
-	in  [][]graph.Neighbor
-}
-
-func buildRef(o *graph.Oracle) *refGraph {
-	n := o.NumNodes()
-	r := &refGraph{out: make([][]graph.Neighbor, n), in: make([][]graph.Neighbor, n)}
-	for v := 0; v < n; v++ {
-		r.out[v] = o.Out(graph.NodeID(v))
-		r.in[v] = o.In(graph.NodeID(v))
-	}
-	return r
-}
-
-const testInf = math.MaxFloat64
-
-// refBFS computes exact hop distances from src by sequential BFS.
-func refBFS(g *refGraph, src int) []float64 {
-	d := make([]float64, len(g.out))
-	for i := range d {
-		d[i] = math.Inf(1)
-	}
-	if src >= len(g.out) {
-		return d
-	}
-	d[src] = 0
-	q := []int{src}
-	for len(q) > 0 {
-		u := q[0]
-		q = q[1:]
-		for _, nb := range g.out[u] {
-			if math.IsInf(d[nb.ID], 1) {
-				d[nb.ID] = d[u] + 1
-				q = append(q, int(nb.ID))
-			}
-		}
-	}
-	return d
-}
-
-// refSSSP is sequential Dijkstra-without-heap (Bellman-Ford queue), exact
-// for positive weights.
-func refSSSP(g *refGraph, src int) []float64 {
-	d := make([]float64, len(g.out))
-	for i := range d {
-		d[i] = math.Inf(1)
-	}
-	if src >= len(g.out) {
-		return d
-	}
-	d[src] = 0
-	q := []int{src}
-	for len(q) > 0 {
-		u := q[0]
-		q = q[1:]
-		for _, nb := range g.out[u] {
-			if nd := d[u] + float64(nb.Weight); nd < d[nb.ID] {
-				d[nb.ID] = nd
-				q = append(q, int(nb.ID))
-			}
-		}
-	}
-	return d
-}
-
-// refSSWP is sequential widest-path label correcting.
-func refSSWP(g *refGraph, src int) []float64 {
-	w := make([]float64, len(g.out))
-	if src >= len(g.out) {
-		return w
-	}
-	w[src] = math.Inf(1)
-	q := []int{src}
-	for len(q) > 0 {
-		u := q[0]
-		q = q[1:]
-		for _, nb := range g.out[u] {
-			nw := math.Min(w[u], float64(nb.Weight))
-			if nw > w[nb.ID] {
-				w[nb.ID] = nw
-				q = append(q, int(nb.ID))
-			}
-		}
-	}
-	return w
-}
-
-// refCC assigns each vertex the minimum vertex ID reachable over edges in
-// either direction (weak connectivity labels).
-func refCC(g *refGraph) []float64 {
-	n := len(g.out)
-	label := make([]float64, n)
-	seen := make([]bool, n)
-	for v := range label {
-		label[v] = float64(v)
-	}
-	for v := 0; v < n; v++ {
-		if seen[v] {
-			continue
-		}
-		// v is the smallest unseen ID of its component.
-		comp := []int{v}
-		seen[v] = true
-		for len(comp) > 0 {
-			u := comp[len(comp)-1]
-			comp = comp[:len(comp)-1]
-			label[u] = float64(v)
-			for _, nb := range g.out[u] {
-				if !seen[nb.ID] {
-					seen[nb.ID] = true
-					comp = append(comp, int(nb.ID))
-				}
-			}
-			for _, nb := range g.in[u] {
-				if !seen[nb.ID] {
-					seen[nb.ID] = true
-					comp = append(comp, int(nb.ID))
-				}
-			}
-		}
-	}
-	return label
-}
-
-// refMC computes the fixpoint of v.value = max(v, max over in-neighbors).
-func refMC(g *refGraph) []float64 {
-	n := len(g.out)
-	val := make([]float64, n)
-	for v := range val {
-		val[v] = float64(v)
-	}
-	changed := true
-	for changed {
-		changed = false
-		for v := 0; v < n; v++ {
-			best := val[v]
-			for _, nb := range g.in[v] {
-				if val[nb.ID] > best {
-					best = val[nb.ID]
-				}
-			}
-			if best != val[v] {
-				val[v] = best
-				changed = true
-			}
-		}
-	}
-	return val
-}
-
 func affectedOf(b graph.Batch) []graph.NodeID {
 	seen := map[graph.NodeID]bool{}
 	var out []graph.NodeID
@@ -235,14 +83,12 @@ func TestAlgorithmsMatchReference(t *testing.T) {
 			g.Update(b)
 			oracle.Update(b)
 			aff := affectedOf(b)
-			ref := buildRef(oracle)
-
 			want := map[string][]float64{
-				"bfs":  refBFS(ref, 0),
-				"cc":   refCC(ref),
-				"mc":   refMC(ref),
-				"sssp": refSSSP(ref, 0),
-				"sswp": refSSWP(ref, 0),
+				"bfs":  graph.RefBFS(oracle, 0),
+				"cc":   graph.RefCC(oracle),
+				"mc":   graph.RefMC(oracle),
+				"sssp": graph.RefSSSP(oracle, 0),
+				"sswp": graph.RefSSWP(oracle, 0),
 			}
 			for _, alg := range []string{"bfs", "cc", "mc", "sssp", "sswp"} {
 				for _, model := range []string{"fs", "inc"} {
@@ -339,5 +185,4 @@ func TestSourceOutsideGraph(t *testing.T) {
 			}
 		}
 	}
-	_ = testInf
 }

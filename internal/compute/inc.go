@@ -26,6 +26,10 @@ type incEngine struct {
 	// pendingInvalid holds the deletion-invalidated cone awaiting the
 	// next compute phase (see trim.go).
 	pendingInvalid []graph.NodeID
+
+	// lastN is the vertex count of the previous compute phase, used by
+	// globalN algorithms to detect |V| growth (see PerformAlg).
+	lastN int
 }
 
 func newIncEngine(s spec, opts Options) *incEngine {
@@ -68,6 +72,47 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 		e.visited = append(e.visited, 0)
 	}
 
+	// For globalN algorithms (PageRank) |V| is an input to every vertex's
+	// function — the base term 0.15/|V| — so a vertex-count change
+	// affects all vertices, not just the batch's endpoints. Widening the
+	// affected set here keeps never-touched vertices (ID gaps with no
+	// edges) and settled vertices correct as the graph grows; selective
+	// triggering still cuts the propagation off quickly because values
+	// start near the fixpoint.
+	if e.spec.globalN && n != e.lastN {
+		all := make([]graph.NodeID, n)
+		for v := range all {
+			all[v] = graph.NodeID(v)
+		}
+		affected = all
+	} else if e.spec.degreeSensitive && len(affected) > 0 {
+		// An inserted or deleted edge (u,v) changes u's out-degree, an
+		// input to the rank of every OTHER out-neighbor of u — vertices
+		// that are not batch endpoints. Pull the out-neighborhood of the
+		// affected set into the first round; a recompute whose value does
+		// not move triggers nothing, so the over-approximation is cheap.
+		seen := make(map[graph.NodeID]bool, len(affected)*2)
+		expanded := make([]graph.NodeID, 0, len(affected)*2)
+		for _, v := range affected {
+			if !seen[v] {
+				seen[v] = true
+				expanded = append(expanded, v)
+			}
+		}
+		var nbuf []graph.Neighbor
+		for _, v := range affected {
+			nbuf = g.OutNeigh(v, nbuf[:0])
+			for _, nb := range nbuf {
+				if !seen[nb.ID] {
+					seen[nb.ID] = true
+					expanded = append(expanded, nb.ID)
+				}
+			}
+		}
+		affected = expanded
+	}
+	e.lastN = n
+
 	eps := e.spec.epsilon(e.opts, n)
 	threads := e.opts.threads()
 
@@ -85,6 +130,12 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 			var pushBuf []graph.Neighbor
 			var nProc, nTrig uint64
 			for _, v := range curr[lo:hi] {
+				if int(v) >= n {
+					// Callers may pass endpoints the graph never
+					// materialized (e.g. no-op deletes of unseen
+					// vertices); there is no state to recompute.
+					continue
+				}
 				nProc++
 				old := e.vals.get(int(v))
 				newv := e.spec.recompute(ctx, v)

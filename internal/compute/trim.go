@@ -12,6 +12,29 @@ type DeletionAware interface {
 	NotifyDeletions(g ds.Graph, dels graph.Batch)
 }
 
+// WeightChangeAware is implemented by engines that must additionally be
+// told when an insert OVERWRITES an existing edge with a different weight.
+// For the monotone weighted algorithms (SSSP, SSWP) a weight change is a
+// deletion-like event: a value derived through the old weight may now be
+// unreachable (SSWP: the edge narrowed; SSSP: the edge lengthened) and
+// plain selective triggering cannot repair it when the stale value is
+// self-supporting around a cycle. The pipeline reports the overwritten
+// edges — carrying their OLD weights — through NotifyDeletions together
+// with any true deletions, in one call, so the invalidation cone is grown
+// against a consistent pre-reset value array.
+type WeightChangeAware interface {
+	DeletionAware
+	// WantsWeightChanges reports whether the overwrite scan is needed at
+	// all; weight-insensitive algorithms (BFS, CC, MC, PR) skip it.
+	WantsWeightChanges() bool
+}
+
+// WantsWeightChanges implements WeightChangeAware: only the monotone
+// algorithms whose values read edge weights need overwrite notifications.
+func (e *incEngine) WantsWeightChanges() bool {
+	return e.spec.weighted && e.spec.tight != nil
+}
+
 // NotifyDeletions implements KickStarter-style trimmed approximation (Vora
 // et al., the paper's reference [12]) for the monotone incremental
 // algorithms: a deleted edge may have been the support of its endpoint's
@@ -50,7 +73,11 @@ func (e *incEngine) NotifyDeletions(g ds.Graph, dels graph.Batch) {
 			stack = append(stack, v)
 		}
 	}
-	// Seed: endpoints whose value was tight through a removed edge.
+	// Seed: endpoints whose value was tight through a removed edge. An
+	// undirected deletion removes both orientations from the store, so the
+	// mirrored dependence (Src derived from Dst) must seed too — otherwise
+	// Src-side values survive with phantom support.
+	mirror := !g.Directed()
 	for _, d := range dels {
 		if int(d.Src) >= n || int(d.Dst) >= n {
 			continue
@@ -59,7 +86,7 @@ func (e *incEngine) NotifyDeletions(g ds.Graph, dels graph.Batch) {
 		if e.spec.tight(e.vals.get(int(d.Src)), w, e.vals.get(int(d.Dst))) {
 			mark(d.Dst)
 		}
-		if e.spec.pushBoth && e.spec.tight(e.vals.get(int(d.Dst)), w, e.vals.get(int(d.Src))) {
+		if (e.spec.pushBoth || mirror) && e.spec.tight(e.vals.get(int(d.Dst)), w, e.vals.get(int(d.Src))) {
 			mark(d.Src)
 		}
 	}

@@ -42,6 +42,22 @@ type spec struct {
 	// after edge deletions without help (non-monotone contractions like
 	// PageRank).
 	deletionSafe bool
+	// weighted marks algorithms whose values depend on edge weights, so
+	// an overwrite that changes a stored weight can invalidate values the
+	// same way a deletion can (the INC engine must be told; see
+	// WeightChangeAware).
+	weighted bool
+	// globalN marks algorithms whose vertex function takes |V| as an
+	// input (PageRank's base term): a vertex-count change affects every
+	// vertex, so the INC engine widens the affected set to all vertices
+	// whenever NumNodes grows.
+	globalN bool
+	// degreeSensitive marks algorithms whose vertex function reads a
+	// neighbor's degree (PageRank normalizes each in-neighbor's rank by
+	// its out-degree): an inserted or deleted edge (u,v) then affects not
+	// just u and v but every other out-neighbor of u, so the INC engine
+	// widens the affected set with the out-neighbors of batch endpoints.
+	degreeSensitive bool
 	// tight reports whether valV could have been derived from valU across
 	// an edge of weight w — the value-dependence test KickStarter-style
 	// trimming uses to grow the invalidation cone after deletions. nil
@@ -151,9 +167,11 @@ var specs = map[string]spec{
 			}
 			return prBase/float64(ctx.numNodes) + prDamping*sum
 		},
-		epsilon:      prEpsilon,
-		deletionSafe: true,
-		fsRun:        fsPR,
+		epsilon:         prEpsilon,
+		deletionSafe:    true,
+		globalN:         true,
+		degreeSensitive: true,
+		fsRun:           fsPR,
 	},
 	"sssp": {
 		name:        "sssp",
@@ -173,9 +191,10 @@ var specs = map[string]spec{
 			}
 			return best
 		},
-		epsilon: exactChange,
-		tight:   func(valU, w, valV float64) bool { return valV == valU+w },
-		fsRun:   fsSSSP,
+		epsilon:  exactChange,
+		weighted: true,
+		tight:    func(valU, w, valV float64) bool { return valV == valU+w },
+		fsRun:    fsSSSP,
 	},
 	"sswp": {
 		name:        "sswp",
@@ -196,9 +215,10 @@ var specs = map[string]spec{
 			}
 			return best
 		},
-		epsilon: exactChange,
-		tight:   func(valU, w, valV float64) bool { return valV == math.Min(valU, w) },
-		fsRun:   fsSSWP,
+		epsilon:  exactChange,
+		weighted: true,
+		tight:    func(valU, w, valV float64) bool { return valV == math.Min(valU, w) },
+		fsRun:    fsSSWP,
 	},
 }
 

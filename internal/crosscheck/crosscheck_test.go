@@ -1,0 +1,304 @@
+package crosscheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	cfg := StreamConfig{Seed: 42, Batches: 12, BatchSize: 150, NumNodes: 64, Directed: true, Deletes: true}
+	a, b := NewStream(cfg), NewStream(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d/%d differ across same-seed runs", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Adds) != len(b[i].Adds) || len(a[i].Dels) != len(b[i].Dels) {
+			t.Fatalf("step %d shapes differ", i)
+		}
+		for j := range a[i].Adds {
+			if a[i].Adds[j] != b[i].Adds[j] {
+				t.Fatalf("step %d add %d differs", i, j)
+			}
+		}
+		for j := range a[i].Dels {
+			if a[i].Dels[j] != b[i].Dels[j] {
+				t.Fatalf("step %d del %d differs", i, j)
+			}
+		}
+	}
+	c := NewStream(StreamConfig{Seed: 43, Batches: 12, BatchSize: 150, NumNodes: 64, Directed: true, Deletes: true})
+	same := len(a) == len(c)
+	if same {
+	outer:
+		for i := range a {
+			if len(a[i].Adds) != len(c[i].Adds) {
+				same = false
+				break
+			}
+			for j := range a[i].Adds {
+				if a[i].Adds[j] != c[i].Adds[j] {
+					same = false
+					break outer
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestStreamDeleteWeightsMatchLiveEdges asserts the generator's invariant
+// that a deletion of a present edge carries the weight that edge holds at
+// delete time (trimming correctness depends on it).
+func TestStreamDeleteWeightsMatchLiveEdges(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		stream := NewStream(StreamConfig{Seed: 7, Batches: 30, BatchSize: 200, NumNodes: 48, Directed: directed, Deletes: true})
+		o := graph.NewOracle(directed)
+		for i, step := range stream {
+			o.Update(step.Adds)
+			for _, d := range step.Dels {
+				cur := o.Out(d.Src)
+				for _, nb := range cur {
+					if nb.ID == d.Dst && nb.Weight != d.Weight {
+						t.Fatalf("step %d: delete (%d,%d) weight %v, live edge holds %v",
+							i, d.Src, d.Dst, d.Weight, nb.Weight)
+					}
+				}
+			}
+			o.Delete(step.Dels)
+		}
+	}
+}
+
+// TestCleanRunAllStructures is the harness's primary self-check: every
+// registered structure, all six algorithms, both models, insert-only and
+// mixed, directed and undirected — all must match the sequential oracle.
+func TestCleanRunAllStructures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not short")
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  StreamConfig
+	}{
+		{"directed-inserts", StreamConfig{Seed: 1, Batches: 10, BatchSize: 250, NumNodes: 80, Directed: true}},
+		{"directed-mixed", StreamConfig{Seed: 2, Batches: 10, BatchSize: 250, NumNodes: 80, Directed: true, Deletes: true}},
+		{"undirected-mixed", StreamConfig{Seed: 3, Batches: 8, BatchSize: 200, NumNodes: 64, Deletes: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Run(Config{Stream: tc.cfg, Threads: 4})
+			if !rep.OK() {
+				for _, f := range rep.Failures {
+					t.Errorf("%s", f)
+				}
+			}
+			if rep.TopologyChecks == 0 || rep.ValueChecks == 0 {
+				t.Fatalf("harness did no work: %+v", rep)
+			}
+			wantValueChecks := rep.TopologyChecks * len(compute.AlgNames()) * 2
+			if rep.OK() && rep.ValueChecks != wantValueChecks {
+				t.Fatalf("ValueChecks=%d want %d", rep.ValueChecks, wantValueChecks)
+			}
+		})
+	}
+}
+
+// faultyMaker wraps one named structure with a defect, building every
+// other structure normally.
+func faultyMaker(t *testing.T, target string, spec FaultSpec, directed bool, threads int) func(string) ds.Graph {
+	t.Helper()
+	return func(name string) ds.Graph {
+		g := ds.MustNew(name, ds.Config{Directed: directed, Threads: threads})
+		if name == target {
+			return InjectFault(g, spec)
+		}
+		return g
+	}
+}
+
+// TestInjectedFaultIsCaughtAndMinimized is the acceptance self-test: a
+// deliberately injected off-by-one (an edge silently dropped at a degree
+// boundary) must be caught, minimized to a handful of edges, and yield a
+// repro file that round-trips and still reproduces the failure.
+func TestInjectedFaultIsCaughtAndMinimized(t *testing.T) {
+	spec := FaultSpec{Fault: FaultDegreeCap, Cap: 5}
+	mk := faultyMaker(t, "adjshared", spec, true, 4)
+	cfg := Config{
+		Stream:        StreamConfig{Seed: 11, Batches: 15, BatchSize: 300, NumNodes: 40, Directed: true},
+		Threads:       4,
+		MakeStructure: mk,
+		StopAtFirst:   true,
+	}
+	stream := NewStream(cfg.Stream)
+	rep := Replay(cfg, stream)
+	if rep.OK() {
+		t.Fatal("harness missed the injected degree-cap fault")
+	}
+	f := rep.Failures[0]
+	if f.DS != "adjshared" {
+		t.Fatalf("fault attributed to %q, injected into adjshared", f.DS)
+	}
+
+	repro := MinimizeFailure(cfg, stream, f)
+	adds, dels := repro.Stream.NumEdges()
+	origAdds, _ := stream.NumEdges()
+	t.Logf("minimized %d adds -> %d adds, %d dels, %d batches (failure: %s)",
+		origAdds, adds, dels, len(repro.Stream), f)
+	// The minimal trigger is cap+1 distinct out-edges of one vertex; give
+	// the shrinker generous slack but require real minimization.
+	if adds > 3*(spec.Cap+1) || len(repro.Stream) > 3 {
+		t.Fatalf("weak minimization: %d adds in %d batches", adds, len(repro.Stream))
+	}
+
+	// The minimized repro must still reproduce under the same fault...
+	if repro.Replay(mk).OK() {
+		t.Fatal("minimized repro no longer reproduces the failure")
+	}
+	// ...and pass on the healthy structure (the defect is in the wrapper,
+	// not the stream).
+	if got := repro.Replay(nil); !got.OK() {
+		t.Fatalf("minimized repro fails on the healthy structure: %v", got.Failures)
+	}
+
+	// Round-trip through the file format.
+	var buf bytes.Buffer
+	if err := repro.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRepro(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse of written repro: %v\n%s", err, buf.String())
+	}
+	if back.DS != repro.DS || back.Directed != repro.Directed || len(back.Stream) != len(repro.Stream) {
+		t.Fatalf("round trip changed repro: %+v vs %+v", back, repro)
+	}
+	if back.Replay(mk).OK() {
+		t.Fatal("parsed repro no longer reproduces the failure")
+	}
+}
+
+// TestDroppedEdgeFaultMinimizesToOneEdge checks the sharpest case: a
+// single swallowed insert shrinks to a one-edge, one-batch repro.
+func TestDroppedEdgeFaultMinimizesToOneEdge(t *testing.T) {
+	scfg := StreamConfig{Seed: 5, Batches: 10, BatchSize: 200, NumNodes: 50, Directed: true}
+	stream := NewStream(scfg)
+	// Drop a pair the stream certainly contains: its first edge.
+	victim := stream[0].Adds[0]
+	spec := FaultSpec{Fault: FaultDropEdge, Src: victim.Src, Dst: victim.Dst}
+	mk := faultyMaker(t, "dah", spec, true, 4)
+	cfg := Config{Stream: scfg, Threads: 4, MakeStructure: mk, StopAtFirst: true, TopologyOnly: true}
+
+	rep := Replay(cfg, stream)
+	if rep.OK() {
+		t.Fatal("harness missed the dropped edge")
+	}
+	repro := MinimizeFailure(cfg, stream, rep.Failures[0])
+	adds, dels := repro.Stream.NumEdges()
+	if len(repro.Stream) != 1 || adds != 1 || dels != 0 {
+		t.Fatalf("want 1-batch 1-add repro, got %d batches %d adds %d dels", len(repro.Stream), adds, dels)
+	}
+	e := repro.Stream[0].Adds[0]
+	if e.Src != victim.Src || e.Dst != victim.Dst {
+		t.Fatalf("minimized to wrong edge (%d,%d), victim (%d,%d)", e.Src, e.Dst, victim.Src, victim.Dst)
+	}
+}
+
+// TestStaleWeightFaultCaught checks the overwrite path is actually
+// differential-tested: a structure that ignores re-insert weights must
+// fail the weight comparison.
+func TestStaleWeightFaultCaught(t *testing.T) {
+	mk := faultyMaker(t, "stinger", FaultSpec{Fault: FaultStaleWeight}, true, 2)
+	cfg := Config{
+		Stream:        StreamConfig{Seed: 9, Batches: 12, BatchSize: 150, NumNodes: 24, Directed: true},
+		Threads:       2,
+		MakeStructure: mk,
+		StopAtFirst:   true,
+		TopologyOnly:  true,
+	}
+	rep := Run(cfg)
+	if rep.OK() {
+		t.Fatal("harness missed the stale-weight fault")
+	}
+	if !strings.Contains(rep.Failures[0].Detail, "weight") {
+		t.Fatalf("expected a weight mismatch, got: %s", rep.Failures[0])
+	}
+}
+
+func TestMinimizePanicsOnPassingStream(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Minimize accepted a passing stream")
+		}
+	}()
+	Minimize(Stream{{}}, func(Stream) bool { return false })
+}
+
+func TestMinimizeSyntheticPredicate(t *testing.T) {
+	// Failure iff the stream contains edge (7,8) and (3,4) in any steps:
+	// minimization must converge to exactly those two edges.
+	stream := NewStream(StreamConfig{Seed: 21, Batches: 6, BatchSize: 100, NumNodes: 30, Directed: true})
+	stream[1].Adds = append(stream[1].Adds, graph.Edge{Src: 7, Dst: 8, Weight: 1})
+	stream[4].Adds = append(stream[4].Adds, graph.Edge{Src: 3, Dst: 4, Weight: 1})
+	has := func(s Stream, src, dst graph.NodeID) bool {
+		for _, st := range s {
+			for _, e := range st.Adds {
+				if e.Src == src && e.Dst == dst {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	min := Minimize(stream, func(s Stream) bool {
+		return has(s, 7, 8) && has(s, 3, 4)
+	})
+	adds, dels := min.NumEdges()
+	if adds != 2 || dels != 0 {
+		t.Fatalf("minimized to %d adds %d dels, want exactly 2 adds", adds, dels)
+	}
+	if !has(min, 7, 8) || !has(min, 3, 4) {
+		t.Fatalf("minimized stream lost the trigger edges: %+v", min)
+	}
+}
+
+func TestParseReproRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not a repro\n",
+		"sagafuzz repro v1\n", // no ds
+		"sagafuzz repro v1\nds dah\nadd 1 2 3\n",      // add before batch
+		"sagafuzz repro v1\nds dah\nbatch\nadd 1 2\n", // short edge
+		"sagafuzz repro v1\nds dah\nbatch\nwat 1 2\n", // unknown directive
+		"sagafuzz repro v1\nds dah\nmodel warp\n",     // bad model
+		"sagafuzz repro v1\nds dah\nbatch\nbatch\nthreads 2\n", // config after stream
+	} {
+		if _, err := ParseRepro(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseRepro accepted %q", in)
+		}
+	}
+}
+
+func TestReproReplayValuesFailure(t *testing.T) {
+	// A values-kind repro (wrong INC answer) must replay through the
+	// engine path: craft one via the degree-cap fault with topology
+	// checking implicitly catching it first — so instead check that a
+	// values-focused config re-runs engines at all.
+	r := &Repro{
+		Directed: true, Threads: 2, DS: "adjshared", Alg: "bfs", Model: compute.INC,
+		Stream: Stream{{Adds: graph.Batch{{Src: 0, Dst: 1, Weight: 1}}}},
+	}
+	rep := r.Replay(nil)
+	if !rep.OK() {
+		t.Fatalf("healthy values replay failed: %v", rep.Failures)
+	}
+	if rep.ValueChecks != 1 || rep.TopologyChecks != 1 {
+		t.Fatalf("focused replay ran %d topology / %d value checks, want 1/1", rep.TopologyChecks, rep.ValueChecks)
+	}
+}

@@ -1,0 +1,103 @@
+package crosscheck
+
+import (
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// Deliberate fault injection: the harness's own self-test wraps a correct
+// data structure with a known defect and asserts the differential run
+// catches it and shrinks the failing stream to a minimal repro. The
+// faults mimic real concurrent-structure bugs: a swallowed insert, an
+// off-by-one capacity boundary that silently drops the edge that would
+// not fit, and a re-insert path that forgets to overwrite the weight.
+
+// Fault selects a defect for InjectFault.
+type Fault string
+
+// The supported defects.
+const (
+	// FaultDropEdge silently ignores inserts of one specific (src, dst)
+	// pair — a lost update.
+	FaultDropEdge Fault = "drop-edge"
+	// FaultDegreeCap drops inserts that would grow a vertex's out-degree
+	// past K — the classic off-by-one at a block/bucket capacity
+	// boundary (an edge that should land in slot K never lands).
+	FaultDegreeCap Fault = "degree-cap"
+	// FaultStaleWeight ignores the new weight when re-inserting an
+	// existing edge — the overwrite path silently degrades to a no-op.
+	FaultStaleWeight Fault = "stale-weight"
+)
+
+// FaultSpec parameterizes a fault.
+type FaultSpec struct {
+	Fault Fault
+	// Src/Dst select the pair for FaultDropEdge.
+	Src, Dst graph.NodeID
+	// Cap is the degree boundary for FaultDegreeCap (default 16).
+	Cap int
+}
+
+// InjectFault wraps inner with the described defect. The wrapper still
+// implements ds.Deleter when inner does, so mixed streams replay
+// normally.
+func InjectFault(inner ds.Graph, spec FaultSpec) ds.Graph {
+	if spec.Cap <= 0 {
+		spec.Cap = 16
+	}
+	return &faultyGraph{Graph: inner, spec: spec}
+}
+
+type faultyGraph struct {
+	ds.Graph
+	spec FaultSpec
+}
+
+// Update filters the batch through the defect before handing it to the
+// real structure.
+func (f *faultyGraph) Update(batch graph.Batch) {
+	kept := make(graph.Batch, 0, len(batch))
+	for _, e := range batch {
+		switch f.spec.Fault {
+		case FaultDropEdge:
+			if e.Src == f.spec.Src && e.Dst == f.spec.Dst {
+				continue
+			}
+		case FaultDegreeCap:
+			// Degree check against the live structure: once a source is
+			// at the cap, new distinct neighbors are silently dropped
+			// (overwrites of existing neighbors still pass).
+			if f.Graph.OutDegree(e.Src) >= f.spec.Cap && !f.hasOut(e.Src, e.Dst) {
+				continue
+			}
+		case FaultStaleWeight:
+			if f.hasOut(e.Src, e.Dst) {
+				continue // drop the overwrite: weight stays stale
+			}
+		}
+		kept = append(kept, e)
+		if f.spec.Fault == FaultDegreeCap || f.spec.Fault == FaultStaleWeight {
+			// These faults consult live degrees, so same-batch edges
+			// must land before judging the next one.
+			f.Graph.Update(graph.Batch{e})
+			kept = kept[:0]
+		}
+	}
+	if len(kept) > 0 {
+		f.Graph.Update(kept)
+	}
+}
+
+func (f *faultyGraph) hasOut(src, dst graph.NodeID) bool {
+	for _, nb := range f.Graph.OutNeigh(src, nil) {
+		if nb.ID == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete passes through when the wrapped structure supports deletion.
+func (f *faultyGraph) Delete(batch graph.Batch) error {
+	return f.Graph.(ds.Deleter).Delete(batch)
+}

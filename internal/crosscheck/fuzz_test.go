@@ -1,0 +1,109 @@
+package crosscheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRepro checks the repro parser never panics on arbitrary input
+// and that everything it accepts survives a Write/Parse round trip — the
+// property `sagafuzz -replay` depends on for files it did not write
+// itself.
+func FuzzParseRepro(f *testing.F) {
+	f.Add("sagafuzz repro v1\nds stinger\nbatch\nadd 0 1 2\n")
+	f.Add("sagafuzz repro v1\n# note\ndirected true\nthreads 4\nds dah\nalg sswp\nmodel inc\nsource 3\nbatch\nadd 0 1 5\ndel 0 1 5\nbatch\n")
+	f.Add("sagafuzz repro v1\nds x\nbatch\nadd 4294967295 0 0.5\n")
+	f.Add("not a repro")
+	f.Add("")
+	f.Add("sagafuzz repro v1\nds a\nbatch\nadd 1 2\n")
+	f.Add("sagafuzz repro v1\nbatch\nadd 0 0 1\nds late\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r, err := ParseRepro(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := r.Write(&buf); err != nil {
+			t.Fatalf("Write of accepted repro failed: %v", err)
+		}
+		back, err := ParseRepro(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of Write output failed: %v\n%s", err, buf.Bytes())
+		}
+		if back.DS != r.DS || back.Alg != r.Alg || back.Model != r.Model ||
+			back.Directed != r.Directed || back.Threads != r.Threads || back.Source != r.Source {
+			t.Fatalf("round trip changed header: %+v -> %+v", r, back)
+		}
+		if len(back.Stream) != len(r.Stream) {
+			t.Fatalf("round trip changed stream length %d -> %d", len(r.Stream), len(back.Stream))
+		}
+		for i := range r.Stream {
+			if len(back.Stream[i].Adds) != len(r.Stream[i].Adds) || len(back.Stream[i].Dels) != len(r.Stream[i].Dels) {
+				t.Fatalf("round trip changed step %d sizes", i)
+			}
+		}
+	})
+}
+
+// FuzzNewStream drives the stream generator across its parameter space and
+// checks the harness's two load-bearing invariants: same config = same
+// stream, and every delete record carries the weight the edge was live
+// with (the trim's tightness test silently under-invalidates otherwise).
+func FuzzNewStream(f *testing.F) {
+	f.Add(int64(1), 10, 100, 64, true, true)
+	f.Add(int64(99), 3, 7, 5, false, true)
+	f.Add(int64(-4), 1, 0, 1, true, false)
+	f.Fuzz(func(t *testing.T, seed int64, batches, batchSize, numNodes int, directed, deletes bool) {
+		cfg := StreamConfig{
+			Seed:      seed,
+			Batches:   batches%40 + 1,
+			BatchSize: batchSize % 600,
+			NumNodes:  numNodes%200 + 2,
+			Directed:  directed,
+			Deletes:   deletes,
+		}
+		if cfg.BatchSize < 0 {
+			cfg.BatchSize = -cfg.BatchSize
+		}
+		if cfg.Batches < 0 {
+			cfg.Batches = -cfg.Batches + 1
+		}
+		if cfg.NumNodes < 2 {
+			cfg.NumNodes = 2
+		}
+		s1 := NewStream(cfg)
+		s2 := NewStream(cfg)
+		if len(s1) != len(s2) {
+			t.Fatalf("stream length nondeterministic: %d vs %d", len(s1), len(s2))
+		}
+		type pair struct{ src, dst uint32 }
+		live := map[pair]float32{}
+		key := func(src, dst uint32) pair {
+			if !cfg.Directed && src > dst {
+				src, dst = dst, src
+			}
+			return pair{src, dst}
+		}
+		for i := range s1 {
+			for j, e := range s1[i].Adds {
+				if e2 := s2[i].Adds[j]; e != e2 {
+					t.Fatalf("step %d add %d differs across identical configs: %v vs %v", i, j, e, e2)
+				}
+				live[key(uint32(e.Src), uint32(e.Dst))] = float32(e.Weight)
+			}
+			for j, e := range s1[i].Dels {
+				if e2 := s2[i].Dels[j]; e != e2 {
+					t.Fatalf("step %d del %d differs across identical configs: %v vs %v", i, j, e, e2)
+				}
+				k := key(uint32(e.Src), uint32(e.Dst))
+				if w, ok := live[k]; ok {
+					if w != float32(e.Weight) {
+						t.Fatalf("step %d: delete of (%d,%d) carries weight %v, live weight is %v", i, e.Src, e.Dst, e.Weight, w)
+					}
+					delete(live, k)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package crosscheck
+
+import (
+	"fmt"
+	"sort"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// Config selects what a differential run checks. Zero values mean "all":
+// every registered data structure, all six algorithms, both models.
+type Config struct {
+	// Stream parameterizes generation (Run) and declares directedness
+	// (Replay reads Stream.Directed even for explicit streams).
+	Stream StreamConfig
+	// Threads is the worker count for both phases (default 4, so the
+	// concurrent ingestion paths actually interleave).
+	Threads int
+	// Structures restricts the data structures (default ds.Names()).
+	Structures []string
+	// Algorithms restricts the algorithms (default compute.AlgNames()).
+	Algorithms []string
+	// Models restricts the compute models (default both).
+	Models []compute.Model
+	// TopologyOnly skips the compute engines entirely.
+	TopologyOnly bool
+	// Opts carries algorithm tuning. The zero value is replaced by tight
+	// tolerances (PRTolerance 1e-12, PRMaxIters 200, Epsilon 1e-12) so
+	// both models track the sequential reference closely.
+	Opts compute.Options
+	// MakeStructure overrides registry construction; tests use it to
+	// inject deliberately faulty structures. nil uses ds.New.
+	MakeStructure func(name string) ds.Graph
+	// StopAtFirst returns after the first failure instead of completing
+	// the sweep (the shrinker's predicate uses this).
+	StopAtFirst bool
+	// MaxDiffs caps per-failure detail strings (default 4).
+	MaxDiffs int
+}
+
+func (c Config) withDefaults() Config {
+	c.Stream = c.Stream.withDefaults()
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if len(c.Structures) == 0 {
+		c.Structures = ds.Names()
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = compute.AlgNames()
+	}
+	if len(c.Models) == 0 {
+		c.Models = []compute.Model{compute.FS, compute.INC}
+	}
+	if c.Opts.PRTolerance == 0 {
+		c.Opts.PRTolerance = 1e-12
+	}
+	if c.Opts.PRMaxIters == 0 {
+		c.Opts.PRMaxIters = 200
+	}
+	if c.Opts.Epsilon == 0 {
+		c.Opts.Epsilon = 1e-12
+	}
+	c.Opts.Threads = c.Threads
+	if c.MaxDiffs <= 0 {
+		c.MaxDiffs = 4
+	}
+	return c
+}
+
+func (c Config) makeStructure(name string) (ds.Graph, error) {
+	if c.MakeStructure != nil {
+		return c.MakeStructure(name), nil
+	}
+	return ds.New(name, ds.Config{Directed: c.Stream.Directed, Threads: c.Threads})
+}
+
+// Failure describes one divergence from the sequential oracle.
+type Failure struct {
+	// DS is the data structure under test.
+	DS string
+	// Kind is "topology" (adjacency diverged from the oracle) or
+	// "values" (an engine's property vector diverged from the reference).
+	Kind string
+	// Alg/Model identify the engine for values failures.
+	Alg   string
+	Model compute.Model
+	// Batch is the 0-based step index after which the check failed.
+	Batch int
+	// Detail is a human-readable description of the first mismatches.
+	Detail string
+}
+
+func (f Failure) String() string {
+	if f.Kind == "topology" {
+		return fmt.Sprintf("%s: batch %d: topology: %s", f.DS, f.Batch, f.Detail)
+	}
+	return fmt.Sprintf("%s: batch %d: %s/%s: %s", f.DS, f.Batch, f.Alg, f.Model, f.Detail)
+}
+
+// Report summarizes one differential run.
+type Report struct {
+	// Batches is the replayed stream length.
+	Batches int
+	// Structures lists the structures checked.
+	Structures []string
+	// TopologyChecks / ValueChecks count the comparisons performed.
+	TopologyChecks int
+	ValueChecks    int
+	// Failures lists every divergence found (first per structure/engine;
+	// a diverged component is not re-checked on later batches, so one
+	// root cause yields one failure, not a cascade).
+	Failures []Failure
+}
+
+// OK reports whether the run found no divergence.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// Run generates the stream for cfg and replays it differentially.
+func Run(cfg Config) *Report { return Replay(cfg, NewStream(cfg.Stream)) }
+
+// engineKey identifies one engine within a structure's engine set.
+type engineKey struct {
+	alg   string
+	model compute.Model
+}
+
+// Replay replays an explicit stream differentially: after every step it
+// compares each structure's full topology against the oracle, then runs
+// every selected (algorithm, model) engine on the structure and compares
+// its property vector against the sequential reference computed on the
+// oracle. A structure or engine that diverges is reported once and
+// excluded from further checking.
+func Replay(cfg Config, stream Stream) *Report {
+	cfg = cfg.withDefaults()
+	rep := &Report{Batches: len(stream), Structures: cfg.Structures}
+	oracle := graph.NewOracle(cfg.Stream.Directed)
+
+	type instance struct {
+		name    string
+		g       ds.Graph
+		engines map[engineKey]compute.Engine
+		dead    bool
+	}
+	var instances []*instance
+	for _, name := range cfg.Structures {
+		g, err := cfg.makeStructure(name)
+		if err != nil {
+			rep.Failures = append(rep.Failures, Failure{
+				DS: name, Kind: "topology", Batch: -1,
+				Detail: fmt.Sprintf("construction failed: %v", err),
+			})
+			continue
+		}
+		inst := &instance{name: name, g: g, engines: map[engineKey]compute.Engine{}}
+		if !cfg.TopologyOnly {
+			for _, alg := range cfg.Algorithms {
+				for _, model := range cfg.Models {
+					inst.engines[engineKey{alg, model}] = compute.MustNewEngine(alg, model, cfg.Opts)
+				}
+			}
+		}
+		instances = append(instances, inst)
+	}
+
+	refs := map[string][]float64{}
+	var affected []graph.NodeID
+	affSeen := map[graph.NodeID]bool{}
+
+	for bi, step := range stream {
+		oracle.Update(step.Adds)
+		oracle.Delete(step.Dels)
+
+		// Sequential references, computed once per step and shared by
+		// every structure (the oracle is the same for all of them).
+		if !cfg.TopologyOnly {
+			for _, alg := range cfg.Algorithms {
+				refs[alg] = compute.MustReference(alg, oracle, cfg.Opts)
+			}
+		}
+
+		// The affected set of Algorithm 1: deduplicated endpoints of the
+		// step's adds and deletes, as core.Pipeline computes it.
+		affected = affected[:0]
+		for k := range affSeen {
+			delete(affSeen, k)
+		}
+		for _, b := range []graph.Batch{step.Adds, step.Dels} {
+			for _, e := range b {
+				for _, v := range [2]graph.NodeID{e.Src, e.Dst} {
+					if !affSeen[v] && int(v) < oracle.NumNodes() {
+						affSeen[v] = true
+						affected = append(affected, v)
+					}
+				}
+			}
+		}
+
+		for _, inst := range instances {
+			if inst.dead {
+				continue
+			}
+			// Pre-update overwrite scan, as core.Pipeline performs it: the
+			// monotone weighted engines must be told about edges whose
+			// stored weight this step rewrites (old weights disappear once
+			// Update runs).
+			var olds graph.Batch
+			for _, key := range sortedKeys(inst.engines) {
+				if wca, ok := inst.engines[key].(compute.WeightChangeAware); ok && wca.WantsWeightChanges() {
+					olds = ds.Overwritten(inst.g, step.Adds)
+					break
+				}
+			}
+			inst.g.Update(step.Adds)
+			if len(step.Dels) > 0 {
+				if err := inst.g.(ds.Deleter).Delete(step.Dels); err != nil {
+					rep.Failures = append(rep.Failures, Failure{
+						DS: inst.name, Kind: "topology", Batch: bi,
+						Detail: fmt.Sprintf("delete failed: %v", err),
+					})
+					inst.dead = true
+					continue
+				}
+			}
+
+			rep.TopologyChecks++
+			if diffs := ds.DiffOracle(inst.g, oracle, cfg.MaxDiffs); len(diffs) != 0 {
+				rep.Failures = append(rep.Failures, Failure{
+					DS: inst.name, Kind: "topology", Batch: bi,
+					Detail: joinDiffs(diffs),
+				})
+				inst.dead = true
+				if cfg.StopAtFirst {
+					return rep
+				}
+				continue
+			}
+
+			for _, key := range sortedKeys(inst.engines) {
+				e := inst.engines[key]
+				if e == nil {
+					continue // diverged earlier
+				}
+				invalidating := step.Dels
+				if wca, ok := e.(compute.WeightChangeAware); ok && wca.WantsWeightChanges() && len(olds) > 0 {
+					invalidating = append(append(graph.Batch{}, olds...), step.Dels...)
+				}
+				if len(invalidating) > 0 {
+					if da, ok := e.(compute.DeletionAware); ok {
+						da.NotifyDeletions(inst.g, invalidating)
+					}
+				}
+				e.PerformAlg(inst.g, affected)
+				rep.ValueChecks++
+				tol := compute.Tolerance(key.alg)
+				got, want := e.Values(), refs[key.alg]
+				if v := compute.DiffValues(got, want, tol); v >= 0 {
+					rep.Failures = append(rep.Failures, Failure{
+						DS: inst.name, Kind: "values", Alg: key.alg, Model: key.model, Batch: bi,
+						Detail: diffDetail(got, want, v),
+					})
+					inst.engines[key] = nil
+					if cfg.StopAtFirst {
+						return rep
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+func sortedKeys(m map[engineKey]compute.Engine) []engineKey {
+	keys := make([]engineKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].alg != keys[j].alg {
+			return keys[i].alg < keys[j].alg
+		}
+		return keys[i].model < keys[j].model
+	})
+	return keys
+}
+
+func joinDiffs(diffs []string) string {
+	out := ""
+	for i, d := range diffs {
+		if i > 0 {
+			out += "; "
+		}
+		out += d
+	}
+	return out
+}
+
+func diffDetail(got, want []float64, v int) string {
+	g, w := "?", "?"
+	if v < len(got) {
+		g = fmt.Sprintf("%v", got[v])
+	}
+	if v < len(want) {
+		w = fmt.Sprintf("%v", want[v])
+	}
+	return fmt.Sprintf("vertex %d: got %s want %s (lens %d/%d)", v, g, w, len(got), len(want))
+}

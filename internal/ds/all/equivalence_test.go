@@ -1,8 +1,8 @@
 package all_test
 
 import (
-	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sagabench/internal/ds"
@@ -59,50 +59,12 @@ func hubBatches(rng *rand.Rand, numBatches, batchSize, numNodes int, hub graph.N
 	return batches
 }
 
+// checkAgainstOracle asserts the structure's topology is identical to the
+// oracle's, via the same exhaustive diff the crosscheck harness uses.
 func checkAgainstOracle(t *testing.T, name string, g ds.Graph, oracle *graph.Oracle) {
 	t.Helper()
-	if g.NumNodes() != oracle.NumNodes() {
-		t.Fatalf("%s: NumNodes=%d want %d", name, g.NumNodes(), oracle.NumNodes())
-	}
-	if g.NumEdges() != oracle.NumEdges() {
-		t.Fatalf("%s: NumEdges=%d want %d", name, g.NumEdges(), oracle.NumEdges())
-	}
-	var buf []graph.Neighbor
-	for v := 0; v < oracle.NumNodes(); v++ {
-		id := graph.NodeID(v)
-		if got, want := g.OutDegree(id), oracle.OutDegree(id); got != want {
-			t.Fatalf("%s: OutDegree(%d)=%d want %d", name, v, got, want)
-		}
-		if got, want := g.InDegree(id), oracle.InDegree(id); got != want {
-			t.Fatalf("%s: InDegree(%d)=%d want %d", name, v, got, want)
-		}
-		buf = g.OutNeigh(id, buf[:0])
-		compareNeighborSets(t, fmt.Sprintf("%s out(%d)", name, v), buf, oracle.Out(id))
-		buf = g.InNeigh(id, buf[:0])
-		compareNeighborSets(t, fmt.Sprintf("%s in(%d)", name, v), buf, oracle.In(id))
-	}
-}
-
-func compareNeighborSets(t *testing.T, what string, got, want []graph.Neighbor) {
-	t.Helper()
-	if len(got) != len(want) {
-		t.Fatalf("%s: %d neighbors, want %d", what, len(got), len(want))
-	}
-	m := make(map[graph.NodeID]graph.Weight, len(got))
-	for _, n := range got {
-		if _, dup := m[n.ID]; dup {
-			t.Fatalf("%s: duplicate neighbor %d", what, n.ID)
-		}
-		m[n.ID] = n.Weight
-	}
-	for _, n := range want {
-		w, ok := m[n.ID]
-		if !ok {
-			t.Fatalf("%s: missing neighbor %d", what, n.ID)
-		}
-		if w != n.Weight {
-			t.Fatalf("%s: neighbor %d weight=%v want %v", what, n.ID, w, n.Weight)
-		}
+	if diffs := ds.DiffOracle(g, oracle, 8); len(diffs) != 0 {
+		t.Fatalf("%s: topology diverges from oracle:\n  %s", name, strings.Join(diffs, "\n  "))
 	}
 }
 

@@ -1,0 +1,52 @@
+package ds
+
+import "sagabench/internal/graph"
+
+// Overwritten scans batch against g's CURRENT topology — call it before
+// Update — and returns one edge per (src, dst) pair whose stored weight
+// the batch will change, carrying the OLD weight. The result is what a
+// compute.WeightChangeAware engine needs to invalidate values that were
+// derived through the pre-overwrite weight (see trim.go): the ingestion
+// convention is unique edges, so a duplicate insert silently rewrites the
+// weight and, without this report, monotone incremental values can keep
+// phantom support through the old weight.
+//
+// Duplicate pairs within the batch are reported once, against the
+// pre-batch weight; the repo-wide convention (and the stream generators)
+// give same-batch duplicates identical weights, so the first occurrence
+// decides.
+func Overwritten(g Graph, batch graph.Batch) graph.Batch {
+	if len(batch) == 0 || g.NumNodes() == 0 {
+		return nil
+	}
+	var olds graph.Batch
+	seen := make(map[[2]graph.NodeID]bool, len(batch))
+	// Neighbor sets are scanned once per distinct source and memoized:
+	// the common batch shape repeats sources (hubs), and the scan is the
+	// expensive part on list-backed structures.
+	adj := make(map[graph.NodeID]map[graph.NodeID]graph.Weight)
+	var buf []graph.Neighbor
+	n := g.NumNodes()
+	for _, e := range batch {
+		key := [2]graph.NodeID{e.Src, e.Dst}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		m, ok := adj[e.Src]
+		if !ok {
+			if int(e.Src) < n {
+				buf = g.OutNeigh(e.Src, buf[:0])
+				m = make(map[graph.NodeID]graph.Weight, len(buf))
+				for _, nb := range buf {
+					m[nb.ID] = nb.Weight
+				}
+			}
+			adj[e.Src] = m
+		}
+		if w, ok := m[e.Dst]; ok && w != e.Weight {
+			olds = append(olds, graph.Edge{Src: e.Src, Dst: e.Dst, Weight: w})
+		}
+	}
+	return olds
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"testing"
+
+	"sagabench/internal/graph"
+)
+
+// FuzzGenerate drives both generator families across their parameter
+// space and checks the stream invariants every consumer relies on:
+// generation is deterministic for a seed, produces exactly NumEdges edges,
+// keeps every endpoint inside the vertex-ID space, and keeps weights in
+// [1, MaxWeight]. Parameters are clamped into their documented domains the
+// same way a caller constructing a Spec must.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), true, 6, 500, 4, 0.5, 0.3, 0.3)
+	f.Add(int64(42), false, 8, 1000, 16, 0.0, 0.5, 0.0)
+	f.Add(int64(-7), false, 4, 1, 1, 2.0, 0.0, 0.9)
+	f.Add(int64(0), true, 10, 333, 0, 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, rmat bool, nodesExp, numEdges, hubCount int, skew, inShare, outShare float64) {
+		if nodesExp < 1 {
+			nodesExp = 1
+		}
+		if nodesExp > 12 {
+			nodesExp = 12
+		}
+		numNodes := 1 << nodesExp // power of two, as RMAT requires
+		if numEdges < 0 {
+			numEdges = -numEdges
+		}
+		numEdges %= 2000
+		clamp01 := func(x float64) float64 {
+			if !(x >= 0) { // also catches NaN
+				return 0
+			}
+			if x > 1 {
+				return 1
+			}
+			return x
+		}
+		if !(skew >= 0) {
+			skew = 0
+		}
+		if skew > 4 {
+			skew = 4
+		}
+		spec := Spec{
+			Name:      "fuzz",
+			Kind:      KindPowerLaw,
+			NumNodes:  numNodes,
+			NumEdges:  numEdges,
+			BatchSize: 64,
+			HubCount:  hubCount%32 + 1,
+			// Shares must sum with the background to at most 1 per side.
+			HubInShare:  clamp01(inShare),
+			HubOutShare: clamp01(outShare),
+			Skew:        skew,
+		}
+		if rmat {
+			spec.Kind = KindRMAT
+			spec.A, spec.B, spec.C, spec.D = 0.57, 0.19, 0.19, 0.05
+		}
+
+		edges := spec.Generate(seed)
+		if len(edges) != numEdges {
+			t.Fatalf("generated %d edges, want %d", len(edges), numEdges)
+		}
+		for i, e := range edges {
+			if int(e.Src) >= numNodes || int(e.Dst) >= numNodes {
+				t.Fatalf("edge %d: endpoint out of range: %v (NumNodes %d)", i, e, numNodes)
+			}
+			if e.Weight < 1 || e.Weight > MaxWeight {
+				t.Fatalf("edge %d: weight %v outside [1, %d]", i, e.Weight, MaxWeight)
+			}
+		}
+
+		again := spec.Generate(seed)
+		for i := range edges {
+			if edges[i] != again[i] {
+				t.Fatalf("generation is not deterministic at edge %d: %v vs %v", i, edges[i], again[i])
+			}
+		}
+
+		// Batching covers the stream exactly, tail batch included.
+		total := 0
+		for _, b := range graph.Batches(edges, spec.BatchSize) {
+			total += len(b)
+		}
+		if total != len(edges) {
+			t.Fatalf("batching dropped edges: %d of %d", total, len(edges))
+		}
+	})
+}

@@ -134,6 +134,11 @@ func genPowerLaw(rng *rand.Rand, s Spec) []graph.Edge {
 	if hubs <= 0 {
 		hubs = 1
 	}
+	if hubs > s.NumNodes {
+		// More hubs than vertices would emit endpoints outside the ID
+		// space (found by FuzzGenerate): every vertex is a hub then.
+		hubs = s.NumNodes
+	}
 	hubWeights := make([]float64, hubs)
 	total := 0.0
 	for i := range hubWeights {

@@ -1,0 +1,215 @@
+package graph
+
+import "math"
+
+// Sequential reference implementations of the six SAGA-Bench algorithms,
+// computed directly on an Oracle. They are the ground truth the
+// differential crosscheck harness (internal/crosscheck) compares every
+// data structure × compute model combination against: textbook
+// single-threaded algorithms with no shared-memory relaxation, no
+// triggering thresholds, and no incremental state, so any divergence
+// points at the concurrent implementation, not the reference.
+//
+// Value conventions match internal/compute exactly (Table I):
+//
+//	BFS   hop distance from src, +Inf if unreachable
+//	CC    minimum vertex ID reachable over edges in either direction
+//	MC    maximum vertex ID that can reach v (including v itself)
+//	PR    damped PageRank, Jacobi power iteration
+//	SSSP  weighted shortest-path distance from src, +Inf if unreachable
+//	SSWP  widest-path width from src (source is +Inf, unreachable is 0)
+
+// refAdj materializes the oracle's adjacency once so the traversals below
+// don't re-sort neighbor maps on every visit.
+type refAdj struct {
+	out [][]Neighbor
+	in  [][]Neighbor
+}
+
+func newRefAdj(o *Oracle) *refAdj {
+	n := o.NumNodes()
+	r := &refAdj{out: make([][]Neighbor, n), in: make([][]Neighbor, n)}
+	for v := 0; v < n; v++ {
+		r.out[v] = o.Out(NodeID(v))
+		r.in[v] = o.In(NodeID(v))
+	}
+	return r
+}
+
+// RefBFS computes exact hop distances from src by sequential BFS.
+func RefBFS(o *Oracle, src NodeID) []float64 {
+	g := newRefAdj(o)
+	d := make([]float64, len(g.out))
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	if int(src) >= len(g.out) {
+		return d
+	}
+	d[src] = 0
+	q := []NodeID{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, nb := range g.out[u] {
+			if math.IsInf(d[nb.ID], 1) {
+				d[nb.ID] = d[u] + 1
+				q = append(q, nb.ID)
+			}
+		}
+	}
+	return d
+}
+
+// RefCC assigns each vertex the minimum vertex ID reachable over edges in
+// either direction (weak connectivity labels).
+func RefCC(o *Oracle) []float64 {
+	g := newRefAdj(o)
+	n := len(g.out)
+	label := make([]float64, n)
+	seen := make([]bool, n)
+	for v := range label {
+		label[v] = float64(v)
+	}
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		// v is the smallest unseen ID of its component.
+		comp := []NodeID{NodeID(v)}
+		seen[v] = true
+		for len(comp) > 0 {
+			u := comp[len(comp)-1]
+			comp = comp[:len(comp)-1]
+			label[u] = float64(v)
+			for _, nb := range g.out[u] {
+				if !seen[nb.ID] {
+					seen[nb.ID] = true
+					comp = append(comp, nb.ID)
+				}
+			}
+			for _, nb := range g.in[u] {
+				if !seen[nb.ID] {
+					seen[nb.ID] = true
+					comp = append(comp, nb.ID)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// RefMC computes the fixpoint of v.value = max(v, max over in-neighbors),
+// i.e. the maximum vertex ID with a directed path to v.
+func RefMC(o *Oracle) []float64 {
+	g := newRefAdj(o)
+	n := len(g.out)
+	val := make([]float64, n)
+	inQ := make([]bool, n)
+	var q []NodeID
+	for v := range val {
+		val[v] = float64(v)
+		q = append(q, NodeID(v))
+		inQ[v] = true
+	}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		inQ[u] = false
+		for _, nb := range g.out[u] {
+			if val[u] > val[nb.ID] {
+				val[nb.ID] = val[u]
+				if !inQ[nb.ID] {
+					inQ[nb.ID] = true
+					q = append(q, nb.ID)
+				}
+			}
+		}
+	}
+	return val
+}
+
+// RefSSSP computes exact weighted shortest-path distances from src by
+// Bellman-Ford queue relaxation (exact for the positive weights SAGA-Bench
+// streams carry).
+func RefSSSP(o *Oracle, src NodeID) []float64 {
+	g := newRefAdj(o)
+	d := make([]float64, len(g.out))
+	for i := range d {
+		d[i] = math.Inf(1)
+	}
+	if int(src) >= len(g.out) {
+		return d
+	}
+	d[src] = 0
+	q := []NodeID{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, nb := range g.out[u] {
+			if nd := d[u] + float64(nb.Weight); nd < d[nb.ID] {
+				d[nb.ID] = nd
+				q = append(q, nb.ID)
+			}
+		}
+	}
+	return d
+}
+
+// RefSSWP computes widest-path widths from src: the source is +Inf and
+// every other vertex is the best over paths of the minimum edge weight
+// along the path (0 when unreachable).
+func RefSSWP(o *Oracle, src NodeID) []float64 {
+	g := newRefAdj(o)
+	w := make([]float64, len(g.out))
+	if int(src) >= len(g.out) {
+		return w
+	}
+	w[src] = math.Inf(1)
+	q := []NodeID{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, nb := range g.out[u] {
+			nw := math.Min(w[u], float64(nb.Weight))
+			if nw > w[nb.ID] {
+				w[nb.ID] = nw
+				q = append(q, nb.ID)
+			}
+		}
+	}
+	return w
+}
+
+// RefPR runs sequential Jacobi power iteration with the same update rule,
+// convergence criterion (summed absolute rank change < tol), and iteration
+// cap as the FS PageRank engine, so engine values track it to within
+// floating-point summation noise when given the same tolerances.
+func RefPR(o *Oracle, tol float64, maxIters int) []float64 {
+	g := newRefAdj(o)
+	n := len(g.out)
+	vals := make([]float64, n)
+	next := make([]float64, n)
+	for v := range vals {
+		vals[v] = 1 / float64(n)
+	}
+	const base, damping = 0.15, 0.85
+	for iter := 0; iter < maxIters; iter++ {
+		sumDelta := 0.0
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, nb := range g.in[v] {
+				if d := len(g.out[nb.ID]); d > 0 {
+					sum += vals[nb.ID] / float64(d)
+				}
+			}
+			next[v] = base/float64(n) + damping*sum
+			sumDelta += math.Abs(next[v] - vals[v])
+		}
+		vals, next = next, vals
+		if sumDelta < tol {
+			break
+		}
+	}
+	return vals
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func refOracle(t *testing.T, directed bool, edges ...Edge) *Oracle {
+	t.Helper()
+	o := NewOracle(directed)
+	o.Update(Batch(edges))
+	return o
+}
+
+func TestRefBFSAndSSSPLine(t *testing.T) {
+	// 0 -1-> 1 -2-> 2 -3-> 3, plus isolated 4.
+	o := refOracle(t, true,
+		Edge{0, 1, 1}, Edge{1, 2, 2}, Edge{2, 3, 3}, Edge{4, 4, 1})
+	o.Delete(Batch{{Src: 4, Dst: 4}}) // leave 4 edgeless but present
+	d := RefBFS(o, 0)
+	want := []float64{0, 1, 2, 3, math.Inf(1)}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("bfs[%d]=%v want %v", v, d[v], want[v])
+		}
+	}
+	s := RefSSSP(o, 0)
+	wantS := []float64{0, 1, 3, 6, math.Inf(1)}
+	for v := range wantS {
+		if s[v] != wantS[v] {
+			t.Fatalf("sssp[%d]=%v want %v", v, s[v], wantS[v])
+		}
+	}
+}
+
+func TestRefSSSPPrefersLighterLongerPath(t *testing.T) {
+	// 0->2 direct weight 10; 0->1->2 total 3.
+	o := refOracle(t, true, Edge{0, 2, 10}, Edge{0, 1, 1}, Edge{1, 2, 2})
+	s := RefSSSP(o, 0)
+	if s[2] != 3 {
+		t.Fatalf("sssp[2]=%v want 3", s[2])
+	}
+}
+
+func TestRefSSWPBottleneck(t *testing.T) {
+	// 0 -10-> 1 -3-> 2 and 0 -2-> 2: widest path to 2 is min(10,3)=3.
+	o := refOracle(t, true, Edge{0, 1, 10}, Edge{1, 2, 3}, Edge{0, 2, 2})
+	w := RefSSWP(o, 0)
+	if !math.IsInf(w[0], 1) || w[1] != 10 || w[2] != 3 {
+		t.Fatalf("sswp=%v want [+Inf 10 3]", w)
+	}
+}
+
+func TestRefCCWeakConnectivity(t *testing.T) {
+	// Directed chain 2->1 plus separate pair 3<-4: weak components {1,2}, {3,4}.
+	o := refOracle(t, true, Edge{2, 1, 1}, Edge{4, 3, 1})
+	c := RefCC(o)
+	want := []float64{0, 1, 1, 3, 3}
+	for v := range want {
+		if c[v] != want[v] {
+			t.Fatalf("cc[%d]=%v want %v", v, c[v], want[v])
+		}
+	}
+}
+
+func TestRefMCMaxReaches(t *testing.T) {
+	// 3 -> 1 -> 0, 2 isolated: max id reaching 0 and 1 is 3.
+	o := refOracle(t, true, Edge{3, 1, 1}, Edge{1, 0, 1}, Edge{2, 2, 1})
+	c := RefMC(o)
+	want := []float64{3, 3, 2, 3}
+	for v := range want {
+		if c[v] != want[v] {
+			t.Fatalf("mc[%d]=%v want %v", v, c[v], want[v])
+		}
+	}
+}
+
+func TestRefPRProperties(t *testing.T) {
+	// Star into vertex 0: rank(0) must dominate, total mass near 1 for a
+	// graph where every vertex has out-degree > 0.
+	o := refOracle(t, true,
+		Edge{1, 0, 1}, Edge{2, 0, 1}, Edge{3, 0, 1}, Edge{0, 1, 1})
+	r := RefPR(o, 1e-12, 500)
+	sum := 0.0
+	for _, x := range r {
+		sum += x
+	}
+	// 2 and 3 are sinks of nothing (out-degree 1, in-degree 0): they hold
+	// the base rank only; vertex 0 collects everything.
+	if r[0] <= r[1] || r[0] <= r[2] {
+		t.Fatalf("pr=%v: hub not dominant", r)
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("pr mass=%v want ~1", sum)
+	}
+	// Deterministic re-run.
+	r2 := RefPR(o, 1e-12, 500)
+	for v := range r {
+		if r[v] != r2[v] {
+			t.Fatalf("pr not deterministic at %d", v)
+		}
+	}
+}
+
+func TestRefSourceOutOfRange(t *testing.T) {
+	o := refOracle(t, true, Edge{0, 1, 1})
+	for _, vals := range [][]float64{RefBFS(o, 99), RefSSSP(o, 99)} {
+		for v, x := range vals {
+			if !math.IsInf(x, 1) {
+				t.Fatalf("vertex %d=%v want +Inf for unreachable source", v, x)
+			}
+		}
+	}
+	for v, x := range RefSSWP(o, 99) {
+		if x != 0 {
+			t.Fatalf("sswp[%d]=%v want 0", v, x)
+		}
+	}
+}
