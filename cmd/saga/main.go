@@ -7,17 +7,25 @@
 // Example:
 //
 //	saga -dataset lj -ds adjshared -alg pr -model inc -threads 8
+//
+// With -wal DIR the run becomes a durable service stream: every batch is
+// write-ahead logged before it is applied, checkpoints are written
+// periodically, and a restart with the same -wal resumes where the
+// previous process stopped — cleanly, by SIGINT/SIGTERM, or by crash.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sagabench/internal/compute"
 	"sagabench/internal/core"
 	"sagabench/internal/ds"
 	_ "sagabench/internal/ds/all"
+	"sagabench/internal/durable"
 	"sagabench/internal/elio"
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
@@ -44,6 +52,10 @@ func main() {
 		listen      = flag.String("listen", "", "serve /metrics (Prometheus + expvar) and /debug/pprof on this address during the run, e.g. :8090")
 		events      = flag.String("events", "", "write one JSONL telemetry event per batch to this file")
 		metricsDump = flag.Bool("metrics-dump", false, "print the final metrics in Prometheus text format after the run")
+
+		walDir    = flag.String("wal", "", "durability directory: write-ahead log every batch, checkpoint periodically, recover and resume on restart")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy with -wal: always, interval, never")
+		ckptEvery = flag.Int("checkpoint-every", 64, "checkpoint every N batches with -wal (negative disables periodic checkpoints)")
 	)
 	flag.Parse()
 
@@ -84,40 +96,65 @@ func main() {
 				b, len(edges), p.Graph().NumNodes(), lat.Update, lat.Compute, lat.Total())
 		}
 	}
+
+	// SIGINT/SIGTERM initiate a graceful shutdown: the durable stream loop
+	// stops between batches (flushing the WAL and writing a final
+	// checkpoint on Close); a measurement run flushes and closes the
+	// telemetry event log before exiting.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+
 	var res *core.RunResult
 	var err error
 	label := *dataset
+	var edges []graph.Edge
+	batchSize := *batch
 	if *input != "" {
 		label = *input
 		f, ferr := os.Open(*input)
 		if ferr != nil {
 			fatal(ferr)
 		}
-		edges, rerr := elio.Read(f)
+		edges, err = elio.Read(f)
 		f.Close()
-		if rerr != nil {
-			fatal(rerr)
+		if err != nil {
+			fatal(err)
 		}
 		if *shuffle {
 			gen.Shuffle(edges, *seed)
 		}
 		pc.Directed = !*undir
-		res, err = core.RunStream(core.StreamConfig{
-			PipelineConfig: pc,
-			Edges:          edges,
-			BatchSize:      *batch,
-			Repeats:        *repeats,
-			OnBatch:        onBatch,
-		})
 	} else {
 		spec, serr := gen.Dataset(*dataset, gen.Profile(*profile))
 		if serr != nil {
 			fatal(serr)
 		}
-		res, err = core.Run(core.RunConfig{
+		pc.Directed = spec.Directed
+		if pc.MaxNodesHint == 0 {
+			pc.MaxNodesHint = spec.NumNodes
+		}
+		edges = spec.Generate(*seed)
+		batchSize = spec.BatchSize
+	}
+
+	if *walDir != "" {
+		res, err = runDurable(pc, durable.Config{
+			Dir:             *walDir,
+			Fsync:           durable.FsyncPolicy(*fsync),
+			CheckpointEvery: *ckptEvery,
+		}, edges, batchSize, *repeats, onBatch, sigC)
+	} else {
+		go func() {
+			<-sigC
+			fmt.Fprintln(os.Stderr, "saga: interrupted, closing telemetry")
+			rec.Flush()
+			rec.Close()
+			os.Exit(130)
+		}()
+		res, err = core.RunStream(core.StreamConfig{
 			PipelineConfig: pc,
-			Dataset:        spec,
-			Seed:           *seed,
+			Edges:          edges,
+			BatchSize:      batchSize,
 			Repeats:        *repeats,
 			OnBatch:        onBatch,
 		})
@@ -127,16 +164,28 @@ func main() {
 	}
 
 	fmt.Printf("dataset=%s ds=%s alg=%s model=%s threads=%d batches=%d repeats=%d\n",
-		label, *dsName, *alg, *model, *threads, res.BatchCount, *repeats)
+		label, *dsName, *alg, *model, *threads, res.BatchCount, len(res.Update))
 	fmt.Printf("%-8s %14s %14s %14s\n", "stage", "update", "compute", "total")
 	names := [3]string{"P1", "P2", "P3"}
-	upd := res.StageSummaries(core.MetricUpdate)
-	cmp := res.StageSummaries(core.MetricCompute)
-	tot := res.StageSummaries(core.MetricTotal)
+	upd, err := res.StageSummaries(core.MetricUpdate)
+	if err != nil {
+		fatal(err)
+	}
+	cmp, err := res.StageSummaries(core.MetricCompute)
+	if err != nil {
+		fatal(err)
+	}
+	tot, err := res.StageSummaries(core.MetricTotal)
+	if err != nil {
+		fatal(err)
+	}
 	for i := range names {
 		fmt.Printf("%-8s %14s %14s %14s\n", names[i], upd[i], cmp[i], tot[i])
 	}
-	share := res.UpdateShare()
+	share, err := res.UpdateShare()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("update share of batch latency: P1=%.0f%% P2=%.0f%% P3=%.0f%%\n",
 		100*share[0], 100*share[1], 100*share[2])
 
@@ -151,6 +200,73 @@ func main() {
 			rec.Registry().WritePrometheus(os.Stdout)
 		}
 	}
+}
+
+// runDurable streams the batches through a durable pipeline, resuming
+// past whatever the durability directory already covers. Repeats make no
+// sense against persistent state, so the stream runs exactly once.
+func runDurable(pc core.PipelineConfig, dcfg durable.Config, edges []graph.Edge, batchSize, repeats int,
+	onBatch func(int, graph.Batch, *core.Pipeline, core.BatchLatency), sigC chan os.Signal) (*core.RunResult, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("batch size must be positive")
+	}
+	if repeats > 1 {
+		fmt.Fprintf(os.Stderr, "saga: -wal streams once against persistent state; ignoring -repeats %d\n", repeats)
+	}
+	pc.Durable = &dcfg
+	p, err := core.NewPipeline(pc)
+	if err != nil {
+		return nil, err
+	}
+	batches := graph.Batches(edges, batchSize)
+	resume := p.DurableSeq()
+	if resume > 0 {
+		fmt.Fprintf(os.Stderr, "saga: recovered %s through batch %d, resuming\n", dcfg.Dir, resume)
+	}
+	var upd, cmp []float64
+	interrupted := false
+stream:
+	for bi, b := range batches {
+		if uint64(bi) < resume {
+			continue
+		}
+		select {
+		case <-sigC:
+			interrupted = true
+			break stream
+		default:
+		}
+		lat, err := p.ProcessMixed(core.MixedBatch{Adds: b})
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		upd = append(upd, lat.Update.Seconds())
+		cmp = append(cmp, lat.Compute.Seconds())
+		if onBatch != nil {
+			onBatch(bi, b, p, lat)
+		}
+	}
+	if err := p.Close(); err != nil {
+		return nil, err
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "saga: interrupted at batch %d/%d; WAL flushed and checkpoint written, re-run with the same -wal to resume\n",
+			p.DurableSeq(), len(batches))
+	}
+	for _, path := range p.PoisonFiles() {
+		fmt.Fprintf(os.Stderr, "saga: quarantined poison batch: %s (replay: sagafuzz -replay %s)\n", path, path)
+	}
+	if len(upd) == 0 {
+		fmt.Fprintf(os.Stderr, "saga: stream already complete (%d batches durable in %s); nothing to do\n",
+			len(batches), dcfg.Dir)
+		os.Exit(0)
+	}
+	return &core.RunResult{
+		BatchCount: len(upd),
+		Update:     [][]float64{upd},
+		Compute:    [][]float64{cmp},
+	}, nil
 }
 
 func fatal(err error) {

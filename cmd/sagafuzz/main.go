@@ -9,9 +9,15 @@
 //
 //	sagafuzz -seed 1 -batches 50              # the sweep
 //	sagafuzz -replay sagafuzz.repro           # re-run a minimized repro
+//	sagafuzz -crash                           # kill/recover durability soak
 //
 // -inject plants a deliberate defect in the structures under test to
 // demonstrate the catch-and-shrink loop end to end (see -help).
+//
+// -crash switches to the durability soak (internal/crashloop): a durable
+// pipeline is killed at every registered crash point in rotation — with
+// optional torn writes, bit flips, and poison batches layered on — and
+// the state recovered from disk is diffed against the sequential oracle.
 package main
 
 import (
@@ -22,9 +28,11 @@ import (
 	"strings"
 
 	"sagabench/internal/compute"
+	"sagabench/internal/crashloop"
 	"sagabench/internal/crosscheck"
 	"sagabench/internal/ds"
 	_ "sagabench/internal/ds/all"
+	"sagabench/internal/durable"
 	"sagabench/internal/graph"
 )
 
@@ -44,12 +52,40 @@ func main() {
 		replay    = flag.String("replay", "", "replay a repro file instead of fuzzing")
 		out       = flag.String("out", "sagafuzz.repro", "where to write the minimized repro on failure")
 		inject    = flag.String("inject", "", "plant a defect: drop-edge:SRC:DST | degree-cap:CAP | stale-weight")
+
+		crash      = flag.Bool("crash", false, "run the durability kill/recover soak instead of fuzzing")
+		crashDir   = flag.String("crash-dir", "", "durability directory for -crash (default: temp dir, kept on failure)")
+		crashDS    = flag.String("crash-ds", "adjshared", "data structure for -crash")
+		crashAlg   = flag.String("crash-alg", "pr", "algorithm for -crash")
+		crashModel = flag.String("crash-model", "inc", "compute model for -crash: fs or inc")
+		crashFsync = flag.String("crash-fsync", "interval", "WAL fsync policy for -crash: always, interval, never")
+		noFaults   = flag.Bool("crash-no-faults", false, "disable torn writes, bit flips, and poison injection in -crash")
 	)
 	flag.Parse()
 
 	fault, err := parseFault(*inject)
 	if err != nil {
 		fatalf("bad -inject: %v", err)
+	}
+
+	if *crash {
+		os.Exit(runCrash(crashloop.Options{
+			Seed:       *seed,
+			Batches:    *batches,
+			BatchSize:  *batchSize,
+			NumNodes:   *nodes,
+			Directed:   *directed,
+			Deletes:    *deletes,
+			DS:         *crashDS,
+			Alg:        *crashAlg,
+			Model:      compute.Model(*crashModel),
+			Threads:    *threads,
+			Dir:        *crashDir,
+			Fsync:      durable.FsyncPolicy(*crashFsync),
+			TornWrites: !*noFaults,
+			BitFlips:   !*noFaults,
+			Poison:     !*noFaults,
+		}))
 	}
 
 	if *replay != "" {
@@ -116,6 +152,39 @@ func main() {
 	}
 	fmt.Printf("sagafuzz: repro written to %s (re-run: %s)\n", *out, rerun)
 	os.Exit(1)
+}
+
+// runCrash drives the kill/recover soak and reports the outcome.
+func runCrash(opts crashloop.Options) int {
+	opts.Logf = func(format string, args ...any) {
+		fmt.Printf("sagafuzz: "+format+"\n", args...)
+	}
+	res, err := crashloop.Run(opts)
+	if err != nil {
+		fatalf("crash soak: %v", err)
+	}
+	fmt.Printf("sagafuzz: %d batches through %d kill/recover cycles (%d recoveries, %d torn tails, %d bit flips, %d quarantines)\n",
+		res.Batches, res.Cycles, res.Recoveries, res.TornTails, res.BitFlips, len(res.PoisonFiles))
+	for _, pt := range durable.CrashPoints {
+		if n := res.Crashes[pt]; n > 0 {
+			fmt.Printf("sagafuzz:   crashed %2dx at %s\n", n, pt)
+		}
+	}
+	for _, pf := range res.PoisonFiles {
+		fmt.Printf("sagafuzz:   quarantined: %s (replay: sagafuzz -replay %s)\n", pf, pf)
+	}
+	if res.OK() {
+		fmt.Println("sagafuzz: PASS: recovered state matches the sequential oracle after every crash")
+		return 0
+	}
+	fmt.Printf("sagafuzz: FAIL: %d divergence(s) after recovery:\n", len(res.Failures))
+	for _, f := range res.Failures {
+		fmt.Printf("  %s\n", f)
+	}
+	if res.KeepArtifact {
+		fmt.Printf("sagafuzz: durability directory kept for inspection: %s\n", res.Dir)
+	}
+	return 1
 }
 
 func runReplay(path string, fault *crosscheck.FaultSpec, threads int) int {

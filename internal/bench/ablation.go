@@ -51,7 +51,11 @@ func (h *Harness) Ablation() error {
 				if err != nil {
 					return err
 				}
-				cells[i] = formatSeconds(res.StageSummaries(core.MetricUpdate)[2].Mean)
+				sums, err := res.StageSummaries(core.MetricUpdate)
+				if err != nil {
+					return err
+				}
+				cells[i] = formatSeconds(sums[2].Mean)
 			}
 			h.printf("%-10s %12s %12s\n", v.label, cells[0], cells[1])
 		}

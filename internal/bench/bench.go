@@ -217,10 +217,14 @@ func (h *Harness) combos(dataset, alg string) ([]combo, error) {
 			if err != nil {
 				return nil, err
 			}
+			stages, err := res.StageSummaries(core.MetricTotal)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, combo{
 				ds:     d.Key,
 				model:  m.Key,
-				stages: res.StageSummaries(core.MetricTotal),
+				stages: stages,
 				res:    res,
 			})
 		}

@@ -34,7 +34,11 @@ func (h *Harness) Extensions() error {
 			if err != nil {
 				return err
 			}
-			cells[i] = formatSeconds(res.StageSummaries(core.MetricUpdate)[2].Mean)
+			sums, err := res.StageSummaries(core.MetricUpdate)
+			if err != nil {
+				return err
+			}
+			cells[i] = formatSeconds(sums[2].Mean)
 		}
 		h.printf("%-10s %12s %12s\n", d.Label, cells[0], cells[1])
 	}
@@ -92,8 +96,16 @@ func (h *Harness) overlapRow() error {
 	if err != nil {
 		return err
 	}
-	su := stats.Summarize(serial.Series(core.MetricTotal, 0)).Mean
-	ou := stats.Summarize(over.Series(core.MetricTotal, 0)).Mean
+	sser, err := serial.Series(core.MetricTotal, 0)
+	if err != nil {
+		return err
+	}
+	sover, err := over.Series(core.MetricTotal, 0)
+	if err != nil {
+		return err
+	}
+	su := stats.Summarize(sser).Mean
+	ou := stats.Summarize(sover).Mean
 	hi := stats.Summarize(hidden).Mean
 	h.printf("  serial batch latency     %s\n", formatSeconds(su))
 	h.printf("  overlapped batch latency %s (+%s staging hidden under compute)\n", formatSeconds(ou), formatSeconds(hi))

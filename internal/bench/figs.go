@@ -28,7 +28,11 @@ func (h *Harness) Fig6() error {
 			if err != nil {
 				return out, err
 			}
-			mean := res.StageSummaries(metric)[p3].Mean
+			sums, err := res.StageSummaries(metric)
+			if err != nil {
+				return out, err
+			}
+			mean := sums[p3].Mean
 			if i == 0 {
 				asMean = mean
 				continue
@@ -105,8 +109,14 @@ func (h *Harness) Fig7() error {
 			if err != nil {
 				return err
 			}
-			fss := fs.StageSummaries(core.MetricCompute)
-			incs := inc.StageSummaries(core.MetricCompute)
+			fss, err := fs.StageSummaries(core.MetricCompute)
+			if err != nil {
+				return err
+			}
+			incs, err := inc.StageSummaries(core.MetricCompute)
+			if err != nil {
+				return err
+			}
 			r1 := stats.Ratio(fss[0].Mean, incs[0].Mean)
 			r2 := stats.Ratio(fss[1].Mean, incs[1].Mean)
 			r3 := stats.Ratio(fss[2].Mean, incs[2].Mean)
@@ -130,7 +140,10 @@ func (h *Harness) Fig8() error {
 				return err
 			}
 			best, _ := bestAt(cs, 2)
-			share := best.res.UpdateShare()
+			share, err := best.res.UpdateShare()
+			if err != nil {
+				return err
+			}
 			h.printf("%-5s %-7s %-10s %6.0f%% %6.0f%% %6.0f%%\n", alg, dataset, comboLabel(best),
 				100*share[0], 100*share[1], 100*share[2])
 			h.csvHeader("fig8", "alg", "dataset", "combo", "p1_update_share", "p2_update_share", "p3_update_share")

@@ -113,7 +113,11 @@ func (h *Harness) bestModelAt(dataset, alg, dsName string, stage int) (compute.M
 		if err != nil {
 			return best, err
 		}
-		mean := res.StageSummaries(core.MetricTotal)[stage].Mean
+		sums, err := res.StageSummaries(core.MetricTotal)
+		if err != nil {
+			return best, err
+		}
+		mean := sums[stage].Mean
 		if best == "" || mean < bestMean {
 			best, bestMean = m.Key, mean
 		}

@@ -166,7 +166,11 @@ func MustNewEngine(alg string, model Model, opts Options) Engine {
 }
 
 // parallelFor splits [0,n) into up to `threads` contiguous ranges and runs
-// fn on each in its own goroutine, blocking until all complete.
+// fn on each in its own goroutine, blocking until all complete. A panic in
+// any worker is captured and re-raised on the calling goroutine (first
+// panic wins), so callers wrapping the compute phase in recover — the
+// poison-batch quarantine — see worker failures instead of the process
+// dying.
 func parallelFor(n, threads int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -180,6 +184,8 @@ func parallelFor(n, threads int, fn func(lo, hi int)) {
 	}
 	per := (n + threads - 1) / threads
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	for lo := 0; lo < n; lo += per {
 		hi := lo + per
 		if hi > n {
@@ -188,10 +194,18 @@ func parallelFor(n, threads int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // growValues extends vals to n slots, filling new slots with fill.

@@ -22,6 +22,7 @@ import (
 
 	"sagabench/internal/compute"
 	"sagabench/internal/ds"
+	"sagabench/internal/durable"
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
 	"sagabench/internal/stats"
@@ -33,6 +34,15 @@ type Pipeline struct {
 	g      ds.Graph
 	engine compute.Engine
 	rec    *telemetry.Recorder
+
+	// pcfg is retained so the durability layer can rebuild fresh
+	// components during crash recovery and state rebuilds.
+	pcfg PipelineConfig
+
+	// dur is the durability state (nil when durability is disabled — the
+	// hot path then never touches it).
+	dur      *durState
+	poisoned []string
 
 	affected     []graph.NodeID
 	affectedMark []uint8
@@ -70,25 +80,51 @@ type PipelineConfig struct {
 	// (latencies, affected-set size, compute stats, ds profile deltas).
 	// Nil disables instrumentation at near-zero cost.
 	Telemetry *telemetry.Recorder
+	// Durable, when non-nil, enables the crash-safety layer: every batch
+	// is write-ahead logged before it is applied, checkpoints are written
+	// periodically, and construction recovers whatever state the
+	// directory already holds (see internal/durable and durable.go).
+	// Nil disables durability at zero per-batch cost.
+	Durable *durable.Config
 }
 
-// NewPipeline validates the config and builds the pipeline.
-func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+// buildComponents constructs the data structure and engine for cfg; the
+// durability layer rebuilds through the same path during recovery.
+func buildComponents(cfg PipelineConfig) (ds.Graph, compute.Engine, error) {
 	dcfg := cfg.DS
 	dcfg.Directed = cfg.Directed
 	dcfg.Threads = cfg.Threads
 	dcfg.MaxNodesHint = cfg.MaxNodesHint
 	g, err := ds.New(cfg.DataStructure, dcfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	copts := cfg.Compute
 	copts.Threads = cfg.Threads
 	engine, err := compute.NewEngine(cfg.Algorithm, cfg.Model, copts)
 	if err != nil {
+		return nil, nil, err
+	}
+	return g, engine, nil
+}
+
+// NewPipeline validates the config and builds the pipeline. With a
+// durable config, construction opens the durability directory and
+// recovers: latest valid checkpoint, then WAL tail replay — an empty
+// directory recovers to an empty pipeline, so the first run and every
+// restart share one code path.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	g, engine, err := buildComponents(cfg)
+	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{g: g, engine: engine, rec: cfg.Telemetry}, nil
+	p := &Pipeline{g: g, engine: engine, rec: cfg.Telemetry, pcfg: cfg}
+	if cfg.Durable != nil {
+		if err := p.initDurable(*cfg.Durable); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // SetTelemetry installs (or removes, with nil) the batch recorder on a
@@ -123,6 +159,16 @@ func (l BatchLatency) Total() time.Duration { return l.Update + l.Compute }
 // The overwrite scan runs outside the timed update phase — the paper's
 // update phase likewise knows which edges it rewrote.
 func (p *Pipeline) Process(batch graph.Batch) BatchLatency {
+	if p.dur != nil {
+		lat, err := p.processDurable(MixedBatch{Adds: batch})
+		if err != nil {
+			// Only fatal durability I/O reaches here (poison batches are
+			// quarantined, not returned); callers that need the error
+			// should use ProcessMixed.
+			panic(err)
+		}
+		return lat
+	}
 	var lat BatchLatency
 	olds := p.overwrittenFor(batch)
 	t0 := time.Now()
@@ -248,6 +294,9 @@ type RunResult struct {
 
 // Run executes the experiment.
 func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.PipelineConfig.Durable != nil {
+		return nil, fmt.Errorf("core: Run measures repeats on fresh state and cannot use a durable pipeline (each repeat would recover the previous one); drive a durable Pipeline directly")
+	}
 	repeats := cfg.Repeats
 	if repeats <= 0 {
 		repeats = 1
@@ -279,6 +328,9 @@ type StreamConfig struct {
 
 // RunStream executes the stream experiment.
 func RunStream(cfg StreamConfig) (*RunResult, error) {
+	if cfg.PipelineConfig.Durable != nil {
+		return nil, fmt.Errorf("core: RunStream measures repeats on fresh state and cannot use a durable pipeline (each repeat would recover the previous one); drive a durable Pipeline directly")
+	}
 	if cfg.BatchSize <= 0 {
 		return nil, fmt.Errorf("core: batch size must be positive")
 	}
@@ -324,52 +376,63 @@ func (res *RunResult) measureOnce(pc PipelineConfig, edges []graph.Edge, batchSi
 	return nil
 }
 
-// Series returns the per-batch series of one repeat for the metric.
-func (r *RunResult) Series(metric Metric, repeat int) []float64 {
+// Series returns the per-batch series of one repeat for the metric, or an
+// error for a metric outside the three aggregatable series.
+func (r *RunResult) Series(metric Metric, repeat int) ([]float64, error) {
 	u, c := r.Update[repeat], r.Compute[repeat]
 	switch metric {
 	case MetricUpdate:
-		return u
+		return u, nil
 	case MetricCompute:
-		return c
+		return c, nil
 	case MetricTotal:
 		t := make([]float64, len(u))
 		for i := range t {
 			t[i] = u[i] + c[i]
 		}
-		return t
+		return t, nil
 	}
-	panic(fmt.Sprintf("core: unknown metric %q", metric))
+	return nil, fmt.Errorf("core: unknown metric %q (have %q, %q, %q)",
+		metric, MetricUpdate, MetricCompute, MetricTotal)
 }
 
 // StageSummaries aggregates the metric into the paper's P1/P2/P3 stages:
 // each stage pools the corresponding third of every repeat's batch series
 // (Section IV-B's averaging methodology).
-func (r *RunResult) StageSummaries(metric Metric) [3]stats.Summary {
+func (r *RunResult) StageSummaries(metric Metric) ([3]stats.Summary, error) {
+	var out [3]stats.Summary
 	var pooled [3][]float64
 	for rep := range r.Update {
-		series := r.Series(metric, rep)
+		series, err := r.Series(metric, rep)
+		if err != nil {
+			return out, err
+		}
 		for si, rg := range stats.Stages(len(series)) {
 			pooled[si] = append(pooled[si], series[rg[0]:rg[1]]...)
 		}
 	}
-	var out [3]stats.Summary
 	for i := range out {
 		out[i] = stats.Summarize(pooled[i])
 	}
-	return out
+	return out, nil
 }
 
 // UpdateShare reports, per stage, the fraction of batch processing latency
 // spent in the update phase (Fig 8).
-func (r *RunResult) UpdateShare() [3]float64 {
-	upd := r.StageSummaries(MetricUpdate)
-	tot := r.StageSummaries(MetricTotal)
+func (r *RunResult) UpdateShare() ([3]float64, error) {
 	var out [3]float64
+	upd, err := r.StageSummaries(MetricUpdate)
+	if err != nil {
+		return out, err
+	}
+	tot, err := r.StageSummaries(MetricTotal)
+	if err != nil {
+		return out, err
+	}
 	for i := range out {
 		out[i] = stats.Ratio(upd[i].Mean, tot[i].Mean)
 	}
-	return out
+	return out, nil
 }
 
 // MixedBatch couples the insertions and deletions that arrived in one
@@ -385,17 +448,44 @@ type MixedBatch struct {
 // compute phase. It fails up front if the data structure cannot delete or
 // if the engine's results would be invalidated by deletions (monotone
 // incremental algorithms; see compute.Engine.HandlesDeletions).
+//
+// On a durable pipeline the batch is validated, write-ahead logged, and
+// applied under panic-recovery with retries; a batch that persistently
+// fails is quarantined and the returned error is nil — the stream keeps
+// moving (see PoisonFiles). A non-nil error then means unrecoverable
+// durability I/O, not a bad batch.
 func (p *Pipeline) ProcessMixed(mb MixedBatch) (BatchLatency, error) {
-	var lat BatchLatency
-	if len(mb.Dels) > 0 {
-		if !ds.SupportsDelete(p.g) {
-			return lat, fmt.Errorf("core: data structure %T does not support deletions", p.g)
-		}
-		if !p.engine.HandlesDeletions() {
-			return lat, fmt.Errorf("core: %s/%s cannot incrementally process deletions (use the fs model)",
-				p.engine.Name(), p.engine.Model())
-		}
+	if err := p.checkMixedSupport(mb); err != nil {
+		return BatchLatency{}, err
 	}
+	if p.dur != nil {
+		return p.processDurable(mb)
+	}
+	return p.apply(mb)
+}
+
+// checkMixedSupport rejects deletion batches the components cannot
+// process — a configuration error, checked before anything is logged so
+// it is never mistaken for a poison batch.
+func (p *Pipeline) checkMixedSupport(mb MixedBatch) error {
+	if len(mb.Dels) == 0 {
+		return nil
+	}
+	if !ds.SupportsDelete(p.g) {
+		return fmt.Errorf("core: data structure %T does not support deletions", p.g)
+	}
+	if !p.engine.HandlesDeletions() {
+		return fmt.Errorf("core: %s/%s cannot incrementally process deletions (use the fs model)",
+			p.engine.Name(), p.engine.Model())
+	}
+	return nil
+}
+
+// apply runs the two phases of one mixed batch against the in-memory
+// components: the undecorated execution path shared by direct processing,
+// durable processing, and WAL replay.
+func (p *Pipeline) apply(mb MixedBatch) (BatchLatency, error) {
+	var lat BatchLatency
 	olds := p.overwrittenFor(mb.Adds)
 	t0 := time.Now()
 	p.g.Update(mb.Adds)

@@ -82,7 +82,10 @@ func TestRunAggregation(t *testing.T) {
 		t.Fatalf("OnBatch fired %d times, want %d", seen, 2*res.BatchCount)
 	}
 	for _, m := range []core.Metric{core.MetricUpdate, core.MetricCompute, core.MetricTotal} {
-		ss := res.StageSummaries(m)
+		ss, err := res.StageSummaries(m)
+		if err != nil {
+			t.Fatalf("metric %s: %v", m, err)
+		}
 		if ss[2].N == 0 {
 			t.Fatalf("metric %s: empty final stage", m)
 		}
@@ -92,14 +95,22 @@ func TestRunAggregation(t *testing.T) {
 			}
 		}
 	}
-	shares := res.UpdateShare()
+	shares, err := res.UpdateShare()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, s := range shares {
 		if s < 0 || s > 1 {
 			t.Fatalf("update share[%d]=%v outside [0,1]", i, s)
 		}
 	}
 	// Total = update + compute must hold per stage.
-	u, c, tot := res.StageSummaries(core.MetricUpdate), res.StageSummaries(core.MetricCompute), res.StageSummaries(core.MetricTotal)
+	u, err1 := res.StageSummaries(core.MetricUpdate)
+	c, err2 := res.StageSummaries(core.MetricCompute)
+	tot, err3 := res.StageSummaries(core.MetricTotal)
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatal(err1, err2, err3)
+	}
 	for i := range tot {
 		if math.Abs(tot[i].Mean-(u[i].Mean+c[i].Mean)) > 1e-12 {
 			t.Fatalf("stage %d: total %v != update %v + compute %v", i, tot[i].Mean, u[i].Mean, c[i].Mean)
@@ -183,14 +194,17 @@ func TestRunStreamValidation(t *testing.T) {
 	}
 }
 
-func TestSeriesUnknownMetricPanics(t *testing.T) {
+func TestSeriesUnknownMetricErrors(t *testing.T) {
 	res := &core.RunResult{Update: [][]float64{{1}}, Compute: [][]float64{{2}}}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Series should panic on an unknown metric")
-		}
-	}()
-	res.Series(core.Metric("bogus"), 0)
+	if _, err := res.Series(core.Metric("bogus"), 0); err == nil {
+		t.Fatal("Series should error on an unknown metric")
+	}
+	if _, err := res.StageSummaries(core.Metric("bogus")); err == nil {
+		t.Fatal("StageSummaries should error on an unknown metric")
+	}
+	if s, err := res.Series(core.MetricTotal, 0); err != nil || len(s) != 1 || s[0] != 3 {
+		t.Fatalf("Series(total)=%v err=%v", s, err)
+	}
 }
 
 func TestBatchLatencyTotal(t *testing.T) {

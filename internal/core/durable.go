@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/ds"
+	"sagabench/internal/durable"
+	"sagabench/internal/graph"
+)
+
+// This file threads the durability layer through the pipeline. The
+// protocol per batch:
+//
+//	validate -> WAL append -> apply (panic-caught, retried) -> maybe checkpoint
+//
+// A batch failing validation is quarantined before it consumes a sequence
+// number. A batch that appends but persistently fails to apply is
+// tombstoned in the WAL, quarantined, and the in-memory state — possibly
+// half-mutated by the failed apply — is rebuilt from checkpoint + WAL.
+// Construction and rebuild share recoverDurable, so crash recovery is the
+// ordinary startup path, not a special case.
+
+// durState is the pipeline's durability attachment.
+type durState struct {
+	man       *durable.Manager
+	meta      durable.PoisonMeta
+	sinceCkpt int // applied batches since the last checkpoint
+}
+
+// initDurable opens the durability directory and recovers its contents.
+func (p *Pipeline) initDurable(cfg durable.Config) error {
+	man, err := durable.Open(cfg, p.rec)
+	if err != nil {
+		return err
+	}
+	threads := p.pcfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	p.dur = &durState{man: man, meta: durable.PoisonMeta{
+		Directed: p.pcfg.Directed,
+		Threads:  threads,
+		DS:       p.pcfg.DataStructure,
+		Alg:      p.pcfg.Algorithm,
+		Model:    p.pcfg.Model,
+		Source:   p.pcfg.Compute.Source,
+	}}
+	return p.recoverDurable()
+}
+
+// recoverDurable rebuilds the in-memory state from disk: fresh
+// components, newest valid checkpoint, then WAL tail replay. A record
+// that fails to replay (a poison batch logged before a crash) is
+// tombstoned and quarantined, and the loop restarts — each pass
+// permanently skips one record, so it terminates.
+func (p *Pipeline) recoverDurable() error {
+	for {
+		cp, tail, err := p.dur.man.Recover()
+		if err != nil {
+			return err
+		}
+		if err := p.resetComponents(); err != nil {
+			return err
+		}
+		if err := p.restoreCheckpoint(cp); err != nil {
+			return err
+		}
+		replayedAll := true
+		for _, r := range tail {
+			if crash := p.dur.man.Config().Crash; crash != nil {
+				crash(durable.CrashMidReplay)
+			}
+			mb := MixedBatch{Adds: r.Adds, Dels: r.Dels}
+			if _, err := p.applyRetry(r.Seq, mb); err != nil {
+				if qerr := p.quarantine(r.Seq, err, mb); qerr != nil {
+					return qerr
+				}
+				replayedAll = false
+				break
+			}
+		}
+		if !replayedAll {
+			continue
+		}
+		// Attribute recovery's ingestion to recovery, not to the next
+		// batch's telemetry delta.
+		if prof, ok := ds.ProfileOf(p.g); ok {
+			p.lastProf = prof
+		}
+		return nil
+	}
+}
+
+// resetComponents replaces the data structure and engine with fresh ones
+// built from the original configuration.
+func (p *Pipeline) resetComponents() error {
+	g, engine, err := buildComponents(p.pcfg)
+	if err != nil {
+		return err
+	}
+	p.g, p.engine = g, engine
+	p.lastProf = ds.UpdateProfile{}
+	return nil
+}
+
+// restoreCheckpoint rebuilds adjacency and engine state from a snapshot
+// (nil = empty directory, nothing to restore).
+func (p *Pipeline) restoreCheckpoint(cp *durable.Checkpoint) error {
+	if cp == nil {
+		return nil
+	}
+	if cp.Directed != p.pcfg.Directed {
+		return fmt.Errorf("core: checkpoint directedness %v does not match pipeline config %v",
+			cp.Directed, p.pcfg.Directed)
+	}
+	const chunk = 4096
+	for lo := 0; lo < len(cp.Edges); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cp.Edges) {
+			hi = len(cp.Edges)
+		}
+		p.g.Update(graph.Batch(cp.Edges[lo:hi]))
+	}
+	// NumNodes is "1 + highest vertex ever ingested" and never shrinks,
+	// but deletions can leave the highest vertex edgeless — absent from
+	// the exported adjacency. Touch it with a self-loop insert+delete so
+	// the recovered vertex count (which sizes every property array)
+	// matches the checkpoint. Deletion matches on (src,dst), so the probe
+	// edge cannot disturb real adjacency: if the vertex had edges we
+	// would not be here.
+	if cp.NumNodes > 0 && p.g.NumNodes() < cp.NumNodes {
+		probe := graph.Batch{{Src: graph.NodeID(cp.NumNodes - 1), Dst: graph.NodeID(cp.NumNodes - 1)}}
+		p.g.Update(probe)
+		if d, ok := p.g.(ds.Deleter); ok {
+			if err := d.Delete(probe); err != nil {
+				return err
+			}
+		}
+	}
+	if p.g.NumNodes() != cp.NumNodes {
+		return fmt.Errorf("core: restored %d vertices, checkpoint has %d", p.g.NumNodes(), cp.NumNodes)
+	}
+	if cp.Engine != nil {
+		st, ok := p.engine.(compute.Stateful)
+		if !ok {
+			return fmt.Errorf("core: checkpoint carries engine state but %s/%s cannot restore it",
+				p.engine.Name(), p.engine.Model())
+		}
+		st.RestoreState(*cp.Engine)
+	}
+	return nil
+}
+
+// processDurable is the durable batch path (see the file comment for the
+// protocol). Poison batches are quarantined and return a nil error; a
+// non-nil error is unrecoverable durability I/O.
+func (p *Pipeline) processDurable(mb MixedBatch) (BatchLatency, error) {
+	var lat BatchLatency
+	man := p.dur.man
+	if err := durable.ValidateBatch(mb.Adds, mb.Dels, man.Config().MaxNodeID); err != nil {
+		path, qerr := man.Quarantine(p.dur.meta, 0, err.Error(), mb.Adds, mb.Dels)
+		if qerr != nil {
+			return lat, qerr
+		}
+		p.poisoned = append(p.poisoned, path)
+		return lat, nil
+	}
+	seq, err := man.Append(mb.Adds, mb.Dels)
+	if err != nil {
+		return lat, err
+	}
+	lat, err = p.applyRetry(seq, mb)
+	if err != nil {
+		if qerr := p.quarantine(seq, err, mb); qerr != nil {
+			return BatchLatency{}, qerr
+		}
+		// The failed apply may have half-mutated the graph or the engine;
+		// rebuild from disk (the tombstone keeps the poison batch out).
+		if rerr := p.recoverDurable(); rerr != nil {
+			return BatchLatency{}, rerr
+		}
+		return BatchLatency{}, nil
+	}
+	p.dur.sinceCkpt++
+	if every := man.Config().CheckpointEvery; every > 0 && p.dur.sinceCkpt >= every {
+		if err := p.writeDurableCheckpoint(); err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}
+
+// applyRetry applies one batch with panic capture and exponential-backoff
+// retries. Batch application is idempotent at the structure level
+// (inserts overwrite, deletes of missing edges no-op), so retrying over a
+// half-applied attempt converges to the same state.
+func (p *Pipeline) applyRetry(seq uint64, mb MixedBatch) (BatchLatency, error) {
+	cfg := p.dur.man.Config()
+	backoff := cfg.RetryBackoff
+	var lat BatchLatency
+	var err error
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.rec.RecordRetry()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		lat, err = p.applyCaught(seq, mb)
+		if err == nil {
+			return lat, nil
+		}
+	}
+	return lat, fmt.Errorf("core: batch seq %d failed %d attempts: %w", seq, cfg.MaxRetries+1, err)
+}
+
+// applyCaught applies one batch, converting panics anywhere in the update
+// or compute phase into errors. Simulated crashes are re-raised: a kill
+// is not a poison batch.
+func (p *Pipeline) applyCaught(seq uint64, mb MixedBatch) (lat BatchLatency, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := durable.AsCrash(r); ok {
+				panic(c)
+			}
+			err = fmt.Errorf("core: apply panic: %v", r)
+		}
+	}()
+	if probe := p.dur.man.Config().ApplyProbe; probe != nil {
+		if perr := probe(seq, mb.Adds, mb.Dels); perr != nil {
+			return lat, perr
+		}
+	}
+	return p.apply(mb)
+}
+
+// quarantine tombstones seq in the WAL and writes the batch to a
+// replayable .poison file.
+func (p *Pipeline) quarantine(seq uint64, cause error, mb MixedBatch) error {
+	if err := p.dur.man.AppendSkip(seq); err != nil {
+		return err
+	}
+	path, err := p.dur.man.Quarantine(p.dur.meta, seq, cause.Error(), mb.Adds, mb.Dels)
+	if err != nil {
+		return err
+	}
+	p.poisoned = append(p.poisoned, path)
+	return nil
+}
+
+// writeDurableCheckpoint snapshots the current in-memory state at the
+// last logged sequence number.
+func (p *Pipeline) writeDurableCheckpoint() error {
+	cp := &durable.Checkpoint{
+		Seq:      p.dur.man.LastSeq(),
+		Directed: p.pcfg.Directed,
+		NumNodes: p.g.NumNodes(),
+		Edges:    ds.ExportEdges(p.g),
+	}
+	if st, ok := p.engine.(compute.Stateful); ok {
+		s := st.ExportState()
+		cp.Engine = &s
+	}
+	if err := p.dur.man.WriteCheckpoint(cp); err != nil {
+		return err
+	}
+	p.dur.sinceCkpt = 0
+	return nil
+}
+
+// Close flushes the durability layer: final checkpoint, then WAL close.
+// A pipeline without durability has nothing to close.
+func (p *Pipeline) Close() error {
+	if p.dur == nil {
+		return nil
+	}
+	var firstErr error
+	if err := p.writeDurableCheckpoint(); err != nil {
+		firstErr = err
+	}
+	if err := p.dur.man.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// DurableSeq is the sequence number of the last durably logged batch (0
+// without durability): a driver resuming a stream skips everything at or
+// below it.
+func (p *Pipeline) DurableSeq() uint64 {
+	if p.dur == nil {
+		return 0
+	}
+	return p.dur.man.LastSeq()
+}
+
+// PoisonFiles lists the quarantine files written by this pipeline
+// instance, in order.
+func (p *Pipeline) PoisonFiles() []string { return p.poisoned }
+
+// Abandon drops the durability layer without flushing, as a kill would:
+// no final checkpoint, no WAL fsync. The kill/recover harness uses it for
+// file-handle hygiene on pipelines it crashes; production code wants
+// Close.
+func (p *Pipeline) Abandon() {
+	if p.dur != nil {
+		p.dur.man.Abandon()
+	}
+}

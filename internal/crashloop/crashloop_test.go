@@ -1,0 +1,70 @@
+package crashloop
+
+import (
+	"testing"
+
+	_ "sagabench/internal/ds/all"
+)
+
+// TestSoakShort runs a CI-sized kill/recover soak with every fault class
+// enabled: rotating crash points, torn tails, bit flips, and poison
+// batches. The recovered state must match the sequential oracle.
+func TestSoakShort(t *testing.T) {
+	res, err := Run(Options{
+		Seed:            3,
+		Batches:         9,
+		BatchSize:       60,
+		NumNodes:        40,
+		Directed:        true,
+		Deletes:         true,
+		Threads:         2,
+		CheckpointEvery: 2,
+		TornWrites:      true,
+		BitFlips:        true,
+		Poison:          true,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			t.Errorf("soak: %s", f)
+		}
+		t.Fatalf("soak failed after %d cycles (artifact: %s)", res.Cycles, res.Dir)
+	}
+	if !res.ReplayedOK {
+		t.Fatal("final cold restart never ran")
+	}
+	if res.Cycles < 2 || len(res.Crashes) == 0 {
+		t.Fatalf("soak killed nothing: %d cycles, crashes %v", res.Cycles, res.Crashes)
+	}
+	if len(res.PoisonFiles) == 0 {
+		t.Fatal("poison was injected but nothing was quarantined")
+	}
+}
+
+// TestSoakNoFaults runs the same loop with only the simulated kills — no
+// disk corruption, no poison — as the clean-path baseline.
+func TestSoakNoFaults(t *testing.T) {
+	res, err := Run(Options{
+		Seed:            5,
+		Batches:         7,
+		BatchSize:       50,
+		NumNodes:        32,
+		Directed:        true,
+		Deletes:         true,
+		Threads:         2,
+		CheckpointEvery: 3,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			t.Errorf("soak: %s", f)
+		}
+		t.Fatalf("clean soak failed after %d cycles (artifact: %s)", res.Cycles, res.Dir)
+	}
+}

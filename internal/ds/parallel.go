@@ -10,6 +10,9 @@ import (
 // fn on each shard in its own goroutine, blocking until all finish. It is
 // the shared-style multithreading used by AS and Stinger: every worker may
 // touch any vertex and relies on the structure's own locks.
+//
+// A panic in any worker is captured and re-raised on the caller (first
+// panic wins) so the pipeline's poison-batch quarantine can recover it.
 func ForEachShard(edges []graph.Edge, threads int, fn func(shard []graph.Edge)) {
 	if threads <= 1 || len(edges) <= 1 {
 		fn(edges)
@@ -19,6 +22,8 @@ func ForEachShard(edges []graph.Edge, threads int, fn func(shard []graph.Edge)) 
 		threads = len(edges)
 	}
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	per := (len(edges) + threads - 1) / threads
 	for start := 0; start < len(edges); start += per {
 		end := start + per
@@ -28,10 +33,18 @@ func ForEachShard(edges []graph.Edge, threads int, fn func(shard []graph.Edge)) 
 		wg.Add(1)
 		go func(sh []graph.Edge) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			fn(sh)
 		}(edges[start:end])
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // GroupByChunk buckets the edges of a batch by source-vertex chunk
@@ -60,6 +73,8 @@ func GroupByChunk(edges []graph.Edge, chunks int, fn func(chunk int, edges []gra
 		buckets[c] = append(buckets[c], e)
 	}
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	for c, b := range buckets {
 		if len(b) == 0 {
 			continue
@@ -67,10 +82,18 @@ func GroupByChunk(edges []graph.Edge, chunks int, fn func(chunk int, edges []gra
 		wg.Add(1)
 		go func(c int, b []graph.Edge) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			fn(c, b)
 		}(c, b)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // ChunkOf reports the chunk owning vertex v under the modulo partition.

@@ -1,0 +1,74 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+)
+
+// Disk-level fault injection for tests and the crash loop: these mutate
+// the newest WAL segment the way an unclean shutdown or silent media
+// corruption would, so recovery's torn-tail truncation and checksum
+// verification are exercised against real files, not synthetic buffers.
+
+// TailSegment returns the path of the newest WAL segment, or "" when the
+// log is empty.
+func TailSegment(dir string) (string, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(segs) == 0 {
+		return "", nil
+	}
+	return segs[len(segs)-1].path, nil
+}
+
+// TornTail chops n bytes off the newest WAL segment, simulating a record
+// half-written at power loss. It never cuts into the magic header.
+// Returns the number of bytes actually removed.
+func TornTail(dir string, n int64) (int64, error) {
+	path, err := TailSegment(dir)
+	if err != nil || path == "" {
+		return 0, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	keep := st.Size() - n
+	if keep < int64(len(walMagic)) {
+		keep = int64(len(walMagic))
+	}
+	if keep >= st.Size() {
+		return 0, nil
+	}
+	if err := os.Truncate(path, keep); err != nil {
+		return 0, err
+	}
+	return st.Size() - keep, nil
+}
+
+// FlipTailBit flips one bit inside the last record of the newest WAL
+// segment, simulating silent corruption that only the checksum can catch.
+// Reports whether a bit was flipped (false on an empty log).
+func FlipTailBit(dir string) (bool, error) {
+	path, err := TailSegment(dir)
+	if err != nil || path == "" {
+		return false, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	if len(data) <= len(walMagic) {
+		return false, nil
+	}
+	// Flip a bit two bytes from the end: inside the final record's
+	// payload (every record payload is ≥ 9 bytes).
+	i := len(data) - 2
+	data[i] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return false, fmt.Errorf("durable: rewriting %s: %w", path, err)
+	}
+	return true, nil
+}

@@ -1,0 +1,152 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+
+	"sagabench/internal/graph"
+	"sagabench/internal/telemetry"
+)
+
+// Manager owns one durability directory: the WAL, the checkpoints, and
+// the quarantine files. The core pipeline drives it — Append before each
+// apply, WriteCheckpoint periodically, Recover on construction — so all
+// sequencing invariants (append-before-apply, checkpoint-covers-prefix)
+// live in one place.
+type Manager struct {
+	cfg Config
+	rec *telemetry.Recorder
+	w   *wal
+
+	lastSeq uint64 // highest sequence number appended or recovered
+	ckptSeq uint64 // sequence covered by the newest durable checkpoint
+}
+
+// Open validates cfg, creates the directory if needed, clears stale
+// checkpoint temp files, and returns a manager ready for Recover. rec may
+// be nil (telemetry disabled).
+func Open(cfg Config, rec *telemetry.Recorder) (*Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	removeStaleTemps(cfg.Dir)
+	return &Manager{cfg: cfg, rec: rec, w: openWAL(cfg.Dir, cfg)}, nil
+}
+
+// Recover loads the newest valid checkpoint and the WAL records that
+// recovery must replay on top of it: every non-skip record with a
+// sequence number past the checkpoint, minus any sequence tombstoned by a
+// skip record (a previously quarantined batch). It is re-callable — the
+// quarantine path recovers mid-stream after appending a skip.
+func (m *Manager) Recover() (*Checkpoint, []Record, error) {
+	cp, err := loadLatestCheckpoint(m.cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := m.w.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	var cpSeq uint64
+	if cp != nil {
+		cpSeq = cp.Seq
+		m.ckptSeq = cp.Seq
+	}
+	skipped := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.Skip {
+			skipped[r.Seq] = true
+		}
+	}
+	var tail []Record
+	last := cpSeq
+	for _, r := range recs {
+		if r.Seq > last {
+			last = r.Seq
+		}
+		if r.Skip || r.Seq <= cpSeq || skipped[r.Seq] {
+			continue
+		}
+		tail = append(tail, r)
+	}
+	m.lastSeq = last
+	m.rec.RecordRecovery(len(tail))
+	return cp, tail, nil
+}
+
+// Append durably logs a batch before it is applied, returning its
+// sequence number. The crash hooks bracket the write: a kill before the
+// append loses the (unacknowledged) batch, a kill after it must be
+// repaired by replay.
+func (m *Manager) Append(adds, dels graph.Batch) (uint64, error) {
+	if m.cfg.Crash != nil {
+		m.cfg.Crash(CrashBeforeAppend)
+	}
+	seq := m.lastSeq + 1
+	n, fsync, err := m.w.append(Record{Seq: seq, Adds: adds, Dels: dels})
+	if err != nil {
+		return 0, err
+	}
+	m.lastSeq = seq
+	m.rec.RecordWALAppend(n, fsync)
+	if m.cfg.Crash != nil {
+		m.cfg.Crash(CrashAfterAppend)
+	}
+	return seq, nil
+}
+
+// AppendSkip tombstones seq in the log: recovery will never replay it
+// again. Written (and fsynced — a lost tombstone would resurrect the
+// poison batch) when a logged batch is quarantined.
+func (m *Manager) AppendSkip(seq uint64) error {
+	_, _, err := m.w.append(Record{Seq: seq, Skip: true})
+	if err != nil {
+		return err
+	}
+	return m.w.sync()
+}
+
+// WriteCheckpoint atomically persists cp and garbage-collects the WAL
+// segments and older checkpoints it covers.
+func (m *Manager) WriteCheckpoint(cp *Checkpoint) error {
+	if err := writeCheckpointFile(m.cfg.Dir, cp, m.cfg.Crash); err != nil {
+		return err
+	}
+	m.ckptSeq = cp.Seq
+	m.rec.RecordCheckpoint()
+	if m.cfg.Crash != nil {
+		m.cfg.Crash(CrashAfterCheckpoint)
+	}
+	m.w.gc(cp.Seq)
+	gcCheckpoints(m.cfg.Dir)
+	return nil
+}
+
+// LastSeq is the highest sequence number appended or recovered.
+func (m *Manager) LastSeq() uint64 { return m.lastSeq }
+
+// CheckpointSeq is the sequence covered by the newest durable checkpoint.
+func (m *Manager) CheckpointSeq() uint64 { return m.ckptSeq }
+
+// Config returns the manager's effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Sync forces the WAL tail to stable storage regardless of policy.
+func (m *Manager) Sync() error { return m.w.sync() }
+
+// Close flushes and closes the WAL.
+func (m *Manager) Close() error { return m.w.close() }
+
+// Abandon releases the WAL file handle without flushing: the file-handle
+// hygiene of a simulated kill, leaving the on-disk state exactly as the
+// crash left it. The kill/recover harness calls it on pipelines it drops.
+func (m *Manager) Abandon() {
+	if m.w.f != nil {
+		m.w.f.Close()
+		m.w.f = nil
+	}
+}

@@ -1,0 +1,55 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/crosscheck"
+	"sagabench/internal/graph"
+)
+
+// PoisonMeta identifies the pipeline a poison batch was quarantined from,
+// so the written repro replays against the same structure and engine.
+type PoisonMeta struct {
+	Directed bool
+	Threads  int
+	DS       string
+	Alg      string
+	Model    compute.Model
+	Source   graph.NodeID
+}
+
+// Quarantine writes a failing batch to a replayable .poison file in the
+// durability directory, using the crosscheck repro codec so
+// `sagafuzz -replay` consumes it directly. seq names the file (0 for a
+// batch rejected by validation before it consumed a sequence number, in
+// which case n distinguishes repeated offenders). Returns the file path.
+func (m *Manager) Quarantine(meta PoisonMeta, seq uint64, reason string, adds, dels graph.Batch) (string, error) {
+	r := &crosscheck.Repro{
+		Directed: meta.Directed,
+		Threads:  meta.Threads,
+		DS:       meta.DS,
+		Alg:      meta.Alg,
+		Model:    meta.Model,
+		Source:   meta.Source,
+		Note:     fmt.Sprintf("quarantined batch seq=%d: %s", seq, reason),
+		Stream:   crosscheck.Stream{{Adds: adds, Dels: dels}},
+	}
+	path := filepath.Join(m.cfg.Dir, fmt.Sprintf("batch-%06d.poison", seq))
+	if seq == 0 {
+		// Validation rejects don't consume sequence numbers; avoid
+		// clobbering previous rejects.
+		for n := 0; ; n++ {
+			path = filepath.Join(m.cfg.Dir, fmt.Sprintf("invalid-%06d.poison", n))
+			if _, err := crosscheck.ReadReproFile(path); err != nil {
+				break
+			}
+		}
+	}
+	if err := r.WriteFile(path); err != nil {
+		return "", fmt.Errorf("durable: writing quarantine file: %w", err)
+	}
+	m.rec.RecordQuarantine()
+	return path, nil
+}

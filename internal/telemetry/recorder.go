@@ -35,6 +35,15 @@ type Recorder struct {
 	dsConflicts *Counter
 	dsMetaOps   *Counter
 	dsImbalance *Gauge
+
+	walAppends   *Counter
+	walBytes     *Counter
+	walFsyncLat  *Histogram
+	checkpoints  *Counter
+	recoveries   *Counter
+	replayed     *Counter
+	quarantines  *Counter
+	applyRetries *Counter
 }
 
 // NewRecorder builds a recorder over reg (required) and sink (optional:
@@ -60,7 +69,61 @@ func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
 	r.dsConflicts = reg.Counter("saga_ds_lock_conflicts_total", "UpdateProfile: lock acquisitions that found the lock held")
 	r.dsMetaOps = reg.Counter("saga_ds_meta_ops_total", "UpdateProfile: degree-query and flush meta-operations")
 	r.dsImbalance = reg.Gauge("saga_ds_chunk_imbalance", "UpdateProfile: max/mean chunk load of the latest batch")
+	r.walAppends = reg.Counter("saga_wal_appends_total", "Batch records appended to the write-ahead log")
+	r.walBytes = reg.Counter("saga_wal_bytes_total", "Bytes appended to the write-ahead log")
+	r.walFsyncLat = reg.Histogram("saga_wal_fsync_seconds", "WAL fsync latency per flushed append", nil)
+	r.checkpoints = reg.Counter("saga_checkpoints_total", "Checkpoint snapshots written")
+	r.recoveries = reg.Counter("saga_recoveries_total", "Crash recoveries performed (checkpoint load + WAL replay)")
+	r.replayed = reg.Counter("saga_replayed_batches_total", "WAL batches replayed during recovery")
+	r.quarantines = reg.Counter("saga_quarantined_batches_total", "Poison batches quarantined to .poison files")
+	r.applyRetries = reg.Counter("saga_apply_retries_total", "Batch apply retries after a recovered failure")
 	return r
+}
+
+// RecordWALAppend folds one WAL append into the metrics. fsync is the
+// measured fsync latency, zero when the policy skipped the flush.
+func (r *Recorder) RecordWALAppend(bytes int, fsync time.Duration) {
+	if r == nil {
+		return
+	}
+	r.walAppends.Inc()
+	r.walBytes.Add(uint64(bytes))
+	if fsync > 0 {
+		r.walFsyncLat.Observe(fsync.Seconds())
+	}
+}
+
+// RecordCheckpoint counts a written checkpoint snapshot.
+func (r *Recorder) RecordCheckpoint() {
+	if r == nil {
+		return
+	}
+	r.checkpoints.Inc()
+}
+
+// RecordRecovery counts one recovery pass and the batches it replayed.
+func (r *Recorder) RecordRecovery(replayed int) {
+	if r == nil {
+		return
+	}
+	r.recoveries.Inc()
+	r.replayed.Add(uint64(replayed))
+}
+
+// RecordQuarantine counts a poison batch written to quarantine.
+func (r *Recorder) RecordQuarantine() {
+	if r == nil {
+		return
+	}
+	r.quarantines.Inc()
+}
+
+// RecordRetry counts a batch apply retry.
+func (r *Recorder) RecordRetry() {
+	if r == nil {
+		return
+	}
+	r.applyRetries.Inc()
 }
 
 // Registry exposes the metric registry (nil for a nil recorder).
