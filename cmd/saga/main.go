@@ -44,6 +44,7 @@ func main() {
 		alg     = flag.String("alg", "pr", fmt.Sprintf("algorithm %v", compute.AlgNames()))
 		model   = flag.String("model", "inc", "compute model: fs or inc")
 		threads = flag.Int("threads", 4, "worker threads for both phases")
+		view    = flag.Bool("compute-view", false, "maintain an incrementally rebuilt flat CSR mirror and run the compute phase on it (GraphTango-style hybrid)")
 		repeats = flag.Int("repeats", 1, "full-stream repetitions (paper uses 3)")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		source  = flag.Uint("source", 0, "source vertex for bfs/sssp/sswp")
@@ -86,6 +87,7 @@ func main() {
 		Algorithm:     *alg,
 		Model:         compute.Model(*model),
 		Threads:       *threads,
+		ComputeView:   *view,
 		Compute:       compute.Options{Source: graph.NodeID(*source)},
 		Telemetry:     rec,
 	}

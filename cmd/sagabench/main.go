@@ -26,6 +26,7 @@ func main() {
 		experiment = flag.String("experiment", "all", experimentHelp())
 		profile    = flag.String("profile", "default", "dataset scale: tiny, default, large")
 		threads    = flag.Int("threads", 4, "worker threads")
+		view       = flag.Bool("compute-view", false, "run every compute phase on the incrementally rebuilt flat CSR mirror")
 		repeats    = flag.Int("repeats", 1, "stream repetitions (paper uses 3)")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		machdiv    = flag.Int("machdiv", 128, "simulated-machine capacity divisor for fig9/fig10")
@@ -78,14 +79,15 @@ func main() {
 	}
 
 	h := bench.New(bench.Options{
-		Profile:    gen.Profile(*profile),
-		Threads:    *threads,
-		Repeats:    *repeats,
-		Seed:       *seed,
-		MachineDiv: *machdiv,
-		Out:        out,
-		CSVDir:     *csvdir,
-		Telemetry:  rec,
+		Profile:     gen.Profile(*profile),
+		Threads:     *threads,
+		Repeats:     *repeats,
+		Seed:        *seed,
+		MachineDiv:  *machdiv,
+		Out:         out,
+		CSVDir:      *csvdir,
+		Telemetry:   rec,
+		ComputeView: *view,
 	})
 	start := time.Now()
 	if err := h.RunExperiment(*experiment); err != nil {

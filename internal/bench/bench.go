@@ -45,6 +45,9 @@ type Options struct {
 	// measured run (live metrics + JSONL event log; see cmd/sagabench
 	// -listen/-events).
 	Telemetry *telemetry.Recorder
+	// ComputeView runs every measured pipeline's compute phase on the
+	// incrementally rebuilt flat CSR mirror (core.PipelineConfig.ComputeView).
+	ComputeView bool
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +156,7 @@ func (h *Harness) run(dataset, dsName, alg string, model compute.Model) (*core.R
 			Algorithm:     alg,
 			Model:         model,
 			Threads:       h.opts.Threads,
+			ComputeView:   h.opts.ComputeView,
 			Telemetry:     h.opts.Telemetry,
 		},
 		Dataset: spec,

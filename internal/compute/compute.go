@@ -135,6 +135,21 @@ func (s Stats) TriggerFraction() float64 {
 // AlgNames lists the six algorithms in the paper's order.
 func AlgNames() []string { return []string{"bfs", "cc", "mc", "pr", "sssp", "sswp"} }
 
+// NeedsInAdjacency reports whether running alg under model ever reads
+// in-adjacency. Every INC recompute pulls a vertex's value from its
+// in-neighbors (Table I), but the delta-stepping FS kernels (SSSP, SSWP)
+// relax exclusively along out-edges, so a compute view serving only them
+// can skip mirroring the in direction entirely
+// (ds.ComputeView.MirrorOutOnly). Unknown algorithms report true: the
+// conservative answer costs refresh time, never correctness.
+func NeedsInAdjacency(alg string, model Model) bool {
+	s, ok := specs[alg]
+	if !ok || model != FS {
+		return true
+	}
+	return s.pushBoth || s.fsPullsIn
+}
+
 // NewEngine constructs an engine for the named algorithm and model.
 func NewEngine(alg string, model Model, opts Options) (Engine, error) {
 	spec, ok := specs[alg]

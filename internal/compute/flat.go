@@ -1,0 +1,181 @@
+package compute
+
+import (
+	"sync"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// This file is the kernel side of the compute-view layer: resolution of a
+// graph's flat CSR mirror, an edge-balanced range partitioner so one hub
+// vertex no longer serializes a round, and reusable per-worker frontier
+// buffers that replace the mutex-guarded shared append in the traversal
+// kernels.
+
+// flatCSROf resolves the zero-copy fast path: a graph exposing a flat CSR
+// (ds.ComputeView or snapshot.Frozen) returns its index/adjacency arrays
+// for direct iteration; every other graph returns nil and the kernels
+// stay on the OutNeigh/InNeigh interface path.
+func flatCSROf(g ds.Graph) *graph.CSR {
+	if fv, ok := g.(ds.FlatView); ok {
+		return fv.FlatCSR()
+	}
+	return nil
+}
+
+// outRunOf returns v's out-adjacency as a zero-copy CSR run when csr is
+// available, else fills buf through the interface. The returned buffer is
+// the (possibly grown) scratch to carry to the next call.
+func outRunOf(g ds.Graph, csr *graph.CSR, v graph.NodeID, buf []graph.Neighbor) (run, scratch []graph.Neighbor) {
+	if csr != nil {
+		return csr.Out(v), buf
+	}
+	buf = g.OutNeigh(v, buf[:0])
+	return buf, buf
+}
+
+// pushRuns returns v's push-direction adjacency as up to two runs: the
+// out-run and, when both directions propagate (CC), the in-run. On the
+// flat path these are zero-copy CSR runs; on the interface path both
+// directions land in buf and b is nil.
+func pushRuns(g ds.Graph, csr *graph.CSR, v graph.NodeID, both bool, buf []graph.Neighbor) (a, b, scratch []graph.Neighbor) {
+	if csr != nil {
+		a = csr.Out(v)
+		if both {
+			b = csr.In(v)
+		}
+		return a, b, buf
+	}
+	buf = g.OutNeigh(v, buf[:0])
+	if both {
+		buf = g.InNeigh(v, buf)
+	}
+	return buf, nil, buf
+}
+
+// balancedCuts splits [0,n) items into at most `threads` contiguous
+// ranges of roughly equal summed weight, where item i weighs
+// weight(i)+1 (the +1 keeps zero-degree items from collapsing into one
+// range). cuts is reused as the destination; the result satisfies
+// cuts[0] = 0, cuts[len-1] = n with len-1 <= threads ranges. This is the
+// degree-prefix-sum partitioner: frontier rounds weight items by degree
+// so a hub's edge volume is one worker's share, not appended to a
+// uniform slice.
+func balancedCuts(cuts []int, n, threads int, weight func(i int) int64) []int {
+	cuts = append(cuts[:0], 0)
+	if threads <= 1 || n <= 1 {
+		if n < 0 {
+			n = 0
+		}
+		return append(cuts, n)
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += weight(i) + 1
+	}
+	var acc int64
+	for i := 0; i < n-1 && len(cuts) < threads; i++ {
+		acc += weight(i) + 1
+		// Cut k closes when the running sum reaches k/threads of the
+		// total (integer cross-multiplied).
+		if acc*int64(threads) >= total*int64(len(cuts)) {
+			cuts = append(cuts, i+1)
+		}
+	}
+	return append(cuts, n)
+}
+
+// uniformCuts is the equal-count partition of [0,n) into at most
+// `threads` ranges — the same split parallelFor uses, expressed as cuts
+// so callers can switch partitioners without duplicating the worker
+// loop.
+func uniformCuts(cuts []int, n, threads int) []int {
+	cuts = append(cuts[:0], 0)
+	if threads <= 1 || n <= 1 {
+		if n < 0 {
+			n = 0
+		}
+		return append(cuts, n)
+	}
+	if threads > n {
+		threads = n
+	}
+	per := (n + threads - 1) / threads
+	for lo := per; lo < n; lo += per {
+		cuts = append(cuts, lo)
+	}
+	return append(cuts, n)
+}
+
+// parallelRanges runs fn(w, cuts[w], cuts[w+1]) for every range
+// concurrently, with the same panic capture and re-raise as parallelFor
+// (the poison-batch quarantine relies on worker panics surfacing on the
+// caller). Worker indices are dense, so fn can index per-worker state.
+func parallelRanges(cuts []int, fn func(w, lo, hi int)) {
+	k := len(cuts) - 1
+	if k <= 0 {
+		return
+	}
+	if k == 1 {
+		fn(0, cuts[0], cuts[1])
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn(w, cuts[w], cuts[w+1])
+		}(w)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// pushBufs is reusable per-worker frontier storage: during a round each
+// worker appends discovered vertices to its own buffer, and concat merges
+// them with one sizing pass and one copy pass per buffer. This replaces
+// the mutex-guarded shared append the kernels used, whose lock a
+// hub-heavy worker could hold while every other worker waited.
+type pushBufs struct {
+	bufs [][]graph.NodeID
+}
+
+// reset prepares `workers` empty buffers, retaining their capacity.
+func (p *pushBufs) reset(workers int) {
+	for len(p.bufs) < workers {
+		p.bufs = append(p.bufs, nil)
+	}
+	for i := 0; i < workers; i++ {
+		p.bufs[i] = p.bufs[i][:0]
+	}
+}
+
+// concat merges the first `workers` buffers into dst (reused when it has
+// capacity) in worker order, which makes the merged frontier order
+// deterministic for a fixed partition.
+func (p *pushBufs) concat(dst []graph.NodeID, workers int) []graph.NodeID {
+	total := 0
+	for i := 0; i < workers; i++ {
+		total += len(p.bufs[i])
+	}
+	if cap(dst) < total {
+		dst = make([]graph.NodeID, total)
+	}
+	dst = dst[:total]
+	off := 0
+	for i := 0; i < workers; i++ {
+		off += copy(dst[off:], p.bufs[i])
+	}
+	return dst
+}

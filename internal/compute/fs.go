@@ -22,6 +22,11 @@ type fsEngine struct {
 	frontier []graph.NodeID
 	next     []graph.NodeID
 	aux      values
+
+	// Round scratch shared by the frontier kernels: per-worker push
+	// buffers and the edge-balanced range cuts.
+	push pushBufs
+	cuts []int
 }
 
 func newFSEngine(s spec, opts Options) *fsEngine {

@@ -13,6 +13,7 @@ import (
 // criterion) or the iteration cap is reached.
 func fsPR(e *fsEngine, g ds.Graph) {
 	n := g.NumNodes()
+	csr := flatCSROf(g)
 	threads := e.opts.threads()
 	tol := e.opts.prTolerance()
 	maxIters := e.opts.prMaxIters()
@@ -22,11 +23,24 @@ func fsPR(e *fsEngine, g ds.Graph) {
 	}
 	e.aux = e.aux[:n]
 
+	// Each vertex's sweep cost is its in-degree (the pull set), so with a
+	// flat mirror the sweep is cut by in-degree prefix sum; the interface
+	// path keeps uniform ranges rather than add n degree calls per
+	// iteration. The cuts are topology-dependent only — identical across
+	// iterations — so they are computed once.
+	if csr != nil {
+		e.cuts = balancedCuts(e.cuts, n, threads, func(i int) int64 {
+			return int64(csr.InDegree(graph.NodeID(i)))
+		})
+	} else {
+		e.cuts = uniformCuts(e.cuts, n, threads)
+	}
+
 	var processed, edges atomic.Uint64
 	for iter := 0; iter < maxIters; iter++ {
 		var sumDelta atomic.Uint64 // float64 bits of the summed |delta|
-		parallelFor(n, threads, func(lo, hi int) {
-			ctx := &recomputeCtx{g: g, vals: e.vals, numNodes: n, opts: e.opts}
+		parallelRanges(e.cuts, func(_, lo, hi int) {
+			ctx := &recomputeCtx{g: g, csr: csr, vals: e.vals, numNodes: n, opts: e.opts}
 			localSum := 0.0
 			for v := lo; v < hi; v++ {
 				newv := e.spec.recompute(ctx, graph.NodeID(v))

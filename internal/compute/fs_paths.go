@@ -21,6 +21,7 @@ func fsSSSP(e *fsEngine, g ds.Graph) {
 	if int(src) >= n {
 		return
 	}
+	csr := flatCSROf(g)
 	delta := e.opts.delta()
 	dist := e.vals
 	buckets := make([][]graph.NodeID, 0, 64)
@@ -50,9 +51,10 @@ func fsSSSP(e *fsEngine, g ds.Graph) {
 				}
 				processed++
 				du := dist.get(int(u))
-				buf = g.OutNeigh(u, buf[:0])
-				edges += uint64(len(buf))
-				for _, nb := range buf {
+				var ns []graph.Neighbor
+				ns, buf = outRunOf(g, csr, u, buf)
+				edges += uint64(len(ns))
+				for _, nb := range ns {
 					nd := du + float64(nb.Weight)
 					if nd < dist.get(int(nb.ID)) {
 						dist.set(int(nb.ID), nd)
@@ -75,6 +77,7 @@ func fsSSWP(e *fsEngine, g ds.Graph) {
 	if int(src) >= n {
 		return
 	}
+	csr := flatCSROf(g)
 	width := e.vals
 	e.resetVisited(n)
 	frontier := append(e.frontier[:0], src)
@@ -88,9 +91,10 @@ func fsSSWP(e *fsEngine, g ds.Graph) {
 			e.visited[u] = 0
 			processed++
 			wu := width.get(int(u))
-			buf = g.OutNeigh(u, buf[:0])
-			edges += uint64(len(buf))
-			for _, nb := range buf {
+			var ns []graph.Neighbor
+			ns, buf = outRunOf(g, csr, u, buf)
+			edges += uint64(len(ns))
+			for _, nb := range ns {
 				w := math.Min(wu, float64(nb.Weight))
 				if w > width.get(int(nb.ID)) {
 					width.set(int(nb.ID), w)

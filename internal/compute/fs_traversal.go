@@ -1,7 +1,6 @@
 package compute
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"sagabench/internal/ds"
@@ -14,12 +13,18 @@ import (
 // unvisited vertex pulls over in-neighbors looking for a visited parent)
 // once the frontier's edge volume crosses a fraction of the remaining
 // unexplored edges — the Beamer et al. heuristic that GAP implements.
+//
+// On a graph exposing a flat CSR mirror the level loops iterate the
+// index/adjacency arrays directly and rounds are partitioned by degree
+// prefix sum; otherwise they fall back to the OutNeigh/InNeigh interface
+// with uniform ranges.
 func fsBFS(e *fsEngine, g ds.Graph) {
 	n := g.NumNodes()
 	src := e.opts.Source
 	if int(src) >= n {
 		return
 	}
+	csr := flatCSROf(g)
 	e.resetVisited(n)
 	e.visited[src] = 1
 	frontier := append(e.frontier[:0], src)
@@ -33,13 +38,19 @@ func fsBFS(e *fsEngine, g ds.Graph) {
 		// volume (GAP's alpha=15 tuning collapses to a frontier-size
 		// threshold at our scales).
 		frontierEdges := 0
-		for _, u := range frontier {
-			frontierEdges += g.OutDegree(u)
+		if csr != nil {
+			for _, u := range frontier {
+				frontierEdges += csr.OutDegree(u)
+			}
+		} else {
+			for _, u := range frontier {
+				frontierEdges += g.OutDegree(u)
+			}
 		}
 		if frontierEdges > unvisited/4 && len(frontier) > 64 {
-			frontier = e.bfsBottomUp(g, depth, threads, &processed, &edges, frontier)
+			frontier = e.bfsBottomUp(g, csr, depth, threads, &processed, &edges, frontier)
 		} else {
-			frontier = e.bfsTopDown(g, depth, threads, &processed, &edges, frontier)
+			frontier = e.bfsTopDown(g, csr, depth, threads, &processed, &edges, frontier)
 		}
 		unvisited -= len(frontier)
 		e.stats.Iterations++
@@ -50,17 +61,27 @@ func fsBFS(e *fsEngine, g ds.Graph) {
 }
 
 // bfsTopDown expands the frontier push-style and returns the next frontier.
-func (e *fsEngine) bfsTopDown(g ds.Graph, depth float64, threads int, processed, edges *atomic.Uint64, frontier []graph.NodeID) []graph.NodeID {
-	var mu sync.Mutex
-	next := e.next[:0]
-	parallelFor(len(frontier), threads, func(lo, hi int) {
-		var local []graph.NodeID
+// The frontier is split by out-degree prefix sum and workers collect
+// discoveries in per-worker buffers merged lock-free at the end of the
+// round.
+func (e *fsEngine) bfsTopDown(g ds.Graph, csr *graph.CSR, depth float64, threads int, processed, edges *atomic.Uint64, frontier []graph.NodeID) []graph.NodeID {
+	e.cuts = balancedCuts(e.cuts, len(frontier), threads, func(i int) int64 {
+		if csr != nil {
+			return int64(csr.OutDegree(frontier[i]))
+		}
+		return int64(g.OutDegree(frontier[i]))
+	})
+	k := len(e.cuts) - 1
+	e.push.reset(k)
+	parallelRanges(e.cuts, func(w, lo, hi int) {
+		local := e.push.bufs[w]
 		var buf []graph.Neighbor
 		var nEdges uint64
 		for _, u := range frontier[lo:hi] {
-			buf = g.OutNeigh(u, buf[:0])
-			nEdges += uint64(len(buf))
-			for _, nb := range buf {
+			var ns []graph.Neighbor
+			ns, buf = outRunOf(g, csr, u, buf)
+			nEdges += uint64(len(ns))
+			for _, nb := range ns {
 				if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
 					e.vals.set(int(nb.ID), depth)
 					local = append(local, nb.ID)
@@ -69,25 +90,31 @@ func (e *fsEngine) bfsTopDown(g ds.Graph, depth float64, threads int, processed,
 		}
 		processed.Add(uint64(hi - lo))
 		edges.Add(nEdges)
-		if len(local) > 0 {
-			mu.Lock()
-			next = append(next, local...)
-			mu.Unlock()
-		}
+		e.push.bufs[w] = local
 	})
+	next := e.push.concat(e.next[:0], k)
 	e.next = frontier
 	return next
 }
 
 // bfsBottomUp sweeps every unvisited vertex, pulling over in-neighbors for
-// a parent at the previous depth; it returns the next frontier.
-func (e *fsEngine) bfsBottomUp(g ds.Graph, depth float64, threads int, processed, edges *atomic.Uint64, frontier []graph.NodeID) []graph.NodeID {
+// a parent at the previous depth; it returns the next frontier. The sweep
+// is split by in-degree prefix sum when the flat mirror is available
+// (degree queries are two array loads there), else uniformly.
+func (e *fsEngine) bfsBottomUp(g ds.Graph, csr *graph.CSR, depth float64, threads int, processed, edges *atomic.Uint64, frontier []graph.NodeID) []graph.NodeID {
 	n := g.NumNodes()
 	prev := depth - 1
-	var mu sync.Mutex
-	next := e.next[:0]
-	parallelFor(n, threads, func(lo, hi int) {
-		var local []graph.NodeID
+	if csr != nil {
+		e.cuts = balancedCuts(e.cuts, n, threads, func(i int) int64 {
+			return int64(csr.InDegree(graph.NodeID(i)))
+		})
+	} else {
+		e.cuts = uniformCuts(e.cuts, n, threads)
+	}
+	k := len(e.cuts) - 1
+	e.push.reset(k)
+	parallelRanges(e.cuts, func(w, lo, hi int) {
+		local := e.push.bufs[w]
 		var buf []graph.Neighbor
 		var nEdges uint64
 		var nProc uint64
@@ -96,8 +123,14 @@ func (e *fsEngine) bfsBottomUp(g ds.Graph, depth float64, threads int, processed
 				continue
 			}
 			nProc++
-			buf = g.InNeigh(graph.NodeID(v), buf[:0])
-			for _, nb := range buf {
+			var ns []graph.Neighbor
+			if csr != nil {
+				ns = csr.In(graph.NodeID(v))
+			} else {
+				buf = g.InNeigh(graph.NodeID(v), buf[:0])
+				ns = buf
+			}
+			for _, nb := range ns {
 				nEdges++
 				if e.vals.get(int(nb.ID)) == prev {
 					// No contention: v's slot is owned by this
@@ -111,12 +144,9 @@ func (e *fsEngine) bfsBottomUp(g ds.Graph, depth float64, threads int, processed
 		}
 		processed.Add(nProc)
 		edges.Add(nEdges)
-		if len(local) > 0 {
-			mu.Lock()
-			next = append(next, local...)
-			mu.Unlock()
-		}
+		e.push.bufs[w] = local
 	})
+	next := e.push.concat(e.next[:0], k)
 	e.next = frontier
 	return next
 }
@@ -129,6 +159,7 @@ func (e *fsEngine) bfsBottomUp(g ds.Graph, depth float64, threads int, processed
 // instances.
 func fsLabelProp(e *fsEngine, g ds.Graph) {
 	n := g.NumNodes()
+	csr := flatCSROf(g)
 	threads := e.opts.threads()
 	// Round 1 processes every vertex.
 	active := e.frontier[:0]
@@ -138,28 +169,48 @@ func fsLabelProp(e *fsEngine, g ds.Graph) {
 	e.resetVisited(n)
 	var processed, edges atomic.Uint64
 	for len(active) > 0 {
-		var mu sync.Mutex
-		next := e.next[:0]
+		curr := active
+		degOf := func(i int) int64 {
+			v := curr[i]
+			if csr != nil {
+				d := csr.OutDegree(v)
+				if e.spec.pushBoth {
+					d += csr.InDegree(v)
+				}
+				return int64(d)
+			}
+			d := g.OutDegree(v)
+			if e.spec.pushBoth {
+				d += g.InDegree(v)
+			}
+			return int64(d)
+		}
+		e.cuts = balancedCuts(e.cuts, len(curr), threads, degOf)
+		k := len(e.cuts) - 1
+		e.push.reset(k)
 		// Snapshot-free Gauss-Seidel rounds: values read may be from
 		// this round or the last, which only accelerates convergence
 		// of min/max fixpoints.
-		parallelFor(len(active), threads, func(lo, hi int) {
-			ctx := &recomputeCtx{g: g, vals: e.vals, numNodes: n, opts: e.opts}
-			var local []graph.NodeID
+		parallelRanges(e.cuts, func(w, lo, hi int) {
+			ctx := &recomputeCtx{g: g, csr: csr, vals: e.vals, numNodes: n, opts: e.opts}
+			local := e.push.bufs[w]
 			var pushBuf []graph.Neighbor
-			for _, v := range active[lo:hi] {
+			for _, v := range curr[lo:hi] {
 				old := e.vals.get(int(v))
 				newv := e.spec.recompute(ctx, v)
 				if newv == old {
 					continue
 				}
 				e.vals.set(int(v), newv)
-				pushBuf = g.OutNeigh(v, pushBuf[:0])
-				if e.spec.pushBoth {
-					pushBuf = g.InNeigh(v, pushBuf)
+				outs, ins, scratch := pushRuns(g, csr, v, e.spec.pushBoth, pushBuf)
+				pushBuf = scratch
+				ctx.edges += uint64(len(outs) + len(ins))
+				for _, nb := range outs {
+					if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
+						local = append(local, nb.ID)
+					}
 				}
-				ctx.edges += uint64(len(pushBuf))
-				for _, nb := range pushBuf {
+				for _, nb := range ins {
 					if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
 						local = append(local, nb.ID)
 					}
@@ -167,12 +218,9 @@ func fsLabelProp(e *fsEngine, g ds.Graph) {
 			}
 			processed.Add(uint64(hi - lo))
 			edges.Add(ctx.edges)
-			if len(local) > 0 {
-				mu.Lock()
-				next = append(next, local...)
-				mu.Unlock()
-			}
+			e.push.bufs[w] = local
 		})
+		next := e.push.concat(e.next[:0], k)
 		for _, v := range next {
 			e.visited[v] = 0
 		}

@@ -1,7 +1,6 @@
 package compute
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"sagabench/internal/ds"
@@ -30,6 +29,14 @@ type incEngine struct {
 	// lastN is the vertex count of the previous compute phase, used by
 	// globalN algorithms to detect |V| growth (see PerformAlg).
 	lastN int
+
+	// Frontier-round scratch: per-worker push buffers, the edge-balanced
+	// range cuts, and two concat destinations that ping-pong so the round
+	// being consumed is never the round being written.
+	push  pushBufs
+	cuts  []int
+	front [2][]graph.NodeID
+	flip  int
 }
 
 func newIncEngine(s spec, opts Options) *incEngine {
@@ -55,6 +62,7 @@ func (e *incEngine) HandlesDeletions() bool { return e.spec.deletionSafe || e.sp
 // PerformAlg implements Engine.
 func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 	n := g.NumNodes()
+	csr := flatCSROf(g)
 	e.stats = Stats{}
 	// Lines 2-4: initialize new vertices only (processing amortization —
 	// old vertices keep the previous batch's values).
@@ -91,23 +99,37 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 		// that are not batch endpoints. Pull the out-neighborhood of the
 		// affected set into the first round; a recompute whose value does
 		// not move triggers nothing, so the over-approximation is cheap.
-		seen := make(map[graph.NodeID]bool, len(affected)*2)
+		//
+		// Deduplication reuses the engine's visited bitvector (this
+		// section is single-threaded, so plain stores suffice) instead of
+		// allocating a map per batch; the marks are cleared before the
+		// frontier rounds, which rely on visited being all-zero.
 		expanded := make([]graph.NodeID, 0, len(affected)*2)
 		for _, v := range affected {
-			if !seen[v] {
-				seen[v] = true
+			if int(v) >= n {
+				continue // no state to recompute; processRound skips these too
+			}
+			if e.visited[v] == 0 {
+				e.visited[v] = 1
 				expanded = append(expanded, v)
 			}
 		}
 		var nbuf []graph.Neighbor
 		for _, v := range affected {
-			nbuf = g.OutNeigh(v, nbuf[:0])
-			for _, nb := range nbuf {
-				if !seen[nb.ID] {
-					seen[nb.ID] = true
+			if int(v) >= n {
+				continue
+			}
+			var ns []graph.Neighbor
+			ns, nbuf = outRunOf(g, csr, v, nbuf)
+			for _, nb := range ns {
+				if e.visited[nb.ID] == 0 {
+					e.visited[nb.ID] = 1
 					expanded = append(expanded, nb.ID)
 				}
 			}
+		}
+		for _, v := range expanded {
+			e.visited[v] = 0
 		}
 		affected = expanded
 	}
@@ -121,12 +143,36 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 	// processRound re-executes lines 9-15 for every vertex in curr,
 	// returning the next frontier. Values are written in place; the
 	// visited bitvector (CAS-guarded, line 14) deduplicates pushes.
+	//
+	// The round is partitioned by degree prefix sum (one hub's edge
+	// volume is a worker's whole share instead of serializing a uniform
+	// range) and workers push into per-worker buffers merged by a
+	// two-pass concatenation — no lock on the next frontier.
 	processRound := func(curr []graph.NodeID) []graph.NodeID {
-		var mu sync.Mutex
-		var next []graph.NodeID
-		parallelFor(len(curr), threads, func(lo, hi int) {
-			ctx := &recomputeCtx{g: g, vals: e.vals, numNodes: n, opts: e.opts}
-			var local []graph.NodeID
+		degOf := func(i int) int64 {
+			v := curr[i]
+			if int(v) >= n {
+				return 0
+			}
+			if csr != nil {
+				d := csr.OutDegree(v)
+				if e.spec.pushBoth {
+					d += csr.InDegree(v)
+				}
+				return int64(d)
+			}
+			d := g.OutDegree(v)
+			if e.spec.pushBoth {
+				d += g.InDegree(v)
+			}
+			return int64(d)
+		}
+		e.cuts = balancedCuts(e.cuts, len(curr), threads, degOf)
+		k := len(e.cuts) - 1
+		e.push.reset(k)
+		parallelRanges(e.cuts, func(w, lo, hi int) {
+			ctx := &recomputeCtx{g: g, csr: csr, vals: e.vals, numNodes: n, opts: e.opts}
+			local := e.push.bufs[w]
 			var pushBuf []graph.Neighbor
 			var nProc, nTrig uint64
 			for _, v := range curr[lo:hi] {
@@ -157,12 +203,15 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 					continue
 				}
 				nTrig++
-				pushBuf = g.OutNeigh(v, pushBuf[:0])
-				if e.spec.pushBoth {
-					pushBuf = g.InNeigh(v, pushBuf)
+				outs, ins, scratch := pushRuns(g, csr, v, e.spec.pushBoth, pushBuf)
+				pushBuf = scratch
+				ctx.edges += uint64(len(outs) + len(ins))
+				for _, nb := range outs {
+					if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
+						local = append(local, nb.ID)
+					}
 				}
-				ctx.edges += uint64(len(pushBuf))
-				for _, nb := range pushBuf {
+				for _, nb := range ins {
 					if atomic.CompareAndSwapUint32(&e.visited[nb.ID], 0, 1) {
 						local = append(local, nb.ID)
 					}
@@ -171,12 +220,12 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 			processed.Add(nProc)
 			triggered.Add(nTrig)
 			edges.Add(ctx.edges)
-			if len(local) > 0 {
-				mu.Lock()
-				next = append(next, local...)
-				mu.Unlock()
-			}
+			e.push.bufs[w] = local
 		})
+		// Merge into the ping-pong destination the caller is not reading.
+		next := e.push.concat(e.front[e.flip][:0], k)
+		e.front[e.flip] = next
+		e.flip ^= 1
 		// Line 20: visited <- {false}. Only entries in next were set.
 		for _, v := range next {
 			e.visited[v] = 0

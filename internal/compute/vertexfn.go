@@ -13,11 +13,47 @@ var inf = math.Inf(1)
 // recomputeCtx is per-worker state for pull-style vertex recomputation.
 type recomputeCtx struct {
 	g        ds.Graph
+	csr      *graph.CSR // non-nil on the flat compute-view path
 	vals     values
 	numNodes int
 	opts     Options
 	buf      []graph.Neighbor
 	edges    uint64 // neighbor records read
+}
+
+// inRun returns v's in-adjacency: a zero-copy CSR run on the flat path,
+// else ctx.buf filled through the interface. The run is valid only until
+// the next ctx adjacency call.
+func (ctx *recomputeCtx) inRun(v graph.NodeID) []graph.Neighbor {
+	if ctx.csr != nil {
+		run := ctx.csr.In(v)
+		ctx.edges += uint64(len(run))
+		return run
+	}
+	ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
+	ctx.edges += uint64(len(ctx.buf))
+	return ctx.buf
+}
+
+// outRun is inRun for the out direction.
+func (ctx *recomputeCtx) outRun(v graph.NodeID) []graph.Neighbor {
+	if ctx.csr != nil {
+		run := ctx.csr.Out(v)
+		ctx.edges += uint64(len(run))
+		return run
+	}
+	ctx.buf = ctx.g.OutNeigh(v, ctx.buf[:0])
+	ctx.edges += uint64(len(ctx.buf))
+	return ctx.buf
+}
+
+// outDegree answers from the flat index when available (two array loads
+// instead of an interface call).
+func (ctx *recomputeCtx) outDegree(v graph.NodeID) int {
+	if ctx.csr != nil {
+		return ctx.csr.OutDegree(v)
+	}
+	return ctx.g.OutDegree(v)
 }
 
 // spec describes one algorithm: its Table I vertex function expressed as a
@@ -35,6 +71,13 @@ type spec struct {
 	// pushBoth propagates changes along both edge directions (CC treats
 	// the graph as undirected connectivity).
 	pushBoth bool
+	// fsPullsIn marks FS kernels that read in-adjacency even though the
+	// algorithm pushes one-directionally: BFS's bottom-up phase, MC's
+	// pull-style label-prop recompute, and PageRank's Jacobi iteration.
+	// Together with pushBoth it decides NeedsInAdjacency for the FS
+	// model; only the delta-stepping path kernels (SSSP, SSWP) leave
+	// both unset.
+	fsPullsIn bool
 	// epsilon is the INC triggering threshold given the current vertex
 	// count; 0 means any change triggers (the monotone algorithms).
 	epsilon func(opts Options, numNodes int) float64
@@ -95,18 +138,17 @@ var specs = map[string]spec{
 		// Table I: v.depth <- min over inEdges(v) (e.source.depth + 1).
 		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
 			best := inf
-			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
-			ctx.edges += uint64(len(ctx.buf))
-			for _, nb := range ctx.buf {
+			for _, nb := range ctx.inRun(v) {
 				if d := ctx.vals.get(int(nb.ID)) + 1; d < best {
 					best = d
 				}
 			}
 			return best
 		},
-		epsilon: exactChange,
-		tight:   func(valU, _, valV float64) bool { return valV == valU+1 },
-		fsRun:   fsBFS,
+		epsilon:   exactChange,
+		tight:     func(valU, _, valV float64) bool { return valV == valU+1 },
+		fsPullsIn: true, // direction-optimized BFS pulls in bottom-up steps
+		fsRun:     fsBFS,
 	},
 	"cc": {
 		name:      "cc",
@@ -115,10 +157,15 @@ var specs = map[string]spec{
 		// e.other.value) — connectivity over both directions.
 		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
 			best := ctx.vals.get(int(v))
-			ctx.buf = ctx.g.OutNeigh(v, ctx.buf[:0])
-			ctx.buf = ctx.g.InNeigh(v, ctx.buf)
-			ctx.edges += uint64(len(ctx.buf))
-			for _, nb := range ctx.buf {
+			// The out run must be consumed before inRun refills the
+			// shared scratch on the interface path; sequential loops keep
+			// the traversal order of the old combined buffer.
+			for _, nb := range ctx.outRun(v) {
+				if nv := ctx.vals.get(int(nb.ID)); nv < best {
+					best = nv
+				}
+			}
+			for _, nb := range ctx.inRun(v) {
 				if nv := ctx.vals.get(int(nb.ID)); nv < best {
 					best = nv
 				}
@@ -137,18 +184,17 @@ var specs = map[string]spec{
 		// e.source.value).
 		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
 			best := ctx.vals.get(int(v))
-			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
-			ctx.edges += uint64(len(ctx.buf))
-			for _, nb := range ctx.buf {
+			for _, nb := range ctx.inRun(v) {
 				if nv := ctx.vals.get(int(nb.ID)); nv > best {
 					best = nv
 				}
 			}
 			return best
 		},
-		epsilon: exactChange,
-		tight:   func(valU, _, valV float64) bool { return valV == valU },
-		fsRun:   fsMC,
+		epsilon:   exactChange,
+		tight:     func(valU, _, valV float64) bool { return valV == valU },
+		fsPullsIn: true, // label-prop rounds recompute via the in-run pull
+		fsRun:     fsMC,
 	},
 	"pr": {
 		name:      "pr",
@@ -158,10 +204,8 @@ var specs = map[string]spec{
 		// Section V-B).
 		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
 			sum := 0.0
-			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
-			ctx.edges += uint64(len(ctx.buf))
-			for _, nb := range ctx.buf {
-				if d := ctx.g.OutDegree(nb.ID); d > 0 {
+			for _, nb := range ctx.inRun(v) {
+				if d := ctx.outDegree(nb.ID); d > 0 {
 					sum += ctx.vals.get(int(nb.ID)) / float64(d)
 				}
 			}
@@ -171,6 +215,7 @@ var specs = map[string]spec{
 		deletionSafe:    true,
 		globalN:         true,
 		degreeSensitive: true,
+		fsPullsIn:       true, // Jacobi iteration sums over in-neighbors
 		fsRun:           fsPR,
 	},
 	"sssp": {
@@ -182,9 +227,7 @@ var specs = map[string]spec{
 		// e.weight).
 		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
 			best := inf
-			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
-			ctx.edges += uint64(len(ctx.buf))
-			for _, nb := range ctx.buf {
+			for _, nb := range ctx.inRun(v) {
 				if d := ctx.vals.get(int(nb.ID)) + float64(nb.Weight); d < best {
 					best = d
 				}
@@ -205,9 +248,7 @@ var specs = map[string]spec{
 		// min(e.source.path, e.weight).
 		recompute: func(ctx *recomputeCtx, v graph.NodeID) float64 {
 			best := 0.0
-			ctx.buf = ctx.g.InNeigh(v, ctx.buf[:0])
-			ctx.edges += uint64(len(ctx.buf))
-			for _, nb := range ctx.buf {
+			for _, nb := range ctx.inRun(v) {
 				w := math.Min(ctx.vals.get(int(nb.ID)), float64(nb.Weight))
 				if w > best {
 					best = w

@@ -35,6 +35,13 @@ type Pipeline struct {
 	engine compute.Engine
 	rec    *telemetry.Recorder
 
+	// view is the incrementally maintained flat CSR mirror the compute
+	// phase traverses when PipelineConfig.ComputeView is on (nil
+	// otherwise, or when the structure exposes no Flattener). lastView is
+	// the refresh cost of the most recent batch, surfaced in telemetry.
+	view     *ds.ComputeView
+	lastView ds.RefreshStats
+
 	// pcfg is retained so the durability layer can rebuild fresh
 	// components during crash recovery and state rebuilds.
 	pcfg PipelineConfig
@@ -76,6 +83,16 @@ type PipelineConfig struct {
 	// DS carries data-structure tuning (block size, chunk count, flush
 	// threshold). Directed/Threads/MaxNodesHint above take precedence.
 	DS ds.Config
+	// ComputeView, when true, maintains a flat CSR mirror of the data
+	// structure (rebuilt incrementally after every update phase: only
+	// vertices the batch touched are re-flattened) and hands it to the
+	// compute engine, whose kernels then iterate contiguous arrays
+	// instead of calling OutNeigh/InNeigh per vertex — the GraphTango
+	// split: a dynamic structure for ingest, a flat one for analytics.
+	// The refresh cost is charged to the update phase (Equation 1 keeps
+	// both sides honest). Structures without a Flattener fall back to the
+	// interface path silently.
+	ComputeView bool
 	// Telemetry, when non-nil, receives one event per processed batch
 	// (latencies, affected-set size, compute stats, ds profile deltas).
 	// Nil disables instrumentation at near-zero cost.
@@ -119,6 +136,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{g: g, engine: engine, rec: cfg.Telemetry, pcfg: cfg}
+	p.initView()
 	if cfg.Durable != nil {
 		if err := p.initDurable(*cfg.Durable); err != nil {
 			return nil, err
@@ -126,6 +144,43 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	}
 	return p, nil
 }
+
+// initView attaches (or detaches) the flat mirror according to the config.
+// Called at construction and again by the durability layer after it swaps
+// in fresh components: a nil-or-fresh view is unbuilt, so the next Refresh
+// full-builds from whatever topology the structure then holds.
+func (p *Pipeline) initView() {
+	p.view = nil
+	p.lastView = ds.RefreshStats{}
+	if !p.pcfg.ComputeView {
+		return
+	}
+	threads := p.pcfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	if v, ok := ds.NewComputeView(p.g, threads); ok {
+		if !compute.NeedsInAdjacency(p.pcfg.Algorithm, p.pcfg.Model) {
+			// The registered kernel never pulls from in-neighbors, so
+			// don't pay to mirror that direction on every batch.
+			v.MirrorOutOnly()
+		}
+		p.view = v
+	}
+}
+
+// ComputeGraph is the graph the compute phase traverses: the flat mirror
+// when the compute view is active, else the data structure itself.
+func (p *Pipeline) ComputeGraph() ds.Graph {
+	if p.view != nil {
+		return p.view
+	}
+	return p.g
+}
+
+// LastViewRefresh reports the mirror refresh cost of the most recent batch
+// (zero when the view is off).
+func (p *Pipeline) LastViewRefresh() ds.RefreshStats { return p.lastView }
 
 // SetTelemetry installs (or removes, with nil) the batch recorder on a
 // built pipeline.
@@ -159,8 +214,9 @@ func (l BatchLatency) Total() time.Duration { return l.Update + l.Compute }
 // The overwrite scan runs outside the timed update phase — the paper's
 // update phase likewise knows which edges it rewrote.
 func (p *Pipeline) Process(batch graph.Batch) BatchLatency {
+	mb := MixedBatch{Adds: batch}
 	if p.dur != nil {
-		lat, err := p.processDurable(MixedBatch{Adds: batch})
+		lat, err := p.processDurable(mb)
 		if err != nil {
 			// Only fatal durability I/O reaches here (poison batches are
 			// quarantined, not returned); callers that need the error
@@ -169,21 +225,11 @@ func (p *Pipeline) Process(batch graph.Batch) BatchLatency {
 		}
 		return lat
 	}
-	var lat BatchLatency
-	olds := p.overwrittenFor(batch)
-	t0 := time.Now()
-	p.g.Update(batch)
-	lat.Update = time.Since(t0)
-
-	if len(olds) > 0 {
-		p.engine.(compute.DeletionAware).NotifyDeletions(p.g, olds)
-	}
-	aff := p.affectedOf(batch)
-	t1 := time.Now()
-	p.engine.PerformAlg(p.g, aff)
-	lat.Compute = time.Since(t1)
-	if p.rec != nil {
-		p.record(len(batch), 0, len(aff), lat)
+	lat, err := p.apply(mb)
+	if err != nil {
+		// apply fails only while deleting, and an insert-only batch has
+		// no deletions.
+		panic(err)
 	}
 	return lat
 }
@@ -207,6 +253,11 @@ func (p *Pipeline) record(edges, deletes, affected int, lat BatchLatency) {
 		Triggered:      es.Triggered,
 		Skipped:        es.Skipped,
 		TriggerFrac:    es.TriggerFraction(),
+	}
+	if p.view != nil {
+		ev.ViewNS = p.lastView.Duration.Nanoseconds()
+		ev.ViewDirtyFrac = p.lastView.DirtyFraction()
+		ev.ViewFull = p.lastView.Full
 	}
 	p.batchIdx++
 	if prof, ok := ds.ProfileOf(p.g); ok {
@@ -496,17 +547,32 @@ func (p *Pipeline) apply(mb MixedBatch) (BatchLatency, error) {
 	}
 	lat.Update = time.Since(t0)
 
+	// Refresh the flat mirror against the freshly updated topology; its
+	// cost belongs to the update phase (the mirror is part of ingesting
+	// the batch, exactly as GraphTango charges its flat-side maintenance).
+	// The compute phase — including deletion-cone trimming, which
+	// traverses adjacency — then reads the mirror.
+	cg := p.g
+	if p.view != nil {
+		p.lastView = p.view.Refresh(mb.Adds, mb.Dels)
+		lat.Update += p.lastView.Duration
+		cg = p.view
+		if p.rec != nil {
+			p.rec.RecordViewRefresh(p.lastView.Duration, p.lastView.DirtyFraction(), p.lastView.Full)
+		}
+	}
+
 	// Overwritten weights and true deletions invalidate in one call so the
 	// cone is grown against a consistent pre-reset value array.
 	if invalidating := append(olds, mb.Dels...); len(invalidating) > 0 {
 		if da, ok := p.engine.(compute.DeletionAware); ok {
-			da.NotifyDeletions(p.g, invalidating)
+			da.NotifyDeletions(cg, invalidating)
 		}
 	}
 	p.mixedScratch = append(append(p.mixedScratch[:0], mb.Adds...), mb.Dels...)
 	aff := p.affectedOf(p.mixedScratch)
 	t1 := time.Now()
-	p.engine.PerformAlg(p.g, aff)
+	p.engine.PerformAlg(cg, aff)
 	lat.Compute = time.Since(t1)
 	if p.rec != nil {
 		p.record(len(mb.Adds), len(mb.Dels), len(aff), lat)

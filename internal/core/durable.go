@@ -102,6 +102,11 @@ func (p *Pipeline) resetComponents() error {
 	}
 	p.g, p.engine = g, engine
 	p.lastProf = ds.UpdateProfile{}
+	// The old view mirrors the discarded structure; a fresh one is unbuilt
+	// and full-builds on the first post-recovery Refresh, which sees the
+	// checkpoint-restored topology (restoreCheckpoint writes the structure
+	// directly, bypassing apply and therefore the mirror).
+	p.initView()
 	return nil
 }
 
@@ -252,11 +257,15 @@ func (p *Pipeline) quarantine(seq uint64, cause error, mb MixedBatch) error {
 // writeDurableCheckpoint snapshots the current in-memory state at the
 // last logged sequence number.
 func (p *Pipeline) writeDurableCheckpoint() error {
+	threads := p.pcfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
 	cp := &durable.Checkpoint{
 		Seq:      p.dur.man.LastSeq(),
 		Directed: p.pcfg.Directed,
 		NumNodes: p.g.NumNodes(),
-		Edges:    ds.ExportEdges(p.g),
+		Edges:    ds.ExportEdgesParallel(p.g, threads),
 	}
 	if st, ok := p.engine.(compute.Stateful); ok {
 		s := st.ExportState()

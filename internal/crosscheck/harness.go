@@ -26,6 +26,12 @@ type Config struct {
 	Models []compute.Model
 	// TopologyOnly skips the compute engines entirely.
 	TopologyOnly bool
+	// ComputeView maintains a flat CSR mirror per structure (where the
+	// structure supports one), refreshes it after every step, checks the
+	// mirror's topology against the oracle too, and hands the mirror —
+	// not the structure — to the engines, exercising the flat kernels
+	// differentially.
+	ComputeView bool
 	// Opts carries algorithm tuning. The zero value is replaced by tight
 	// tolerances (PRTolerance 1e-12, PRMaxIters 200, Epsilon 1e-12) so
 	// both models track the sequential reference closely.
@@ -141,6 +147,7 @@ func Replay(cfg Config, stream Stream) *Report {
 	type instance struct {
 		name    string
 		g       ds.Graph
+		view    *ds.ComputeView
 		engines map[engineKey]compute.Engine
 		dead    bool
 	}
@@ -155,6 +162,9 @@ func Replay(cfg Config, stream Stream) *Report {
 			continue
 		}
 		inst := &instance{name: name, g: g, engines: map[engineKey]compute.Engine{}}
+		if cfg.ComputeView {
+			inst.view, _ = ds.NewComputeView(g, cfg.Threads)
+		}
 		if !cfg.TopologyOnly {
 			for _, alg := range cfg.Algorithms {
 				for _, model := range cfg.Models {
@@ -238,6 +248,28 @@ func Replay(cfg Config, stream Stream) *Report {
 				continue
 			}
 
+			// The compute graph the engines see: the refreshed mirror when
+			// one is attached, whose topology is independently diffed — an
+			// incremental-rebuild bug shows up here as a topology failure
+			// even if no engine reads the stale run.
+			cg := inst.g
+			if inst.view != nil {
+				inst.view.Refresh(step.Adds, step.Dels)
+				cg = inst.view
+				rep.TopologyChecks++
+				if diffs := ds.DiffOracle(inst.view, oracle, cfg.MaxDiffs); len(diffs) != 0 {
+					rep.Failures = append(rep.Failures, Failure{
+						DS: inst.name, Kind: "topology", Batch: bi,
+						Detail: "compute view: " + joinDiffs(diffs),
+					})
+					inst.dead = true
+					if cfg.StopAtFirst {
+						return rep
+					}
+					continue
+				}
+			}
+
 			for _, key := range sortedKeys(inst.engines) {
 				e := inst.engines[key]
 				if e == nil {
@@ -249,10 +281,10 @@ func Replay(cfg Config, stream Stream) *Report {
 				}
 				if len(invalidating) > 0 {
 					if da, ok := e.(compute.DeletionAware); ok {
-						da.NotifyDeletions(inst.g, invalidating)
+						da.NotifyDeletions(cg, invalidating)
 					}
 				}
-				e.PerformAlg(inst.g, affected)
+				e.PerformAlg(cg, affected)
 				rep.ValueChecks++
 				tol := compute.Tolerance(key.alg)
 				got, want := e.Values(), refs[key.alg]

@@ -1,0 +1,27 @@
+package crosscheck
+
+import (
+	"testing"
+)
+
+// TestComputeViewDifferential replays mixed streams with the flat
+// compute-view mirror attached to every structure: the mirror's topology
+// is diffed against the sequential oracle after every step, and every
+// (algorithm, model) engine runs on the mirror with its values checked
+// against the sequential reference — the flat kernels under the same
+// multithreaded differential scrutiny as the interface path.
+func TestComputeViewDifferential(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		rep := Run(Config{
+			Stream:      StreamConfig{Seed: 77, Batches: 12, BatchSize: 200, NumNodes: 72, Directed: directed, Deletes: true},
+			Threads:     4,
+			ComputeView: true,
+		})
+		for _, f := range rep.Failures {
+			t.Errorf("directed=%v: %s", directed, f)
+		}
+		if rep.TopologyChecks == 0 || rep.ValueChecks == 0 {
+			t.Fatalf("directed=%v: no checks ran", directed)
+		}
+	}
+}

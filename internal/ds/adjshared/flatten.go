@@ -1,0 +1,21 @@
+package adjshared
+
+import (
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// AS keeps one contiguous vector per vertex, so the compute-view layer
+// can take the storage directly: FlatRun is zero-copy and FlatFill is a
+// single memmove. No locks are needed — flattening runs in the compute
+// phase, when no update is in flight, the same contract Neighbors has.
+
+// FlatRun implements ds.RunFlattener.
+func (s *store) FlatRun(v graph.NodeID) []graph.Neighbor { return s.adj[v] }
+
+// FlatFill implements ds.Flattener.
+func (s *store) FlatFill(v graph.NodeID, dst []graph.Neighbor) int {
+	return copy(dst, s.adj[v])
+}
+
+var _ ds.RunFlattener = (*store)(nil)

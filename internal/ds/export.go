@@ -30,6 +30,64 @@ func ExportEdges(g Graph) []graph.Edge {
 	return out
 }
 
+// ExportEdgesParallel is ExportEdges fanned out over threads, producing
+// the identical canonical edge list: a parallel per-vertex degree count
+// sizes one flat output array (the same count → prefix → fill shape the
+// compute-view rebuild uses), then workers fill and sort disjoint vertex
+// ranges — through the store's Flattener when it has one, so a run is one
+// bulk copy instead of per-neighbor appends. The durable checkpoint
+// writer uses this; its full-adjacency snapshots were previously a
+// single-threaded per-vertex sort scan.
+func ExportEdgesParallel(g Graph, threads int) []graph.Edge {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	if threads <= 1 {
+		return ExportEdges(g)
+	}
+	var fl Flattener
+	if t, ok := g.(*TwoCopy); ok {
+		fl, _ = t.OutStore().(Flattener)
+	}
+	index := make([]int64, n+1)
+	graph.ForRanges(n, threads, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			index[v+1] = int64(g.OutDegree(graph.NodeID(v)))
+		}
+	})
+	for v := 0; v < n; v++ {
+		index[v+1] += index[v]
+	}
+	if index[n] == 0 {
+		return nil
+	}
+	out := make([]graph.Edge, index[n])
+	graph.ForRanges(n, threads, func(lo, hi int) {
+		var buf []graph.Neighbor
+		for v := lo; v < hi; v++ {
+			deg := int(index[v+1] - index[v])
+			if deg == 0 {
+				continue
+			}
+			if cap(buf) < deg {
+				buf = make([]graph.Neighbor, deg)
+			}
+			buf = buf[:deg]
+			if fl != nil {
+				fl.FlatFill(graph.NodeID(v), buf)
+			} else {
+				buf = g.OutNeigh(graph.NodeID(v), buf[:0])
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i].ID < buf[j].ID })
+			for i, nb := range buf {
+				out[int(index[v])+i] = graph.Edge{Src: graph.NodeID(v), Dst: nb.ID, Weight: nb.Weight}
+			}
+		}
+	})
+	return out
+}
+
 // DiffOracle exhaustively compares g's topology against the oracle —
 // vertex and edge counts, per-vertex in/out degrees, and both adjacency
 // directions including weights — and returns human-readable mismatch

@@ -1,0 +1,20 @@
+package graphone
+
+import (
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// GraphOne's compacted adjacency is one contiguous vector per vertex
+// (staged edge-log entries are merged by Seal before any read), so the
+// sealed topology flattens zero-copy like AS.
+
+// FlatRun implements ds.RunFlattener.
+func (s *store) FlatRun(v graph.NodeID) []graph.Neighbor { return s.adj[v] }
+
+// FlatFill implements ds.Flattener.
+func (s *store) FlatFill(v graph.NodeID, dst []graph.Neighbor) int {
+	return copy(dst, s.adj[v])
+}
+
+var _ ds.RunFlattener = (*store)(nil)

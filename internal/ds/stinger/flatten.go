@@ -1,0 +1,24 @@
+package stinger
+
+import (
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// Stinger's adjacency is a chain of fixed-size edge blocks; there is no
+// contiguous run to hand out, so flattening walks the chain once and
+// copies each block's used slots — one bulk copy per block instead of
+// the per-slot appends Neighbors pays. Block chains only mutate under
+// the vertex's own updates, so a chain untouched by a batch yields the
+// identical slot order on every walk.
+
+// FlatFill implements ds.Flattener.
+func (s *store) FlatFill(v graph.NodeID, dst []graph.Neighbor) int {
+	n := 0
+	for blk := s.heads[v].first.Load(); blk != nil; blk = blk.next.Load() {
+		n += copy(dst[n:], blk.slots[:int(blk.used.Load())])
+	}
+	return n
+}
+
+var _ ds.Flattener = (*store)(nil)

@@ -1,0 +1,327 @@
+package ds
+
+import (
+	"time"
+
+	"sagabench/internal/graph"
+)
+
+// ComputeView is the compute-view layer: an incrementally maintained CSR
+// mirror of a dynamic structure. The structure stays the system of record
+// for the update phase; after each batch the pipeline calls Refresh, which
+// recopies only the adjacency runs the batch touched (degree count →
+// prefix sum → fill, all but the prefix sum parallel) and the compute
+// phase then traverses the mirror's flat arrays instead of paying
+// per-vertex interface dispatch on the dynamic structure. This is the
+// hybrid representation GraphTango argues for: dynamic side for updates,
+// flat side for analytics.
+//
+// The mirror preserves each store's own neighbor order — runs are filled
+// through Flattener, never sorted — so order-sensitive float reductions
+// (PageRank's in-neighbor sum) produce bit-identical results through the
+// view and through the structure.
+//
+// A ComputeView implements Graph for reading; Update panics. Refresh must
+// not run concurrently with reads — the same update/compute phase
+// separation the structures themselves require.
+type ComputeView struct {
+	src Graph
+	out *mirrorDir
+	in  *mirrorDir // nil when undirected: InIndex/InAdj alias the out arrays
+
+	csr     graph.CSR
+	threads int
+	built   bool
+	outOnly bool
+
+	// FullThreshold is the dirty-vertex fraction above which Refresh
+	// abandons run reuse and rebuilds every vertex (the crossover where
+	// one bulk pass beats scattered copies). Default 0.25.
+	FullThreshold float64
+
+	touchOut []graph.NodeID
+	touchIn  []graph.NodeID
+
+	stats RefreshStats
+}
+
+// mirrorDir is one adjacency direction of the mirror.
+type mirrorDir struct {
+	store OneDir
+	fl    Flattener
+	run   RunFlattener // non-nil for zero-copy stores (contiguous vectors)
+
+	dirty []bool
+	list  []graph.NodeID
+
+	// Double buffer: DeltaRebuild writes into the spare arrays while
+	// copying clean runs out of the current ones, then the pair swaps.
+	spareIdx []int64
+	spareAdj []graph.Neighbor
+}
+
+// RefreshStats describes one Refresh call.
+type RefreshStats struct {
+	// Nodes is the vertex count the refresh covered.
+	Nodes int
+	// Dirty is the number of vertices refilled from the structure (the
+	// max across directions; Nodes when Full).
+	Dirty int
+	// Full reports whether every run was rebuilt rather than delta-copied.
+	Full bool
+	// Duration is the wall time of the refresh.
+	Duration time.Duration
+}
+
+// DirtyFraction is Dirty/Nodes (1 for a full rebuild, 0 on empty graphs).
+func (s RefreshStats) DirtyFraction() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.Dirty) / float64(s.Nodes)
+}
+
+// NewComputeView builds a mirror over g, reporting false when g's stores
+// do not implement Flattener (the caller then stays on the interface
+// path). threads is the refresh worker count (0 = 1).
+func NewComputeView(g Graph, threads int) (*ComputeView, bool) {
+	t, ok := g.(*TwoCopy)
+	if !ok {
+		return nil, false
+	}
+	if threads <= 0 {
+		threads = 1
+	}
+	v := &ComputeView{src: g, threads: threads, FullThreshold: 0.25}
+	v.out = newMirrorDir(t.OutStore())
+	if v.out == nil {
+		return nil, false
+	}
+	if t.Directed() {
+		v.in = newMirrorDir(t.InStore())
+		if v.in == nil {
+			return nil, false
+		}
+	}
+	v.csr.OutIndex = []int64{0}
+	v.csr.InIndex = v.csr.OutIndex
+	if v.in != nil {
+		v.csr.InIndex = []int64{0}
+	}
+	return v, true
+}
+
+func newMirrorDir(st OneDir) *mirrorDir {
+	fl, ok := st.(Flattener)
+	if !ok {
+		return nil
+	}
+	d := &mirrorDir{store: st, fl: fl}
+	d.run, _ = fl.(RunFlattener)
+	return d
+}
+
+// MirrorOutOnly stops maintaining the in-adjacency mirror. The refresh
+// then rebuilds only the out direction — halving its cost on directed
+// graphs — which is safe whenever the consumer never pulls from
+// in-neighbors (compute.NeedsInAdjacency reports this per algorithm and
+// model). InDegree/InNeigh panic afterwards rather than answer with stale
+// or aliased data. No-op on undirected mirrors, where the single store
+// already serves both orientations for free.
+func (v *ComputeView) MirrorOutOnly() {
+	if v.in == nil {
+		return
+	}
+	v.in = nil
+	v.outOnly = true
+	v.csr.InIndex, v.csr.InAdj = nil, nil
+}
+
+// Refresh brings the mirror up to date after the update phase applied
+// adds and dels to the source structure. Only the runs those edges could
+// have changed are refilled, unless the dirty fraction crosses
+// FullThreshold (or this is the first build), in which case every run is
+// rebuilt.
+func (v *ComputeView) Refresh(adds, dels graph.Batch) RefreshStats {
+	start := time.Now()
+	n := v.src.NumNodes()
+	oldN := len(v.csr.OutIndex) - 1
+	st := RefreshStats{Nodes: n}
+
+	full := !v.built
+	if !full {
+		v.markTouched(adds, dels, n)
+		grown := n - oldN
+		st.Dirty = len(v.out.list) + grown
+		if v.in != nil && len(v.in.list)+grown > st.Dirty {
+			st.Dirty = len(v.in.list) + grown
+		}
+		if float64(st.Dirty) > v.FullThreshold*float64(n) {
+			full = true
+		}
+	}
+	if full {
+		st.Dirty = n
+	}
+	st.Full = full
+
+	v.csr.OutIndex, v.csr.OutAdj = v.out.rebuild(n, v.csr.OutIndex, v.csr.OutAdj, full, v.threads)
+	if v.in != nil {
+		v.csr.InIndex, v.csr.InAdj = v.in.rebuild(n, v.csr.InIndex, v.csr.InAdj, full, v.threads)
+	} else if !v.outOnly {
+		// Undirected: the single store already holds both orientations.
+		v.csr.InIndex, v.csr.InAdj = v.csr.OutIndex, v.csr.OutAdj
+	}
+	v.out.clearDirty()
+	if v.in != nil {
+		v.in.clearDirty()
+	}
+	v.built = true
+	st.Duration = time.Since(start)
+	v.stats = st
+	return st
+}
+
+// LastRefresh reports the stats of the most recent Refresh.
+func (v *ComputeView) LastRefresh() RefreshStats { return v.stats }
+
+// markTouched marks the vertices whose runs the batch could have changed:
+// an edge's out-run lives with its source and its in-run with its
+// destination; undirected ingestion mirrors every edge, making both
+// endpoints sources of the single store.
+func (v *ComputeView) markTouched(adds, dels graph.Batch, n int) {
+	v.out.growDirty(n)
+	v.touchOut = v.touchOut[:0]
+	undirected := v.in == nil && !v.outOnly
+	for _, b := range [2]graph.Batch{adds, dels} {
+		for _, e := range b {
+			v.touchOut = append(v.touchOut, e.Src)
+			if undirected {
+				v.touchOut = append(v.touchOut, e.Dst)
+			}
+		}
+	}
+	v.out.markAll(v.touchOut)
+	if v.in != nil {
+		v.in.growDirty(n)
+		v.touchIn = v.touchIn[:0]
+		for _, b := range [2]graph.Batch{adds, dels} {
+			for _, e := range b {
+				v.touchIn = append(v.touchIn, e.Dst)
+			}
+		}
+		v.in.markAll(v.touchIn)
+	}
+}
+
+func (d *mirrorDir) growDirty(n int) {
+	for len(d.dirty) < n {
+		d.dirty = append(d.dirty, false)
+	}
+}
+
+func (d *mirrorDir) mark(u graph.NodeID) {
+	if int(u) < len(d.dirty) && !d.dirty[u] {
+		d.dirty[u] = true
+		d.list = append(d.list, u)
+	}
+}
+
+// markAll marks the touched sources, letting stores whose iteration order
+// can shift under bystander updates widen the set (see DirtyExpander).
+func (d *mirrorDir) markAll(touched []graph.NodeID) {
+	if ex, ok := d.fl.(DirtyExpander); ok {
+		ex.ExpandDirty(touched, d.mark)
+		return
+	}
+	for _, u := range touched {
+		d.mark(u)
+	}
+}
+
+func (d *mirrorDir) clearDirty() {
+	for _, u := range d.list {
+		d.dirty[u] = false
+	}
+	d.list = d.list[:0]
+}
+
+// rebuild runs DeltaRebuild for this direction against the current
+// arrays, writing into the spares, and swaps the buffers.
+func (d *mirrorDir) rebuild(n int, oldIdx []int64, oldAdj []graph.Neighbor, full bool, threads int) ([]int64, []graph.Neighbor) {
+	var dirtyFn func(int) bool
+	if !full {
+		dirtyFn = func(v int) bool { return d.dirty[v] }
+	}
+	fill := d.fl.FlatFill
+	if d.run != nil {
+		fill = func(v graph.NodeID, dst []graph.Neighbor) int {
+			return copy(dst, d.run.FlatRun(v))
+		}
+	}
+	newIdx, newAdj := graph.DeltaRebuild(n, oldIdx, oldAdj, d.spareIdx, d.spareAdj,
+		dirtyFn, d.store.Degree, fill, threads)
+	d.spareIdx, d.spareAdj = oldIdx, oldAdj
+	return newIdx, newAdj
+}
+
+// Source exposes the mirrored dynamic structure.
+func (v *ComputeView) Source() Graph { return v.src }
+
+// FlatCSR implements FlatView.
+func (v *ComputeView) FlatCSR() *graph.CSR { return &v.csr }
+
+// Update implements Graph by refusing: the mirror is read-only. Update
+// the source structure and call Refresh.
+func (v *ComputeView) Update(graph.Batch) {
+	panic("ds: ComputeView is a read-only mirror; update the source structure and call Refresh")
+}
+
+// NumNodes implements Graph (as of the last Refresh).
+func (v *ComputeView) NumNodes() int { return len(v.csr.OutIndex) - 1 }
+
+// NumEdges implements Graph (as of the last Refresh).
+func (v *ComputeView) NumEdges() int { return len(v.csr.OutAdj) }
+
+// OutDegree implements Graph.
+func (v *ComputeView) OutDegree(u graph.NodeID) int {
+	if int(u) >= v.NumNodes() {
+		return 0
+	}
+	return v.csr.OutDegree(u)
+}
+
+// InDegree implements Graph.
+func (v *ComputeView) InDegree(u graph.NodeID) int {
+	if v.outOnly {
+		panic("ds: in-adjacency read on an out-only ComputeView (see MirrorOutOnly)")
+	}
+	if int(u) >= v.NumNodes() {
+		return 0
+	}
+	return v.csr.InDegree(u)
+}
+
+// OutNeigh implements Graph.
+func (v *ComputeView) OutNeigh(u graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	if int(u) >= v.NumNodes() {
+		return buf
+	}
+	return append(buf, v.csr.Out(u)...)
+}
+
+// InNeigh implements Graph.
+func (v *ComputeView) InNeigh(u graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	if v.outOnly {
+		panic("ds: in-adjacency read on an out-only ComputeView (see MirrorOutOnly)")
+	}
+	if int(u) >= v.NumNodes() {
+		return buf
+	}
+	return append(buf, v.csr.In(u)...)
+}
+
+// Directed implements Graph.
+func (v *ComputeView) Directed() bool { return v.src.Directed() }
+
+var _ FlatView = (*ComputeView)(nil)

@@ -1,0 +1,180 @@
+package ds_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/graph"
+	"sagabench/internal/snapshot"
+)
+
+// viewStep is one window of a mixed stream: inserts (with deliberate
+// duplicates, exercising weight overwrites) and deletions of previously
+// inserted edges.
+type viewStep struct {
+	adds graph.Batch
+	dels graph.Batch
+}
+
+// viewStream generates a deterministic mixed stream over numNodes
+// vertices. Roughly a third of the inserts duplicate an earlier edge (a
+// weight overwrite), and each step deletes a handful of live edges. The
+// weight is a function of (src, dst, batch) so duplicates of the same edge
+// within one batch agree — parallel ingest makes the winner among unequal
+// intra-batch weights nondeterministic — while cross-batch duplicates
+// still rewrite the stored weight.
+func viewStream(seed int64, batches, batchSize, numNodes int) []viewStep {
+	rng := rand.New(rand.NewSource(seed))
+	var live []graph.Edge
+	steps := make([]viewStep, batches)
+	for b := range steps {
+		var adds, dels graph.Batch
+		for i := 0; i < batchSize; i++ {
+			var e graph.Edge
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				e = live[rng.Intn(len(live))]
+			} else {
+				e = graph.Edge{
+					Src: graph.NodeID(rng.Intn(numNodes)),
+					Dst: graph.NodeID(rng.Intn(numNodes)),
+				}
+			}
+			// Symmetric in (Src, Dst): undirected ingest mirrors each edge,
+			// so (u,v) and (v,u) in one batch must agree on weight too.
+			lo, hi := int(e.Src), int(e.Dst)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			e.Weight = graph.Weight(1 + (lo+7*hi+13*b)%9)
+			adds = append(adds, e)
+			live = append(live, e)
+		}
+		for i := 0; i < batchSize/8 && len(live) > 0; i++ {
+			k := rng.Intn(len(live))
+			dels = append(dels, live[k])
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		steps[b] = viewStep{adds: adds, dels: dels}
+	}
+	return steps
+}
+
+// TestComputeViewMatchesOracleAndFullRebuild streams mixed batches through
+// every registered structure and checks, after every step, that (a) the
+// incrementally refreshed mirror's topology matches the sequential oracle
+// exactly, and (b) the mirror's CSR arrays are identical — order included —
+// to a freshly full-built mirror of the same structure. (b) is the
+// dirty-vs-full consistency property: delta rebuilds that copy clean runs
+// must land bit-for-bit where a from-scratch flatten would.
+func TestComputeViewMatchesOracleAndFullRebuild(t *testing.T) {
+	for _, name := range ds.Names() {
+		for _, directed := range []bool{true, false} {
+			name, directed := name, directed
+			t.Run(fmt.Sprintf("%s/directed=%v", name, directed), func(t *testing.T) {
+				t.Parallel()
+				g := ds.MustNew(name, ds.Config{Directed: directed, Threads: 3})
+				view, ok := ds.NewComputeView(g, 3)
+				if !ok {
+					t.Fatalf("NewComputeView(%s) not supported", name)
+				}
+				oracle := graph.NewOracle(directed)
+				del, canDelete := g.(ds.Deleter)
+				for bi, step := range viewStream(0xC0FFEE+int64(len(name)), 16, 120, 80) {
+					dels := step.dels
+					if !canDelete {
+						dels = nil
+					}
+					g.Update(step.adds)
+					oracle.Update(step.adds)
+					if len(dels) > 0 {
+						if err := del.Delete(dels); err != nil {
+							t.Fatalf("batch %d: delete: %v", bi, err)
+						}
+						oracle.Delete(dels)
+					}
+					view.Refresh(step.adds, dels)
+
+					if diffs := ds.DiffOracle(view, oracle, 4); len(diffs) != 0 {
+						t.Fatalf("batch %d: view diverged from oracle: %v", bi, diffs)
+					}
+
+					fresh, ok := ds.NewComputeView(g, 3)
+					if !ok {
+						t.Fatalf("batch %d: fresh view construction failed", bi)
+					}
+					fresh.Refresh(nil, nil) // first refresh is a full build
+					a, b := view.FlatCSR(), fresh.FlatCSR()
+					if !reflect.DeepEqual(a.OutIndex, b.OutIndex) || !reflect.DeepEqual(a.OutAdj, b.OutAdj) {
+						t.Fatalf("batch %d: delta-rebuilt out arrays differ from full rebuild", bi)
+					}
+					if !reflect.DeepEqual(a.InIndex, b.InIndex) || !reflect.DeepEqual(a.InAdj, b.InAdj) {
+						t.Fatalf("batch %d: delta-rebuilt in arrays differ from full rebuild", bi)
+					}
+				}
+				if view.LastRefresh().Nodes == 0 {
+					t.Fatal("stream never populated the view")
+				}
+			})
+		}
+	}
+}
+
+// TestComputeViewFallback verifies that graphs without a flattenable
+// backing store are reported as unsupported rather than wrapped.
+func TestComputeViewFallback(t *testing.T) {
+	frozen := snapshot.Freeze(graph.BuildCSR(0, nil))
+	if _, ok := ds.NewComputeView(frozen, 2); ok {
+		t.Fatal("NewComputeView accepted a non-TwoCopy graph")
+	}
+}
+
+// TestComputeViewReadOnly verifies the mirror refuses direct updates.
+func TestComputeViewReadOnly(t *testing.T) {
+	g := ds.MustNew("adjshared", ds.Config{Directed: true})
+	view, ok := ds.NewComputeView(g, 1)
+	if !ok {
+		t.Fatal("NewComputeView failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update on a ComputeView did not panic")
+		}
+	}()
+	view.Update(graph.Batch{{Src: 0, Dst: 1}})
+}
+
+// TestExportEdgesParallel checks the fanned-out exporter produces the
+// identical canonical edge list as the sequential one, for every
+// structure, after a mixed stream.
+func TestExportEdgesParallel(t *testing.T) {
+	for _, name := range ds.Names() {
+		for _, directed := range []bool{true, false} {
+			name, directed := name, directed
+			t.Run(fmt.Sprintf("%s/directed=%v", name, directed), func(t *testing.T) {
+				t.Parallel()
+				g := ds.MustNew(name, ds.Config{Directed: directed, Threads: 3})
+				del, canDelete := g.(ds.Deleter)
+				for _, step := range viewStream(99, 10, 150, 64) {
+					g.Update(step.adds)
+					if canDelete && len(step.dels) > 0 {
+						if err := del.Delete(step.dels); err != nil {
+							t.Fatalf("delete: %v", err)
+						}
+					}
+				}
+				want := ds.ExportEdges(g)
+				for _, threads := range []int{1, 2, 5} {
+					got := ds.ExportEdgesParallel(g, threads)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("threads=%d: parallel export differs (%d vs %d edges)", threads, len(got), len(want))
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import "sync"
+
+// This file gives CSR an incremental-rebuild path so it can serve as a
+// maintained mirror of a dynamic structure (the compute-view layer in
+// internal/ds) rather than only a from-scratch snapshot. The rebuild is
+// the classic three-phase CSR construction — degree count, prefix sum,
+// fill — with the count and fill phases parallel and, crucially, a
+// delta mode: a vertex whose adjacency did not change since the previous
+// rebuild copies its old run with a single memmove instead of re-asking
+// the dynamic structure for it.
+
+// ForRanges splits [0,n) into up to `threads` contiguous equal ranges and
+// runs fn on each in its own goroutine, blocking until all complete. A
+// panic in any worker is captured and re-raised on the calling goroutine
+// (first panic wins), matching compute.parallelFor, so the poison-batch
+// quarantine sees worker failures instead of the process dying.
+func ForRanges(n, threads int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if threads <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	per := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// DeltaRebuild rebuilds one adjacency direction (index + adjacency
+// arrays) over n vertices. A vertex for which dirty reports false copies
+// its run from (oldIndex, oldAdj) unchanged; a dirty vertex — or any
+// vertex at or past the old index's coverage — is refilled through
+// degree and fill. dirty == nil rebuilds every vertex (the first-build /
+// full-rebuild case).
+//
+// newIndex/newAdj are used as the destination when they have capacity
+// (callers double-buffer by passing the arrays from two rebuilds ago);
+// the possibly reallocated destination arrays are returned and the old
+// arrays are left intact for the next swap.
+//
+// fill must write exactly the neighbor count degree reported for the
+// same vertex and return that count, in the source structure's own
+// traversal order: runs are NOT sorted here, so order-sensitive float
+// reductions over a run (PageRank's in-neighbor sum) see the identical
+// summation order through the mirror and through the structure.
+func DeltaRebuild(
+	n int,
+	oldIndex []int64, oldAdj []Neighbor,
+	newIndex []int64, newAdj []Neighbor,
+	dirty func(v int) bool,
+	degree func(v NodeID) int,
+	fill func(v NodeID, dst []Neighbor) int,
+	threads int,
+) ([]int64, []Neighbor) {
+	oldN := len(oldIndex) - 1 // -1 when there is no previous build
+	isDirty := func(v int) bool {
+		if v >= oldN {
+			return true
+		}
+		return dirty == nil || dirty(v)
+	}
+
+	if cap(newIndex) < n+1 {
+		newIndex = make([]int64, n+1)
+	}
+	newIndex = newIndex[:n+1]
+	newIndex[0] = 0
+
+	// Phase 1: per-vertex degrees. Clean vertices answer from the old
+	// index without touching the structure.
+	ForRanges(n, threads, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if isDirty(v) {
+				newIndex[v+1] = int64(degree(NodeID(v)))
+			} else {
+				newIndex[v+1] = oldIndex[v+1] - oldIndex[v]
+			}
+		}
+	})
+
+	// Phase 2: serial prefix sum (memory-bound; not worth parallelizing
+	// at mirror sizes).
+	for v := 0; v < n; v++ {
+		newIndex[v+1] += newIndex[v]
+	}
+
+	total := int(newIndex[n])
+	if cap(newAdj) < total {
+		newAdj = make([]Neighbor, total)
+	}
+	newAdj = newAdj[:total]
+
+	// Phase 3: parallel fill. Each worker owns a disjoint vertex range,
+	// hence a disjoint span of newAdj.
+	ForRanges(n, threads, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			dst := newAdj[newIndex[v]:newIndex[v+1]]
+			if len(dst) == 0 {
+				continue
+			}
+			if isDirty(v) {
+				if got := fill(NodeID(v), dst); got != len(dst) {
+					panic("graph: DeltaRebuild fill count does not match reported degree")
+				}
+			} else {
+				copy(dst, oldAdj[oldIndex[v]:oldIndex[v+1]])
+			}
+		}
+	})
+	return newIndex, newAdj
+}

@@ -65,3 +65,10 @@ func (f *Frozen) InNeigh(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor 
 // records (undirected inputs were mirrored at ingest), so the snapshot
 // reads as a directed view with symmetric edges.
 func (f *Frozen) Directed() bool { return true }
+
+// FlatCSR implements ds.FlatView: a frozen snapshot already is flat, so
+// the compute kernels iterate its arrays directly — the trivial case of
+// the compute-view layer, with no refresh to maintain.
+func (f *Frozen) FlatCSR() *graph.CSR { return f.csr }
+
+var _ ds.FlatView = (*Frozen)(nil)

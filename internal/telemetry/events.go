@@ -42,6 +42,13 @@ type BatchEvent struct {
 	Skipped     uint64  `json:"skipped,omitempty"`
 	TriggerFrac float64 `json:"trigger_frac,omitempty"`
 
+	// Compute-view refresh of the batch (zero when the view is off):
+	// refresh wall time, fraction of vertices re-flattened, and whether
+	// the refresh fell back to a full rebuild.
+	ViewNS        int64   `json:"view_ns,omitempty"`
+	ViewDirtyFrac float64 `json:"view_dirty_frac,omitempty"`
+	ViewFull      bool    `json:"view_full,omitempty"`
+
 	// Update-phase data-structure profile, as per-batch deltas of
 	// ds.UpdateProfile (zero when the structure is not profiled).
 	DSEdgesIngested uint64  `json:"ds_edges_ingested,omitempty"`

@@ -36,6 +36,11 @@ type Recorder struct {
 	dsMetaOps   *Counter
 	dsImbalance *Gauge
 
+	viewRefreshLat *Histogram
+	viewDirtyFrac  *Gauge
+	viewDelta      *Counter
+	viewFull       *Counter
+
 	walAppends   *Counter
 	walBytes     *Counter
 	walFsyncLat  *Histogram
@@ -69,6 +74,10 @@ func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
 	r.dsConflicts = reg.Counter("saga_ds_lock_conflicts_total", "UpdateProfile: lock acquisitions that found the lock held")
 	r.dsMetaOps = reg.Counter("saga_ds_meta_ops_total", "UpdateProfile: degree-query and flush meta-operations")
 	r.dsImbalance = reg.Gauge("saga_ds_chunk_imbalance", "UpdateProfile: max/mean chunk load of the latest batch")
+	r.viewRefreshLat = reg.Histogram("saga_view_refresh_seconds", "Compute-view CSR mirror refresh latency per batch", nil)
+	r.viewDirtyFrac = reg.Gauge("saga_view_dirty_fraction", "Fraction of vertices re-flattened by the latest view refresh")
+	r.viewDelta = reg.Counter("saga_view_delta_rebuilds_total", "View refreshes that re-flattened only dirty vertices")
+	r.viewFull = reg.Counter("saga_view_full_rebuilds_total", "View refreshes that rebuilt the whole mirror")
 	r.walAppends = reg.Counter("saga_wal_appends_total", "Batch records appended to the write-ahead log")
 	r.walBytes = reg.Counter("saga_wal_bytes_total", "Bytes appended to the write-ahead log")
 	r.walFsyncLat = reg.Histogram("saga_wal_fsync_seconds", "WAL fsync latency per flushed append", nil)
@@ -78,6 +87,22 @@ func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
 	r.quarantines = reg.Counter("saga_quarantined_batches_total", "Poison batches quarantined to .poison files")
 	r.applyRetries = reg.Counter("saga_apply_retries_total", "Batch apply retries after a recovered failure")
 	return r
+}
+
+// RecordViewRefresh folds one compute-view mirror refresh into the
+// metrics: its latency, the fraction of vertices it re-flattened, and
+// whether it was a delta or a full rebuild.
+func (r *Recorder) RecordViewRefresh(d time.Duration, dirtyFrac float64, full bool) {
+	if r == nil {
+		return
+	}
+	r.viewRefreshLat.Observe(d.Seconds())
+	r.viewDirtyFrac.Set(dirtyFrac)
+	if full {
+		r.viewFull.Inc()
+	} else {
+		r.viewDelta.Inc()
+	}
 }
 
 // RecordWALAppend folds one WAL append into the metrics. fsync is the
