@@ -18,6 +18,14 @@
 // pipeline is killed at every registered crash point in rotation — with
 // optional torn writes, bit flips, and poison batches layered on — and
 // the state recovered from disk is diffed against the sequential oracle.
+//
+// Two invariants the fuzzer used to probe for at runtime are now enforced
+// statically by sagavet (cmd/sagavet, internal/analysis) and need no
+// dynamic check: same -seed = same stream (the stream generator lives in
+// a saga:deterministic package, so wall-clock reads, unseeded randomness,
+// and map-ordered iteration are build errors), and worker panics cannot
+// kill the sweep before the quarantine sees them (every goroutine launch
+// in the saga:paniccapture packages must capture and re-raise).
 package main
 
 import (
@@ -38,7 +46,7 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 1, "stream generation seed (same seed = same stream)")
+		seed      = flag.Int64("seed", 1, "stream generation seed (same seed = same stream, statically enforced by sagavet's determinism analyzer)")
 		batches   = flag.Int("batches", 50, "number of stream steps")
 		batchSize = flag.Int("batch-size", 400, "edges per step")
 		nodes     = flag.Int("nodes", 96, "vertex ID space (small = dense collisions)")

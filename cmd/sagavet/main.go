@@ -1,0 +1,123 @@
+// Command sagavet runs SAGA-Bench's repo-specific static analyzers (see
+// internal/analysis): lock discipline, chunk ownership, atomic/plain
+// mixing, replay determinism, goroutine panic capture, and durable error
+// hygiene.
+//
+// Standalone:
+//
+//	go run ./cmd/sagavet ./...
+//	go run ./cmd/sagavet -analyzers lockheld,determinism ./internal/durable
+//
+// As a vet tool (per-package, driven by the go command):
+//
+//	go build -o /tmp/sagavet ./cmd/sagavet
+//	go vet -vettool=/tmp/sagavet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sagabench/internal/analysis"
+)
+
+const version = "v1.0.0"
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("sagavet", flag.ContinueOnError)
+	var (
+		analyzersFlag = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		reportPath    = fs.String("report", "", "also write findings to this text file")
+		sarifPath     = fs.String("sarif", "", "also write findings to this SARIF 2.1.0 file")
+		showAllowed   = fs.Bool("show-allowed", false, "also print findings suppressed by saga:allow, with their audit reasons")
+		listFlag      = fs.Bool("list", false, "list the analyzers and exit")
+		vFlag         = fs.String("V", "", "version protocol for go vet -vettool (prints id and exits)")
+		flagsFlag     = fs.Bool("flags", false, "flag-discovery protocol for go vet -vettool (prints JSON and exits)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *vFlag != "" {
+		// The go command fingerprints vet tools via `-V=full`.
+		fmt.Fprintf(out, "sagavet version %s\n", version)
+		return 0
+	}
+	if *flagsFlag {
+		// The go command asks vet tools for their analyzer flags; sagavet
+		// exposes none through the vet driver (its own flags are for
+		// standalone use only).
+		fmt.Fprintln(out, "[]")
+		return 0
+	}
+	if *listFlag {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(out, "%-17s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := analysis.ByName(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sagavet:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVettool(rest[0], selected)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{}, rest...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sagavet:", err)
+		return 2
+	}
+	diags := analysis.RunAnalyzers(pkgs, selected)
+
+	var lines []string
+	failing := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showAllowed {
+				fmt.Fprintf(out, "%s: allowed: %s (%s) -- %s\n", d.Pos, d.Message, d.Analyzer, d.SuppressReason)
+			}
+			continue
+		}
+		failing++
+		line := d.String()
+		lines = append(lines, line)
+		fmt.Fprintln(out, line)
+	}
+	if *reportPath != "" {
+		if err := writeTextReport(*reportPath, lines); err != nil {
+			fmt.Fprintln(os.Stderr, "sagavet:", err)
+			return 2
+		}
+	}
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, selected, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sagavet:", err)
+			return 2
+		}
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "sagavet: %d finding(s)\n", failing)
+		return 1
+	}
+	return 0
+}
+
+func writeTextReport(path string, lines []string) error {
+	body := strings.Join(lines, "\n")
+	if body != "" {
+		body += "\n"
+	}
+	return os.WriteFile(path, []byte(body), 0o644)
+}

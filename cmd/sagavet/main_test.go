@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a temp file and returns
+// the exit code and output.
+func capture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return code, string(data)
+}
+
+// TestVettoolProtocol checks the two probes the go command sends before
+// trusting a -vettool binary: -V=full must print "name version id" and
+// -flags must print a JSON flag list.
+func TestVettoolProtocol(t *testing.T) {
+	code, out := capture(t, "-V=full")
+	if code != 0 || !strings.HasPrefix(out, "sagavet version ") {
+		t.Fatalf("-V=full: code %d, output %q", code, out)
+	}
+	code, out = capture(t, "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags: code %d, output %q", code, out)
+	}
+}
+
+// TestList checks every registered analyzer appears in -list output.
+func TestList(t *testing.T) {
+	code, out := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: code %d", code)
+	}
+	for _, name := range []string{"atomicmix", "lockheld", "chunkowner", "determinism", "paniccapture", "errcheck-durable"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks the usage-error exit code.
+func TestUnknownAnalyzer(t *testing.T) {
+	if code, _ := capture(t, "-analyzers", "nope", "./..."); code != 2 {
+		t.Fatalf("unknown analyzer: code %d, want 2", code)
+	}
+}

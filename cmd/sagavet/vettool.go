@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sagabench/internal/analysis"
+)
+
+// vetConfig is the subset of the go command's per-package vet config
+// (the JSON file handed to `go vet -vettool` tools) that sagavet needs.
+// The protocol: the tool is invoked once per package with the path to a
+// .cfg file; it must write its facts file to VetxOutput (sagavet keeps
+// no cross-package facts, so the file is a placeholder), print findings,
+// and exit nonzero if any were found. For dependency packages the go
+// command sets VetxOnly, asking for facts but no diagnostics.
+type vetConfig struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+func runVettool(cfgPath string, selected []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sagavet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sagavet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("sagavet: no facts\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sagavet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir}, ".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sagavet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	failing := 0
+	for _, d := range analysis.RunAnalyzers(pkgs, selected) {
+		if d.Suppressed {
+			continue
+		}
+		failing++
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if failing > 0 {
+		return 1
+	}
+	return 0
+}

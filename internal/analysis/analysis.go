@@ -1,0 +1,248 @@
+// Package analysis is sagavet's analyzer suite: repo-specific static
+// checks that make SAGA-Bench's concurrency, determinism, and durability
+// invariants machine-checkable instead of fuzz-discovered. The framework
+// mirrors golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) but
+// is built on the standard library's go/ast + go/types only, so the suite
+// works in hermetic builds with no module downloads.
+//
+// Analyzers are scoped and tuned by structured comments:
+//
+//	// saga:lockless          package marker: chunk-ownership rules apply
+//	// saga:deterministic     package marker: on the replay-deterministic list
+//	// saga:paniccapture      package marker: goroutines must capture panics
+//	// saga:durable           package marker: no discarded error returns
+//	// saga:guardedby <lock>  field annotation: only touch under <lock>
+//	// saga:chunked           field annotation: slice is indexed by chunk id
+//	// saga:chunksafe         func annotation: mutates only chunk-owned args
+//	// saga:acquires <n>      func annotation: locks the mutex passed as arg n
+//	// saga:allow <analyzer> -- <reason>   audited suppression for one line
+//
+// Every suppression requires the "-- reason" trailer; an allow comment
+// without a reason is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is the one-paragraph description printed by `sagavet help`.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Markers holds the package's saga: markers (lockless, deterministic,
+	// paniccapture, durable).
+	Markers map[string]bool
+
+	pkg  *Package
+	diag *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	d := Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	d.Suppressed, d.SuppressReason = p.pkg.allowed(p.Analyzer.Name, position)
+	*p.diag = append(*p.diag, d)
+}
+
+// Diagnostic is one finding, possibly suppressed by an audited
+// saga:allow comment.
+type Diagnostic struct {
+	Analyzer       string
+	Pos            token.Position
+	Message        string
+	Suppressed     bool
+	SuppressReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns the full sagavet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix,
+		LockHeld,
+		ChunkOwner,
+		Determinism,
+		PanicCapture,
+		ErrcheckDurable,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; empty selects All.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// diagnostics sorted by position. Suppressed findings are included (the
+// caller decides whether to print them); malformed saga:allow comments
+// surface as findings of the pseudo-analyzer "sagavet".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Markers:   pkg.Markers,
+				pkg:       pkg,
+				diag:      &diags,
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, pkg.allowErrors...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// One source line can yield the same finding twice (e.g. the guarded
+	// field on both sides of `x.f = append(x.f, v)`); keep one.
+	seen := map[string]bool{}
+	dedup := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s|%s|%d|%s", d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dedup = append(dedup, d)
+	}
+	return dedup
+}
+
+// allowRe matches audited suppressions: saga:allow <analyzer> -- <reason>.
+// The analyzer name is restricted to the registered set so that prose
+// mentioning "saga:allow" in documentation does not parse as a site.
+var allowRe *regexp.Regexp
+
+func init() {
+	names := make([]string, 0, len(All()))
+	for _, a := range All() {
+		names = append(names, regexp.QuoteMeta(a.Name))
+	}
+	allowRe = regexp.MustCompile(`saga:allow\s+(` + strings.Join(names, "|") + `)\b(?:\s+--\s*(.*))?`)
+}
+
+// allowSite is one saga:allow comment, keyed by file and line.
+type allowSite struct {
+	analyzer string
+	reason   string
+}
+
+// collectAllows scans a package's comments for saga:allow sites. A
+// comment suppresses the named analyzer on its own line and, for
+// full-line comments, on the following line.
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[string]map[int]allowSite, []Diagnostic) {
+	allows := map[string]map[int]allowSite{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "sagavet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("saga:allow %s has no audit reason (want `saga:allow %s -- <reason>`)", m[1], m[1]),
+					})
+					continue
+				}
+				perFile := allows[pos.Filename]
+				if perFile == nil {
+					perFile = map[int]allowSite{}
+					allows[pos.Filename] = perFile
+				}
+				site := allowSite{analyzer: m[1], reason: strings.TrimSpace(m[2])}
+				perFile[pos.Line] = site
+				// A comment on its own line covers the next line of code.
+				if pos.Column == 1 || isCommentOnlyLine(c, pos) {
+					perFile[pos.Line+1] = site
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// isCommentOnlyLine approximates "this comment is the whole line": the
+// comment starts at or before the usual indentation columns. Suffix
+// comments (code on the same line) start well past column 1 but so do
+// indented full-line comments, so cover the next line in both cases; a
+// suffix comment's own line match already handled the code it trails.
+func isCommentOnlyLine(_ *ast.Comment, _ token.Position) bool { return true }
+
+// marker comments recognized on any package file.
+var markerNames = []string{"lockless", "deterministic", "paniccapture", "durable"}
+
+func collectMarkers(files []*ast.File) map[string]bool {
+	markers := map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+				for _, m := range markerNames {
+					if strings.HasPrefix(text, "saga:"+m) {
+						markers[m] = true
+					}
+				}
+			}
+		}
+	}
+	return markers
+}

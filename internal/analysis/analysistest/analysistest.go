@@ -1,0 +1,108 @@
+// Package analysistest runs sagavet analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest. Fixtures live
+// under testdata/src/<pkg>; bare imports inside a fixture (e.g. "ds")
+// resolve against testdata/src first, so fixtures can model the repo's
+// helper packages without depending on them.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sagabench/internal/analysis"
+)
+
+// expectation is one `// want` annotation: a diagnostic matching re must
+// be reported at file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var (
+	wantRe    = regexp.MustCompile("//.*\\bwant\\b")
+	wantStrRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads testdata/src/<pkgPath> relative to dir, applies the
+// analyzer, and compares unsuppressed diagnostics (including malformed
+// saga:allow findings from the "sagavet" pseudo-analyzer) against the
+// fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(dir, "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(
+		analysis.LoadConfig{FixtureRoot: root},
+		filepath.Join(root, filepath.FromSlash(pkgPath)),
+	)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", pkgPath, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				loc := wantRe.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantStrRe.FindAllString(c.Text[loc[1]:], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		if d.Suppressed {
+			continue // an audited saga:allow worked as designed
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", relToRoot(w.file), w.line, w.re)
+		}
+	}
+}
+
+func relToRoot(path string) string {
+	if i := strings.LastIndex(path, "testdata"); i >= 0 {
+		return path[i:]
+	}
+	return path
+}

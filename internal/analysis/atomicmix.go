@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix flags struct fields that are accessed both through the
+// sync/atomic function API and through plain loads/stores. A field with
+// mixed discipline has no single synchronization story: the atomic sites
+// suggest concurrent access, so every plain site is a potential data
+// race (or, if the plain sites are confined to a sequential phase, an
+// invariant that must be audited with a saga:allow on the field's
+// declaration).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "report struct fields accessed both via sync/atomic functions " +
+		"and via plain loads/stores",
+	Run: runAtomicMix,
+}
+
+type mixUse struct {
+	atomic []token.Pos
+	plain  []token.Pos
+}
+
+func runAtomicMix(pass *Pass) {
+	uses := map[*types.Var]*mixUse{}
+	use := func(v *types.Var) *mixUse {
+		u := uses[v]
+		if u == nil {
+			u = &mixUse{}
+			uses[v] = u
+		}
+		return u
+	}
+	// Selector nodes consumed by an atomic call's address argument; they
+	// must not double-count as plain uses.
+	consumed := map[ast.Node]bool{}
+
+	// Pass 1: atomic uses. The first argument of every sync/atomic
+	// Load/Store/Add/Swap/CompareAndSwap call is &field or &field[i].
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Only the package-level functions address their target via the
+			// first argument; methods on atomic.Int64 etc. mutate their
+			// receiver, whose type already forbids plain access.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			if !hasAtomicOpPrefix(fn.Name()) {
+				return true
+			}
+			target := unwrapAddr(call.Args[0])
+			if idx, ok := target.(*ast.IndexExpr); ok {
+				consumed[idx] = true
+				target = ast.Unparen(idx.X)
+			}
+			if sel, ok := target.(*ast.SelectorExpr); ok {
+				if fv := fieldOf(pass.TypesInfo, sel); fv != nil {
+					consumed[sel] = true
+					use(fv).atomic = append(use(fv).atomic, call.Pos())
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: plain value accesses. For scalar fields any selector use
+	// counts; for slice fields only element accesses count (len/cap/
+	// append/slicing are structural, resizing happens between phases).
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			fv := fieldOf(pass.TypesInfo, sel)
+			if fv == nil {
+				return true
+			}
+			if _, isSlice := fv.Type().Underlying().(*types.Slice); isSlice {
+				parent := parentOf(stack)
+				idx, ok := parent.(*ast.IndexExpr)
+				if !ok || ast.Unparen(idx.X) != sel || consumed[idx] {
+					return true
+				}
+			}
+			use(fv).plain = append(use(fv).plain, sel.Pos())
+			return true
+		})
+	}
+
+	var mixed []*types.Var
+	for fv, u := range uses {
+		if len(u.atomic) > 0 && len(u.plain) > 0 && fv.Pkg() == pass.Pkg {
+			mixed = append(mixed, fv)
+		}
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].Pos() < mixed[j].Pos() })
+	for _, fv := range mixed {
+		u := uses[fv]
+		pass.Reportf(fv.Pos(),
+			"field %s is accessed both atomically (e.g. %s) and with plain loads/stores (e.g. %s); use one discipline or audit the phase separation with a saga:allow on this declaration",
+			fv.Name(), pass.Fset.Position(u.atomic[0]), pass.Fset.Position(u.plain[0]))
+	}
+}
+
+func hasAtomicOpPrefix(name string) bool {
+	for _, p := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parentOf returns the node enclosing the current node in an
+// ast.Inspect traversal stack (the node itself is the last entry).
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the replay path: packages marked
+// `saga:deterministic` feed the WAL-replay crash-recovery check and the
+// differential fuzzer, both of which require a batch stream to produce
+// bit-identical structure state on every run. The analyzer reports the
+// three classic sources of run-to-run divergence:
+//
+//   - wall-clock reads (time.Now / time.Since) — fine for metrics, fatal
+//     if the value feeds data; every use must be audited with saga:allow;
+//   - the math/rand package-level convenience functions, which draw from
+//     the shared global source (seeded rand.New(rand.NewSource(seed))
+//     generators are fine and not flagged);
+//   - ranging over a map, whose iteration order changes per run; sort the
+//     keys first or audit with saga:allow when order provably cannot
+//     escape (e.g. the range feeds a sort or a commutative reduction).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "in saga:deterministic packages, report wall-clock reads, global " +
+		"math/rand use, and unordered map iteration",
+	Run: runDeterminism,
+}
+
+// seededRandCtors are the math/rand functions that construct or seed an
+// explicit generator rather than drawing from the global source.
+var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Markers["deterministic"] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, x)
+				if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" || fn.Name() == "Since" {
+						pass.Reportf(x.Pos(),
+							"wall-clock read time.%s in a saga:deterministic package; replay must not depend on it (audit metric-only uses with saga:allow)",
+							fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandCtors[fn.Name()] {
+						pass.Reportf(x.Pos(),
+							"global math/rand.%s in a saga:deterministic package; draw from a seeded rand.New(rand.NewSource(seed)) instead",
+							fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[x.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(),
+						"map iteration order is nondeterministic in a saga:deterministic package; sort the keys first or audit with saga:allow")
+				}
+			}
+			return true
+		})
+	}
+}

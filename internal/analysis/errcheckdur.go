@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckDurable enforces strict error hygiene in packages marked
+// `saga:durable` (the WAL and checkpoint layer): a discarded error there
+// is a silent durability hole — an fsync or Close that failed without
+// anyone noticing means the recovery guarantee is fiction. The analyzer
+// reports calls whose error result is dropped on the floor: expression
+// statements, `defer`/`go` of error-returning calls, and `_`-assignments
+// of an error position. Genuinely best-effort sites (GC of old segments,
+// the crash-simulation Abandon path) carry audited saga:allow comments.
+var ErrcheckDurable = &Analyzer{
+	Name: "errcheck-durable",
+	Doc: "in saga:durable packages, report discarded error return values " +
+		"(silently dropped fsync/Close/decode failures)",
+	Run: runErrcheckDurable,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrcheckDurable(pass *Pass) {
+	if !pass.Markers["durable"] {
+		return
+	}
+	report := func(call *ast.CallExpr, what string) {
+		pass.Reportf(call.Pos(), "%s discards the error from %s in a saga:durable package; handle it or audit with saga:allow",
+			what, callDesc(pass, call))
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && returnsError(pass, call) {
+					report(call, "statement")
+				}
+			case *ast.DeferStmt:
+				if returnsError(pass, x.Call) {
+					report(x.Call, "defer")
+				}
+			case *ast.GoStmt:
+				if returnsError(pass, x.Call) {
+					report(x.Call, "go statement")
+				}
+			case *ast.AssignStmt:
+				checkBlankErr(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+// Calls into fmt are exempt (terminal output is not durable state).
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(tv.Type, errorType)
+	}
+}
+
+// checkBlankErr reports `_`-assignments that drop an error result.
+func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
+	// Multi-value form: v, _ := call().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && types.Identical(tuple.At(i).Type(), errorType) && !fmtCall(pass, call) {
+				pass.Reportf(lhs.Pos(), "assignment to _ discards the error from %s in a saga:durable package; handle it or audit with saga:allow",
+					callDesc(pass, call))
+			}
+		}
+		return
+	}
+	// Parallel form: _ = call().
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if ok && returnsError(pass, call) {
+			pass.Reportf(lhs.Pos(), "assignment to _ discards the error from %s in a saga:durable package; handle it or audit with saga:allow",
+				callDesc(pass, call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func fmtCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+}
+
+func callDesc(pass *Pass, call *ast.CallExpr) string {
+	return exprText(pass.Fset, call.Fun)
+}

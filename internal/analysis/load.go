@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus the comment-derived
+// configuration (markers, allow sites) sagavet's analyzers consume.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Markers   map[string]bool
+
+	allows      map[string]map[int]allowSite
+	allowErrors []Diagnostic
+}
+
+// allowed reports whether an audited saga:allow comment suppresses
+// analyzer findings at pos.
+func (p *Package) allowed(analyzer string, pos token.Position) (bool, string) {
+	if perFile := p.allows[pos.Filename]; perFile != nil {
+		if site, ok := perFile[pos.Line]; ok && site.analyzer == analyzer {
+			return true, site.reason
+		}
+	}
+	return false, ""
+}
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir anchors relative patterns; empty means the working directory.
+	Dir string
+	// FixtureRoot, when set, resolves bare import paths (e.g. "ds")
+	// against this directory before the module and the standard library.
+	// The analysistest harness points it at testdata/src.
+	FixtureRoot string
+}
+
+// Load parses and type-checks the packages matching patterns ("./...",
+// "./internal/durable", "dir/...") using only the standard library: the
+// module's own packages resolve from the filesystem and everything else
+// through the source importer, so no module downloads are needed.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(abs)
+	if err != nil && cfg.FixtureRoot == "" {
+		return nil, err
+	}
+	ld := &loader{
+		fset:        token.NewFileSet(),
+		modRoot:     modRoot,
+		modPath:     modPath,
+		fixtureRoot: cfg.FixtureRoot,
+		cache:       map[string]*Package{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	dirs, err := expandPatterns(abs, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := ld.loadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves "..."-suffixed and plain directory patterns to
+// package directories (those containing non-test .go files).
+func expandPatterns(base string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] && hasGoFiles(d) {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(base, root)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !ent.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loader loads and caches packages by directory / import path.
+type loader struct {
+	fset        *token.FileSet
+	modRoot     string
+	modPath     string
+	fixtureRoot string
+	std         types.Importer
+	cache       map[string]*Package
+	loading     []string // in-flight import paths, for cycle reporting
+}
+
+// pathForDir maps a package directory to its import path.
+func (ld *loader) pathForDir(dir string) string {
+	if ld.fixtureRoot != "" {
+		if rel, err := filepath.Rel(ld.fixtureRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	if ld.modRoot != "" {
+		if rel, err := filepath.Rel(ld.modRoot, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				return ld.modPath
+			}
+			return ld.modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(dir)
+}
+
+// dirForPath maps an import path to a source directory, or "" when the
+// path is not module-local (i.e. standard library).
+func (ld *loader) dirForPath(path string) string {
+	if ld.fixtureRoot != "" {
+		d := filepath.Join(ld.fixtureRoot, filepath.FromSlash(path))
+		if hasGoFiles(d) {
+			return d
+		}
+	}
+	if ld.modPath != "" {
+		if path == ld.modPath {
+			return ld.modRoot
+		}
+		if rest, ok := strings.CutPrefix(path, ld.modPath+"/"); ok {
+			return filepath.Join(ld.modRoot, filepath.FromSlash(rest))
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer for module-local and fixture imports,
+// falling back to the source importer for the standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := ld.dirForPath(path); dir != "" {
+		pkg, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// loadDir parses and type-checks the package in dir (cached).
+func (ld *loader) loadDir(dir string) (*Package, error) {
+	path := ld.pathForDir(dir)
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range ld.loading {
+		if p == path {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+	}
+	ld.loading = append(ld.loading, path)
+	defer func() { ld.loading = ld.loading[:len(ld.loading)-1] }()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.cache[path] = nil
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		Markers:   collectMarkers(files),
+	}
+	pkg.allows, pkg.allowErrors = collectAllows(ld.fset, files)
+	ld.cache[path] = pkg
+	return pkg, nil
+}

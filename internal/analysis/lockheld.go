@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHeld enforces `saga:guardedby` annotations: a struct field
+// annotated `// saga:guardedby mu` may only be touched while the sibling
+// lock mu of the same base expression is held. Lock identity is lexical
+// (the printed base expression), with local aliases like
+// `mu := &s.locks[e.Src]` resolved, so per-vertex (`saga:guardedby
+// locks[$i]`, matching element accesses against the same index
+// expression) and per-block disciplines are both expressible. The
+// analysis is flow-insensitive across calls and conservative across
+// branches; functions that run with a lock already held declare it with
+// `// saga:locked <expr>`, helpers that acquire a mutex passed by
+// pointer declare `// saga:acquires <argN>`, and audited lock-free sites
+// carry a saga:allow.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "check that fields annotated saga:guardedby are only accessed " +
+		"with the named lock held",
+	Run: runLockHeld,
+}
+
+type guardSpec struct {
+	lockField string // sibling lock field name, e.g. "profMu" or "locks"
+	indexed   bool   // spec was "name[$i]": element accesses must match index
+}
+
+func runLockHeld(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	acquires, locked := collectLockFuncAnnotations(pass)
+	forEachFunc(pass.Files, func(decl *ast.FuncDecl) {
+		st := &lockState{
+			pass:     pass,
+			guards:   guards,
+			acquires: acquires,
+			held:     map[string]bool{},
+			aliases:  map[types.Object]string{},
+		}
+		for _, k := range locked[declObj(pass, decl)] {
+			st.held[k] = true
+		}
+		st.walkStmts(decl.Body.List)
+	})
+}
+
+// collectGuards maps annotated struct fields to their lock spec.
+func collectGuards(pass *Pass) map[*types.Var]guardSpec {
+	guards := map[*types.Var]guardSpec{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stype, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range stype.Fields.List {
+				key, val := fieldAnnotation(field)
+				if key != "guardedby" || val == "" {
+					continue
+				}
+				spec := guardSpec{lockField: val}
+				if name, ok := strings.CutSuffix(val, "[$i]"); ok {
+					spec = guardSpec{lockField: name, indexed: true}
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// collectLockFuncAnnotations gathers saga:acquires (helper locks the
+// mutex passed as the 1-based Nth argument) and saga:locked (function
+// body runs with the given lock expressions held).
+func collectLockFuncAnnotations(pass *Pass) (map[*types.Func]int, map[types.Object][]string) {
+	acquires := map[*types.Func]int{}
+	locked := map[types.Object][]string{}
+	forEachFunc(pass.Files, func(decl *ast.FuncDecl) {
+		ann := funcAnnotations(decl.Doc)
+		obj := declObj(pass, decl)
+		if obj == nil {
+			return
+		}
+		if n := intAnnotation(ann["acquires"]); n > 0 {
+			if f, ok := obj.(*types.Func); ok {
+				acquires[f] = n
+			}
+		}
+		if expr := ann["locked"]; expr != "" {
+			locked[obj] = append(locked[obj], strings.Fields(expr)...)
+		}
+	})
+	return acquires, locked
+}
+
+func declObj(pass *Pass, decl *ast.FuncDecl) types.Object {
+	return pass.TypesInfo.Defs[decl.Name]
+}
+
+type lockState struct {
+	pass     *Pass
+	guards   map[*types.Var]guardSpec
+	acquires map[*types.Func]int
+	held     map[string]bool
+	aliases  map[types.Object]string
+}
+
+func (st *lockState) clone() *lockState {
+	c := &lockState{pass: st.pass, guards: st.guards, acquires: st.acquires,
+		held: map[string]bool{}, aliases: map[types.Object]string{}}
+	for k := range st.held {
+		c.held[k] = true
+	}
+	for k, v := range st.aliases {
+		c.aliases[k] = v
+	}
+	return c
+}
+
+// canon renders an expression with local lock aliases substituted, so
+// `mu.Lock()` after `mu := &s.locks[e.Src]` yields "s.locks[e.Src]".
+func (st *lockState) canon(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := st.pass.TypesInfo.Uses[x]; obj != nil {
+			if a, ok := st.aliases[obj]; ok {
+				return a
+			}
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		return st.canon(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return st.canon(x.X) + "[" + st.canon(x.Index) + "]"
+	case *ast.StarExpr:
+		return st.canon(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return st.canon(x.X)
+		}
+	case *ast.CallExpr:
+		// Conversions like int(e.Src) appear inside index expressions.
+		if len(x.Args) == 1 {
+			return exprCallName(x) + "(" + st.canon(x.Args[0]) + ")"
+		}
+	}
+	return exprText(st.pass.Fset, e)
+}
+
+func exprCallName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+	}
+	return "?"
+}
+
+// lockCall classifies a call as Lock/TryLock/Unlock on a canonical key.
+func (st *lockState) lockCall(call *ast.CallExpr) (key, op string) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			return st.canon(sel.X), "lock"
+		case "TryLock", "TryRLock":
+			return st.canon(sel.X), "trylock"
+		case "Unlock", "RUnlock":
+			return st.canon(sel.X), "unlock"
+		}
+	}
+	if f := calleeFunc(st.pass.TypesInfo, call); f != nil {
+		if n := st.acquires[f]; n > 0 && n <= len(call.Args) {
+			return st.canon(unwrapAddr(call.Args[n-1])), "lock"
+		}
+	}
+	return "", ""
+}
+
+// walkStmts processes a statement list linearly, updating the held set
+// and checking guarded accesses in order.
+func (st *lockState) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		st.walkStmt(s)
+	}
+}
+
+func (st *lockState) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if key, op := st.lockCall(call); op != "" {
+				st.checkExprList(call.Args)
+				switch op {
+				case "lock":
+					st.held[key] = true
+				case "unlock":
+					delete(st.held, key)
+				}
+				return
+			}
+		}
+		st.checkExpr(x.X)
+	case *ast.AssignStmt:
+		st.checkExprList(x.Rhs)
+		st.checkExprList(x.Lhs)
+		if x.Tok == token.DEFINE && len(x.Lhs) == len(x.Rhs) {
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := st.pass.TypesInfo.Defs[id]; obj != nil {
+					if aliasable(x.Rhs[i]) {
+						st.aliases[obj] = st.canon(x.Rhs[i])
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held to function end.
+		if key, op := st.lockCall(x.Call); op == "unlock" && key != "" {
+			return
+		}
+		st.checkExpr(x.Call)
+	case *ast.GoStmt:
+		st.checkExpr(x.Call)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init)
+		}
+		if key, neg := st.tryLockCond(x.Cond); key != "" {
+			if neg {
+				// if !mu.TryLock() { ...; mu.Lock() } — held after.
+				st.clone().walkStmts(x.Body.List)
+				st.held[key] = true
+			} else {
+				// if mu.TryLock() { ... } — held inside only.
+				inner := st.clone()
+				inner.held[key] = true
+				inner.walkStmts(x.Body.List)
+			}
+			return
+		}
+		st.checkExpr(x.Cond)
+		st.walkBranch(x.Body.List)
+		switch e := x.Else.(type) {
+		case *ast.BlockStmt:
+			st.walkBranch(e.List)
+		case *ast.IfStmt:
+			st.walkBranch([]ast.Stmt{e})
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init)
+		}
+		if x.Cond != nil {
+			st.checkExpr(x.Cond)
+		}
+		body := x.Body.List
+		if x.Post != nil {
+			body = append(append([]ast.Stmt{}, body...), x.Post)
+		}
+		st.walkBranch(body)
+	case *ast.RangeStmt:
+		st.checkExpr(x.X)
+		st.walkBranch(x.Body.List)
+	case *ast.BlockStmt:
+		st.walkStmts(x.List)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init)
+		}
+		if x.Tag != nil {
+			st.checkExpr(x.Tag)
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			st.checkExprList(cc.List)
+			st.walkBranch(cc.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			st.walkBranch(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			st.walkBranch(c.(*ast.CommClause).Body)
+		}
+	case *ast.ReturnStmt:
+		st.checkExprList(x.Results)
+	case *ast.IncDecStmt:
+		st.checkExpr(x.X)
+	case *ast.SendStmt:
+		st.checkExpr(x.Chan)
+		st.checkExpr(x.Value)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					st.checkExprList(vs.Values)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		st.walkStmt(x.Stmt)
+	}
+}
+
+// walkBranch processes a conditional branch: accesses inside are checked
+// against a copy of the held set, and locks released in a branch that
+// can fall through are treated as released afterwards.
+func (st *lockState) walkBranch(stmts []ast.Stmt) {
+	inner := st.clone()
+	inner.walkStmts(stmts)
+	if terminates(stmts) {
+		return // a return/continue/break path doesn't affect the fall-through state
+	}
+	for key := range st.held {
+		if !inner.held[key] {
+			delete(st.held, key)
+		}
+	}
+}
+
+// tryLockCond matches `mu.TryLock()` and `!mu.TryLock()` conditions.
+func (st *lockState) tryLockCond(cond ast.Expr) (key string, negated bool) {
+	e := ast.Unparen(cond)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		if call, ok := ast.Unparen(u.X).(*ast.CallExpr); ok {
+			if k, op := st.lockCall(call); op == "trylock" {
+				return k, true
+			}
+		}
+		return "", false
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if k, op := st.lockCall(call); op == "trylock" {
+			return k, false
+		}
+	}
+	return "", false
+}
+
+// aliasable limits alias tracking to address/selector/index chains.
+func aliasable(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && aliasable(x.X)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.Ident:
+		return true
+	}
+	return false
+}
+
+// checkExpr reports guarded-field accesses in e that lack their lock.
+// Function literals are analyzed with a fresh (empty) held set: a
+// closure may run on another goroutine, so it cannot inherit locks.
+func (st *lockState) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			fresh := &lockState{pass: st.pass, guards: st.guards, acquires: st.acquires,
+				held: map[string]bool{}, aliases: map[types.Object]string{}}
+			fresh.walkStmts(x.Body.List)
+			return false
+		case *ast.SelectorExpr:
+			fv := fieldOf(st.pass.TypesInfo, x)
+			if fv == nil {
+				return true
+			}
+			spec, ok := st.guards[fv]
+			if !ok {
+				return true
+			}
+			base := st.canon(x.X)
+			var required string
+			if spec.indexed {
+				idx, ok := parentOf(stack).(*ast.IndexExpr)
+				if !ok || ast.Unparen(idx.X) != x {
+					return true // whole-slice access (len/append/resize) is structural
+				}
+				required = base + "." + spec.lockField + "[" + st.canon(idx.Index) + "]"
+			} else {
+				required = base + "." + spec.lockField
+			}
+			if !st.held[required] {
+				st.pass.Reportf(x.Sel.Pos(),
+					"access to %s.%s (saga:guardedby %s) without holding %s",
+					base, fv.Name(), spec.lockField, required)
+			}
+		}
+		return true
+	})
+}
+
+func (st *lockState) checkExprList(list []ast.Expr) {
+	for _, e := range list {
+		st.checkExpr(e)
+	}
+}

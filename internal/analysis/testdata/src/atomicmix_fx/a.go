@@ -1,0 +1,32 @@
+// Package atomicmix_fx exercises the atomic/plain mixed-discipline check.
+package atomicmix_fx
+
+import "sync/atomic"
+
+type counter struct {
+	mixed      uint64 // want `field mixed is accessed both atomically`
+	atomicOnly uint64
+	plainOnly  uint64
+	// saga:allow atomicmix -- plain access is confined to the sequential reset phase.
+	audited   uint64
+	cells     []uint32 // want `field cells is accessed both atomically`
+	sizedOnly []uint32
+}
+
+func (c *counter) work() {
+	atomic.AddUint64(&c.mixed, 1)
+	c.mixed = 0
+
+	atomic.AddUint64(&c.atomicOnly, 1)
+	c.plainOnly = 2
+
+	atomic.AddUint64(&c.audited, 1)
+	c.audited = 0
+
+	atomic.StoreUint32(&c.cells[0], 1)
+	c.cells[1] = 2
+
+	atomic.AddUint32(&c.sizedOnly[0], 1)
+	_ = len(c.sizedOnly)                 // structural: not an element access
+	c.sizedOnly = append(c.sizedOnly, 0) // structural resize between phases
+}

@@ -1,0 +1,48 @@
+// Package determinism_fx exercises the replay-determinism rules.
+//
+// saga:deterministic
+package determinism_fx
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `wall-clock read time.Now`
+	return t.UnixNano()
+}
+
+// saga:allow determinism -- fsync latency metric only; never feeds replayed state.
+func metric() time.Time { return time.Now() }
+
+func draw() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func iterate(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	// saga:allow determinism -- order is re-established by the sort below.
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// saga:allow determinism want `saga:allow determinism has no audit reason`
+func missingReason() time.Time { return time.Now() } // want `wall-clock read time.Now`

@@ -1,0 +1,47 @@
+// Package errcheckdur_fx exercises the durable error-hygiene rules.
+//
+// saga:durable
+package errcheckdur_fx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func flush(f *os.File) {
+	f.Sync() // want `statement discards the error from f.Sync`
+}
+
+func leakyClose(f *os.File) {
+	defer f.Close() // want `defer discards the error from f.Close`
+}
+
+func blank(f *os.File) {
+	_ = f.Close() // want `assignment to _ discards the error from f.Close`
+}
+
+func multi(name string) *os.File {
+	f, _ := os.Create(name) // want `assignment to _ discards the error from os.Create`
+	return f
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func gc(path string) {
+	// saga:allow errcheck-durable -- best-effort removal of an obsolete segment.
+	os.Remove(path)
+}
+
+func report(err error) {
+	fmt.Println("wal:", errors.Unwrap(err)) // fmt is exempt: terminal output is not durable state
+}
+
+func spawn(f *os.File) {
+	go f.Close() // want `go statement discards the error from f.Close`
+}

@@ -1,0 +1,125 @@
+// Package lockheld_fx exercises the saga:guardedby lock-discipline check.
+package lockheld_fx
+
+import "sync"
+
+type table struct {
+	mu   sync.Mutex
+	data []int // saga:guardedby mu
+
+	locks []sync.Mutex
+	rows  [][]int // saga:guardedby locks[$i]
+
+	profMu sync.Mutex
+	hits   int // saga:guardedby profMu
+}
+
+func (t *table) good() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.data = append(t.data, 1)
+}
+
+func (t *table) bad() {
+	t.data = append(t.data, 1) // want `access to t.data \(saga:guardedby mu\) without holding t.mu`
+}
+
+func (t *table) unlockEarly() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.data[0] = 1 // want `without holding t.mu`
+}
+
+func (t *table) try() {
+	if !t.mu.TryLock() {
+		t.mu.Lock()
+	}
+	t.data[0] = 2
+	t.mu.Unlock()
+}
+
+func (t *table) tryBody() {
+	if t.mu.TryLock() {
+		t.data[0] = 3
+		t.mu.Unlock()
+	}
+	_ = t.hits // want `without holding t.profMu`
+}
+
+func (t *table) perRow(i int) {
+	t.locks[i].Lock()
+	t.rows[i] = append(t.rows[i], 1)
+	t.locks[i].Unlock()
+}
+
+func (t *table) alias(i int) {
+	mu := &t.locks[i]
+	mu.Lock()
+	t.rows[i] = nil
+	mu.Unlock()
+}
+
+func (t *table) wrongRow(i, j int) {
+	t.locks[i].Lock()
+	defer t.locks[i].Unlock()
+	t.rows[j] = nil // want `without holding t.locks\[j\]`
+}
+
+func (t *table) structural() {
+	t.rows = append(t.rows, nil) // whole-slice resize is structural, not an element access
+}
+
+// lockCounting locks the mutex passed as its first argument.
+//
+// saga:acquires 1
+func lockCounting(mu *sync.Mutex, n *int) {
+	mu.Lock()
+	*n = *n + 1
+}
+
+func (t *table) viaHelper(conflicts *int) {
+	lockCounting(&t.mu, conflicts)
+	t.data[0] = 4
+	t.mu.Unlock()
+}
+
+// flushLocked runs with t.mu already held by the caller.
+//
+// saga:locked t.mu
+func (t *table) flushLocked() {
+	t.data = t.data[:0]
+}
+
+func (t *table) closureLeak() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := func() {
+		t.data[0] = 5 // want `without holding t.mu`
+	}
+	f()
+}
+
+func (t *table) branchRelease(cond bool) {
+	t.mu.Lock()
+	if cond {
+		t.mu.Unlock()
+	} else {
+		t.mu.Unlock()
+	}
+	t.data[0] = 6 // want `without holding t.mu`
+}
+
+func (t *table) terminatingBranch(cond bool) {
+	t.mu.Lock()
+	if cond {
+		t.mu.Unlock()
+		return
+	}
+	t.data[0] = 7 // the unlock path returned; lock still held here
+	t.mu.Unlock()
+}
+
+func (t *table) audited() {
+	// saga:allow lockheld -- phase-separated read: compute never overlaps ingest.
+	_ = t.data[0]
+}

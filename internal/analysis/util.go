@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// exprText renders an expression as source text (for diagnostics and for
+// the lexical lock keys lockheld matches on).
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/star/
+// paren chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// unwrapAddr strips a leading &, parens included.
+func unwrapAddr(e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return ast.Unparen(u.X)
+	}
+	return e
+}
+
+// calleeFunc resolves a call's callee to its types.Func (methods and
+// package-level functions), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call is to package-level function
+// pkgPath.name. The fixture harness loads packages under bare import
+// paths, so the last path element also matches.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil {
+		return false
+	}
+	p := f.Pkg().Path()
+	return p == pkgPath || strings.HasSuffix(pkgPath, "/"+p)
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// funcAnnotations extracts `saga:<key> <value>` lines from a doc comment.
+func funcAnnotations(doc *ast.CommentGroup) map[string]string {
+	if doc == nil {
+		return nil
+	}
+	out := map[string]string{}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+		if rest, ok := strings.CutPrefix(text, "saga:"); ok {
+			key, val, _ := strings.Cut(rest, " ")
+			out[key] = strings.TrimSpace(val)
+		}
+	}
+	return out
+}
+
+var fieldAnnotationRe = regexp.MustCompile(`saga:(guardedby|chunked)\b\s*([^\s]*)`)
+
+// fieldAnnotation scans a struct field's doc and line comments for a
+// saga:guardedby/saga:chunked annotation; returns the key and value.
+func fieldAnnotation(field *ast.Field) (key, value string) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := fieldAnnotationRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1], m[2]
+			}
+		}
+	}
+	return "", ""
+}
+
+// terminates reports whether a statement list always transfers control
+// away (return, continue, break, goto, panic) on its final statement.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseTerm = terminates([]ast.Stmt{e})
+		}
+		return elseTerm && terminates(s.Body.List)
+	}
+	return false
+}
+
+// intAnnotation parses an integer annotation value, 0 on failure.
+func intAnnotation(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// forEachFunc visits every function/method declaration with a body, and
+// every package-level function literal in var initializers.
+func forEachFunc(files []*ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// declaredIn reports whether obj's declaration lies inside node.
+func declaredIn(obj types.Object, node ast.Node) bool {
+	return obj != nil && node.Pos() <= obj.Pos() && obj.Pos() <= node.End()
+}

@@ -12,6 +12,10 @@
 //
 // Vertex property values are held in a separate float64 array (paper
 // footnote 4), one slot per vertex, uniform across algorithms.
+//
+// saga:paniccapture — worker goroutines must capture panics.
+// saga:deterministic — results feed the differential fuzzer and replay.
+// (Both enforced by sagavet; see internal/analysis.)
 package compute
 
 import (
@@ -155,6 +159,7 @@ func NewEngine(alg string, model Model, opts Options) (Engine, error) {
 	spec, ok := specs[alg]
 	if !ok {
 		known := make([]string, 0, len(specs))
+		// saga:allow determinism -- order is re-established by the sort below.
 		for k := range specs {
 			known = append(known, k)
 		}

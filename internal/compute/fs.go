@@ -18,6 +18,7 @@ type fsEngine struct {
 	valsCopy []float64
 
 	// scratch reused across batches by the per-algorithm runners.
+	// saga:allow atomicmix -- phase-separated: parallel rounds CAS/Load visited, plain access only in the sequential reset/seed phases between rounds.
 	visited  []uint32
 	frontier []graph.NodeID
 	next     []graph.NodeID

@@ -17,7 +17,8 @@ type incEngine struct {
 	spec spec
 	opts Options
 
-	vals     values
+	vals values
+	// saga:allow atomicmix -- phase-separated: parallel rounds CAS/Load visited, plain access only in the sequential reset/seed phases between rounds.
 	visited  []uint32
 	stats    Stats
 	valsCopy []float64

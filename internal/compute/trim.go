@@ -1,6 +1,8 @@
 package compute
 
 import (
+	"sort"
+
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
 )
@@ -110,10 +112,14 @@ func (e *incEngine) NotifyDeletions(g ds.Graph, dels graph.Batch) {
 			}
 		}
 	}
-	// Reset the cone and queue it for the next compute phase.
+	// Reset the cone and queue it for the next compute phase. The value
+	// resets commute, but the queue must not leak map order into the
+	// next phase's trigger sequence, so it is canonicalized by the sort.
 	e.pendingInvalid = e.pendingInvalid[:0]
+	// saga:allow determinism -- per-key resets commute; queue order is canonicalized by the sort below.
 	for v := range invalid {
 		e.vals.set(int(v), e.spec.initValue(v, n))
 		e.pendingInvalid = append(e.pendingInvalid, v)
 	}
+	sort.Slice(e.pendingInvalid, func(i, j int) bool { return e.pendingInvalid[i] < e.pendingInvalid[j] })
 }

@@ -14,6 +14,10 @@
 //     use — it generates a dataset, feeds all batches (optionally
 //     repeated), and aggregates per-batch latencies into the paper's P1 /
 //     P2 / P3 stages with 95% confidence intervals.
+//
+// saga:paniccapture — goroutines must capture panics so the poison-batch
+// quarantine sees worker failures (enforced by sagavet; see
+// internal/analysis).
 package core
 
 import (

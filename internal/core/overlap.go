@@ -56,11 +56,20 @@ func RunOverlappedStream(cfg StreamConfig) (res *RunResult, hidden []float64, er
 
 		// Compute on the sealed state of batch i...
 		aff := p.affectedOf(batches[i])
-		computeDone := make(chan time.Duration, 1)
+		type computeResult struct {
+			elapsed  time.Duration
+			panicked any
+		}
+		computeDone := make(chan computeResult, 1)
 		go func() {
 			t := time.Now()
+			defer func() {
+				if r := recover(); r != nil {
+					computeDone <- computeResult{panicked: r}
+				}
+			}()
 			p.engine.PerformAlg(p.g, aff)
-			computeDone <- time.Since(t)
+			computeDone <- computeResult{elapsed: time.Since(t)}
 		}()
 		// ...while batch i+1 stages into the logs.
 		if i+1 < len(batches) {
@@ -69,7 +78,13 @@ func RunOverlappedStream(cfg StreamConfig) (res *RunResult, hidden []float64, er
 			hidden[i+1] = time.Since(t).Seconds()
 			upd = append(upd, 0) // its seal time lands next iteration
 		}
-		cmp = append(cmp, (<-computeDone).Seconds())
+		done := <-computeDone
+		if done.panicked != nil {
+			// Re-raise on the caller so a poison batch is quarantined
+			// instead of killing the process from a raw goroutine.
+			panic(done.panicked)
+		}
+		cmp = append(cmp, done.elapsed.Seconds())
 	}
 	res.Update = [][]float64{upd}
 	res.Compute = [][]float64{cmp}

@@ -9,6 +9,13 @@
 // completes, the on-disk state is re-opened cold and the recovered
 // adjacency and vertex properties are diffed against the sequential
 // oracle's replay of the same (non-poisoned) stream.
+//
+// The soak leans on invariants sagavet enforces statically (see
+// internal/analysis): internal/durable is saga:durable, so no error on
+// the WAL/checkpoint write path can be silently discarded, and the
+// pipeline's compute packages are saga:paniccapture, so a poison batch
+// surfaces as a recoverable panic on the submitting goroutine rather
+// than killing the soak from a worker.
 package crashloop
 
 import (

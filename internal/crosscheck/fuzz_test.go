@@ -47,9 +47,14 @@ func FuzzParseRepro(f *testing.F) {
 }
 
 // FuzzNewStream drives the stream generator across its parameter space and
-// checks the harness's two load-bearing invariants: same config = same
-// stream, and every delete record carries the weight the edge was live
-// with (the trim's tightness test silently under-invalidates otherwise).
+// checks the harness's load-bearing semantic invariant: every delete
+// record carries the weight the edge was live with (the trim's tightness
+// test silently under-invalidates otherwise). It used to also regenerate
+// each stream twice and compare them element-by-element; that
+// same-config-same-stream assertion is now enforced statically — the
+// package is saga:deterministic, so sagavet's determinism analyzer
+// rejects wall-clock reads, unseeded randomness, and map-ordered
+// iteration at build time (see internal/analysis).
 func FuzzNewStream(f *testing.F) {
 	f.Add(int64(1), 10, 100, 64, true, true)
 	f.Add(int64(99), 3, 7, 5, false, true)
@@ -73,10 +78,6 @@ func FuzzNewStream(f *testing.F) {
 			cfg.NumNodes = 2
 		}
 		s1 := NewStream(cfg)
-		s2 := NewStream(cfg)
-		if len(s1) != len(s2) {
-			t.Fatalf("stream length nondeterministic: %d vs %d", len(s1), len(s2))
-		}
 		type pair struct{ src, dst uint32 }
 		live := map[pair]float32{}
 		key := func(src, dst uint32) pair {
@@ -86,16 +87,10 @@ func FuzzNewStream(f *testing.F) {
 			return pair{src, dst}
 		}
 		for i := range s1 {
-			for j, e := range s1[i].Adds {
-				if e2 := s2[i].Adds[j]; e != e2 {
-					t.Fatalf("step %d add %d differs across identical configs: %v vs %v", i, j, e, e2)
-				}
+			for _, e := range s1[i].Adds {
 				live[key(uint32(e.Src), uint32(e.Dst))] = float32(e.Weight)
 			}
-			for j, e := range s1[i].Dels {
-				if e2 := s2[i].Dels[j]; e != e2 {
-					t.Fatalf("step %d del %d differs across identical configs: %v vs %v", i, j, e, e2)
-				}
+			for _, e := range s1[i].Dels {
 				k := key(uint32(e.Src), uint32(e.Dst))
 				if w, ok := live[k]; ok {
 					if w != float32(e.Weight) {

@@ -194,9 +194,7 @@ func Replay(cfg Config, stream Stream) *Report {
 		// The affected set of Algorithm 1: deduplicated endpoints of the
 		// step's adds and deletes, as core.Pipeline computes it.
 		affected = affected[:0]
-		for k := range affSeen {
-			delete(affSeen, k)
-		}
+		clear(affSeen)
 		for _, b := range []graph.Batch{step.Adds, step.Dels} {
 			for _, e := range b {
 				for _, v := range [2]graph.NodeID{e.Src, e.Dst} {
@@ -306,6 +304,7 @@ func Replay(cfg Config, stream Stream) *Report {
 
 func sortedKeys(m map[engineKey]compute.Engine) []engineKey {
 	keys := make([]engineKey, 0, len(m))
+	// saga:allow determinism -- order is re-established by the sort below.
 	for k := range m {
 		keys = append(keys, k)
 	}

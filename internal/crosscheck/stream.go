@@ -8,6 +8,10 @@
 // it shrinks the failing stream (drop-batch, then drop-edge) to a
 // minimal reproducer that can be written to a replayable repro file
 // consumed by `sagafuzz -replay` and by regression tests.
+//
+// saga:deterministic — the whole point of the harness is bit-identical
+// replay from a seed, so wall-clock reads and unseeded or map-ordered
+// iteration are forbidden (enforced by sagavet; see internal/analysis).
 package crosscheck
 
 import (

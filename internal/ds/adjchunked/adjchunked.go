@@ -7,6 +7,9 @@
 // parallelism comes entirely from processing chunks concurrently, which
 // trades the lock contention of AS for workload imbalance when one chunk
 // owns a hub vertex.
+//
+// saga:lockless — chunk workers may only touch chunk-owned state
+// (enforced by sagavet; see internal/analysis).
 package adjchunked
 
 import (
@@ -40,14 +43,15 @@ type store struct {
 	chunks int
 	adj    [][]graph.Neighbor
 
-	numEdges int
+	numEdges int // saga:guardedby profMu
 
 	profMu sync.Mutex
-	prof   ds.UpdateProfile
+	prof   ds.UpdateProfile // saga:guardedby profMu
 }
 
 func newStore(chunks, hint int) *store {
 	s := &store{chunks: chunks}
+	// saga:allow lockheld -- constructor: s is not shared yet.
 	s.prof.ChunkLoads = make([]uint64, chunks)
 	if hint > 0 {
 		s.adj = make([][]graph.Neighbor, 0, hint)

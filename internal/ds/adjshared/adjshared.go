@@ -36,13 +36,13 @@ func init() {
 type store struct {
 	threads int
 
-	adj   [][]graph.Neighbor
+	adj   [][]graph.Neighbor // saga:guardedby locks[$i]
 	locks []sync.Mutex
 
 	numEdges atomic.Int64
 
 	profMu sync.Mutex
-	prof   ds.UpdateProfile
+	prof   ds.UpdateProfile // saga:guardedby profMu
 }
 
 func newStore(threads, hint int) *store {
@@ -109,12 +109,14 @@ func (s *store) UpdateEdges(edges []graph.Edge) {
 }
 
 // Degree implements ds.OneDir.
+// saga:allow lockheld -- read-phase query: two-copy phase separation means no writer is active.
 func (s *store) Degree(v graph.NodeID) int { return len(s.adj[v]) }
 
 // Neighbors implements ds.OneDir. The per-vertex vector is contiguous, so
 // traversal is a single sequential scan — the cheapest traversal mechanism
 // of the four structures.
 func (s *store) Neighbors(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	// saga:allow lockheld -- read-phase traversal: two-copy phase separation means no writer is active.
 	return append(buf, s.adj[v]...)
 }
 
@@ -140,6 +142,7 @@ func (s *store) ResetProfile() {
 
 // VectorCap reports the capacity of v's neighbor vector; the architecture
 // replayer uses it to model reallocation traffic.
+// saga:allow lockheld -- read-phase layout probe: runs between batches only.
 func (s *store) VectorCap(v graph.NodeID) int { return cap(s.adj[v]) }
 
 // DeleteEdges implements ds.OneDirDeleter: lock the source vector, scan

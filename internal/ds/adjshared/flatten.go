@@ -11,10 +11,12 @@ import (
 // phase, when no update is in flight, the same contract Neighbors has.
 
 // FlatRun implements ds.RunFlattener.
+// saga:allow lockheld -- read-phase zero-copy handoff: no update is in flight (same contract as Neighbors).
 func (s *store) FlatRun(v graph.NodeID) []graph.Neighbor { return s.adj[v] }
 
 // FlatFill implements ds.Flattener.
 func (s *store) FlatFill(v graph.NodeID, dst []graph.Neighbor) int {
+	// saga:allow lockheld -- read-phase bulk copy: no update is in flight (same contract as Neighbors).
 	return copy(dst, s.adj[v])
 }
 

@@ -9,6 +9,9 @@
 // identifies as DAH's overhead on short-tailed graphs. Multithreading is
 // chunked-style like AC, so a heavy-tailed batch funnels into the hub's
 // chunk — the workload-imbalance pathology of Section VI-B.
+//
+// saga:lockless — chunk workers may only touch chunk-owned state
+// (enforced by sagavet; see internal/analysis).
 package dah
 
 import (
@@ -64,11 +67,11 @@ type store struct {
 	chunks    int
 	flushAt   int
 	numNodes  int
-	numEdges  int
-	chunkData []*chunkStore
+	numEdges  int           // saga:guardedby profMu
+	chunkData []*chunkStore // saga:chunked
 
 	profMu sync.Mutex
-	prof   ds.UpdateProfile
+	prof   ds.UpdateProfile // saga:guardedby profMu
 }
 
 func newStore(chunks, flushAt int) *store {
@@ -77,6 +80,7 @@ func newStore(chunks, flushAt int) *store {
 	for i := range s.chunkData {
 		s.chunkData[i] = &chunkStore{low: newRHTable(), dir: newDirTable()}
 	}
+	// saga:allow lockheld -- constructor: s is not shared yet.
 	s.prof.ChunkLoads = make([]uint64, chunks)
 	return s
 }
@@ -126,7 +130,10 @@ func (s *store) UpdateEdges(edges []graph.Edge) {
 }
 
 // insertInChunk performs one degree-aware insertion; reports whether a new
-// edge was created.
+// edge was created. It mutates only the chunk state passed as cs, so
+// chunk workers may call it on their own bucket.
+//
+// saga:chunksafe
 func (s *store) insertInChunk(cs *chunkStore, src, dst graph.NodeID, w graph.Weight) bool {
 	local := int(src) / s.chunks
 	// Meta-operation 1: query which table owns src before placement.

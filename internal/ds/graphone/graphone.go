@@ -14,6 +14,10 @@
 // lets systems of this family run compute concurrently with ingestion.
 //
 // Multithreading is chunked-style (lockless chunks, like AC/DAH).
+//
+// saga:lockless — chunk workers may only touch chunk-owned state.
+// saga:paniccapture — worker goroutines must capture panics.
+// (Both enforced by sagavet; see internal/analysis.)
 package graphone
 
 import (
@@ -68,26 +72,27 @@ type store struct {
 
 	adj   [][]graph.Neighbor     // compacted, duplicate-free
 	delta [][]record             // per-vertex unmerged log
-	dirty [][]graph.NodeID       // per-chunk vertices with pending deltas
+	dirty [][]graph.NodeID       // saga:chunked — per-chunk vertices with pending deltas
 	index []map[graph.NodeID]int // persistent dedup index (hubs only)
 
 	// chunkLog holds staged records between Stage and Seal. Only
 	// staging writes it and only sealing drains it, so staging may run
 	// concurrently with reads of adj (update/compute overlap).
-	chunkLog  [][]logRec
+	chunkLog  [][]logRec // saga:chunked
 	stagedMax graph.NodeID
 	stagedAny bool
 
-	numEdges int
+	numEdges int // saga:guardedby profMu
 
 	profMu sync.Mutex
-	prof   ds.UpdateProfile
+	prof   ds.UpdateProfile // saga:guardedby profMu
 }
 
 func newStore(chunks, hint int) *store {
 	s := &store{chunks: chunks}
 	s.dirty = make([][]graph.NodeID, chunks)
 	s.chunkLog = make([][]logRec, chunks)
+	// saga:allow lockheld -- constructor: s is not shared yet.
 	s.prof.ChunkLoads = make([]uint64, chunks)
 	if hint > 0 {
 		s.adj = make([][]graph.Neighbor, 0, hint)
@@ -164,24 +169,18 @@ func (s *store) Seal() {
 		return
 	}
 	s.EnsureNodes(int(s.stagedMax) + 1)
-	var wg sync.WaitGroup
-	for c := 0; c < s.chunks; c++ {
+	ds.ForEachChunk(s.chunks, func(c int) {
 		if len(s.chunkLog[c]) == 0 {
-			continue
+			return
 		}
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for _, lr := range s.chunkLog[c] {
-				if len(s.delta[lr.src]) == 0 {
-					s.dirty[c] = append(s.dirty[c], lr.src)
-				}
-				s.delta[lr.src] = append(s.delta[lr.src], lr.rec)
+		for _, lr := range s.chunkLog[c] {
+			if len(s.delta[lr.src]) == 0 {
+				s.dirty[c] = append(s.dirty[c], lr.src)
 			}
-			s.chunkLog[c] = s.chunkLog[c][:0]
-		}(c)
-	}
-	wg.Wait()
+			s.delta[lr.src] = append(s.delta[lr.src], lr.rec)
+		}
+		s.chunkLog[c] = s.chunkLog[c][:0]
+	})
 	s.stagedAny = false
 	s.stagedMax = 0
 	s.compact()
@@ -195,70 +194,64 @@ func (s *store) compact() {
 	inserted := make([]uint64, s.chunks)
 	removed := make([]uint64, s.chunks)
 	scans := make([]uint64, s.chunks)
-	var wg sync.WaitGroup
-	for c := 0; c < s.chunks; c++ {
+	ds.ForEachChunk(s.chunks, func(c int) {
 		if len(s.dirty[c]) == 0 {
-			continue
+			return
 		}
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			var ins, del uint64
-			var scan uint64
-			scratch := make(map[graph.NodeID]int)
-			for _, v := range s.dirty[c] {
-				adj := s.adj[v]
-				// Hubs keep a persistent index so per-batch work is
-				// O(log length), not O(degree).
-				if s.index[v] == nil && len(adj) > indexThreshold {
-					m := make(map[graph.NodeID]int, 2*len(adj))
-					for i, nb := range adj {
-						m[nb.ID] = i
-					}
-					scan += uint64(len(adj))
-					s.index[v] = m
+		var ins, del uint64
+		var scan uint64
+		scratch := make(map[graph.NodeID]int)
+		for _, v := range s.dirty[c] {
+			adj := s.adj[v]
+			// Hubs keep a persistent index so per-batch work is
+			// O(log length), not O(degree).
+			if s.index[v] == nil && len(adj) > indexThreshold {
+				m := make(map[graph.NodeID]int, 2*len(adj))
+				for i, nb := range adj {
+					m[nb.ID] = i
 				}
-				idx := s.index[v]
-				if idx == nil {
-					idx = scratch
-					clear(idx)
-					for i, nb := range adj {
-						idx[nb.ID] = i
-					}
-					scan += uint64(len(adj))
-				}
-				for _, r := range s.delta[v] {
-					scan++
-					at, exists := idx[r.dst]
-					switch {
-					case r.del && exists:
-						last := len(adj) - 1
-						moved := adj[last]
-						adj[at] = moved
-						idx[moved.ID] = at
-						adj = adj[:last]
-						delete(idx, r.dst)
-						del++
-					case r.del:
-						// deleting an absent edge: no-op
-					case exists:
-						adj[at].Weight = r.w
-					default:
-						adj = append(adj, graph.Neighbor{ID: r.dst, Weight: r.w})
-						idx[r.dst] = len(adj) - 1
-						ins++
-					}
-				}
-				s.adj[v] = adj
-				s.delta[v] = s.delta[v][:0]
+				scan += uint64(len(adj))
+				s.index[v] = m
 			}
-			s.dirty[c] = s.dirty[c][:0]
-			inserted[c] = ins
-			removed[c] = del
-			scans[c] = scan
-		}(c)
-	}
-	wg.Wait()
+			idx := s.index[v]
+			if idx == nil {
+				idx = scratch
+				clear(idx)
+				for i, nb := range adj {
+					idx[nb.ID] = i
+				}
+				scan += uint64(len(adj))
+			}
+			for _, r := range s.delta[v] {
+				scan++
+				at, exists := idx[r.dst]
+				switch {
+				case r.del && exists:
+					last := len(adj) - 1
+					moved := adj[last]
+					adj[at] = moved
+					idx[moved.ID] = at
+					adj = adj[:last]
+					delete(idx, r.dst)
+					del++
+				case r.del:
+					// deleting an absent edge: no-op
+				case exists:
+					adj[at].Weight = r.w
+				default:
+					adj = append(adj, graph.Neighbor{ID: r.dst, Weight: r.w})
+					idx[r.dst] = len(adj) - 1
+					ins++
+				}
+			}
+			s.adj[v] = adj
+			s.delta[v] = s.delta[v][:0]
+		}
+		s.dirty[c] = s.dirty[c][:0]
+		inserted[c] = ins
+		removed[c] = del
+		scans[c] = scan
+	})
 	s.profMu.Lock()
 	for c := 0; c < s.chunks; c++ {
 		s.numEdges += int(inserted[c]) - int(removed[c])

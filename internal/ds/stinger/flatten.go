@@ -16,6 +16,7 @@ import (
 func (s *store) FlatFill(v graph.NodeID, dst []graph.Neighbor) int {
 	n := 0
 	for blk := s.heads[v].first.Load(); blk != nil; blk = blk.next.Load() {
+		// saga:allow lockheld -- lock-free read-phase walk: flattening runs on the sealed read copy, never concurrently with ingestion.
 		n += copy(dst[n:], blk.slots[:int(blk.used.Load())])
 	}
 	return n

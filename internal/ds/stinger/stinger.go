@@ -48,7 +48,7 @@ type block struct {
 	mu    sync.Mutex
 	used  atomic.Int32
 	next  atomic.Pointer[block]
-	slots []graph.Neighbor
+	slots []graph.Neighbor // saga:guardedby mu (writes; readers acquire-load used)
 }
 
 // header is the per-vertex array entry: degree plus the block chain.
@@ -67,7 +67,7 @@ type store struct {
 	numEdges atomic.Int64
 
 	profMu sync.Mutex
-	prof   ds.UpdateProfile
+	prof   ds.UpdateProfile // saga:guardedby profMu
 }
 
 func newStore(threads, blockSize, hint int) *store {
@@ -132,6 +132,7 @@ func (s *store) findLockFree(v graph.NodeID, dst graph.NodeID) (*block, uint64) 
 		n := int(blk.used.Load())
 		for i := 0; i < n; i++ {
 			steps++
+			// saga:allow lockheld -- lock-free duplicate search: slots below the acquire-loaded used count are immutable absent deletions, and insert re-checks under the block lock.
 			if blk.slots[i].ID == dst {
 				return blk, steps
 			}
@@ -140,6 +141,9 @@ func (s *store) findLockFree(v graph.NodeID, dst graph.NodeID) (*block, uint64) 
 	return nil, steps
 }
 
+// lockCounting acquires mu, counting a conflict when the fast path fails.
+//
+// saga:acquires 1
 func lockCounting(mu *sync.Mutex, conflicts *uint64) {
 	if !mu.TryLock() {
 		*conflicts++
@@ -249,6 +253,7 @@ func (s *store) Degree(v graph.NodeID) int { return int(s.heads[v].degree.Load()
 func (s *store) Neighbors(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
 	for blk := s.heads[v].first.Load(); blk != nil; blk = blk.next.Load() {
 		n := int(blk.used.Load())
+		// saga:allow lockheld -- lock-free traversal: the acquire-load of used fences the slots written before the release-store.
 		buf = append(buf, blk.slots[:n]...)
 	}
 	return buf
@@ -325,6 +330,7 @@ func (s *store) deleteOne(v, dst graph.NodeID) (scans uint64, ok bool) {
 		if victimIdx < 0 {
 			for i := 0; i < n; i++ {
 				scans++
+				// saga:allow lockheld -- victim search under hdr.mu: deletions serialize per vertex and never run concurrently with inserts to the same vertex's chain.
 				if blk.slots[i].ID == dst {
 					victim, victimIdx = blk, i
 					break
@@ -342,6 +348,7 @@ func (s *store) deleteOne(v, dst graph.NodeID) (scans uint64, ok bool) {
 	if victim != tail {
 		tail.mu.Lock()
 	}
+	// saga:allow lockheld -- tail.mu is held by the branch above unless victim == tail, in which case victim.mu is the same lock.
 	victim.slots[victimIdx] = tail.slots[last]
 	tail.used.Store(int32(last))
 	if victim != tail {

@@ -238,10 +238,12 @@ func writeCheckpointFile(dir string, cp *Checkpoint, crash CrashFunc) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
+		// saga:allow errcheck-durable -- abandoning the temp file; the write error is returned.
 		f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		// saga:allow errcheck-durable -- abandoning the temp file; the sync error is returned.
 		f.Close()
 		return err
 	}
@@ -267,6 +269,7 @@ func gcCheckpoints(dir string) {
 		return
 	}
 	for _, path := range paths[min(len(paths), ckptKeep):] {
+		// saga:allow errcheck-durable -- best-effort GC; a surviving old checkpoint is harmless.
 		os.Remove(path)
 	}
 }
@@ -280,6 +283,7 @@ func removeStaleTemps(dir string) {
 	}
 	for _, ent := range ents {
 		if strings.HasSuffix(ent.Name(), ".tmp") {
+			// saga:allow errcheck-durable -- best-effort cleanup; a stale temp is re-removed next open.
 			os.Remove(filepath.Join(dir, ent.Name()))
 		}
 	}

@@ -23,6 +23,9 @@
 // bit-flips WAL tails the way an unclean shutdown would. The kill/recover
 // soak loop over these hooks lives in internal/crashloop and behind
 // `sagafuzz -crash`.
+//
+// saga:durable — discarded errors here are silent data loss (enforced by
+// sagavet's errcheck-durable; see internal/analysis).
 package durable
 
 import (

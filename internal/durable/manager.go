@@ -146,6 +146,7 @@ func (m *Manager) Close() error { return m.w.close() }
 // crash left it. The kill/recover harness calls it on pipelines it drops.
 func (m *Manager) Abandon() {
 	if m.w.f != nil {
+		// saga:allow errcheck-durable -- Abandon simulates a kill: losing unflushed data is the point.
 		m.w.f.Close()
 		m.w.f = nil
 	}

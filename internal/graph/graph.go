@@ -3,6 +3,11 @@
 // records. It also provides small structural helpers (degree accounting,
 // batch statistics) and a compressed-sparse-row snapshot used by tests and
 // by static baselines.
+//
+// saga:deterministic — the Oracle and the reference algorithms are the
+// fixed point every differential check compares against, so their outputs
+// must not depend on wall clock, unseeded randomness, or map iteration
+// order (enforced by sagavet; see internal/analysis).
 package graph
 
 // NodeID identifies a vertex. SAGA-Bench datasets are dense integer ID

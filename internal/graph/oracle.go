@@ -90,6 +90,7 @@ func sortedNeighbors(adj []map[NodeID]Weight, v NodeID) []Neighbor {
 		return nil
 	}
 	ns := make([]Neighbor, 0, len(adj[v]))
+	// saga:allow determinism -- order is re-established by the sort below.
 	for id, w := range adj[v] {
 		ns = append(ns, Neighbor{ID: id, Weight: w})
 	}
