@@ -26,6 +26,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"regexp"
 	"sort"
 	"strings"
@@ -187,6 +188,7 @@ type allowSite struct {
 func collectAllows(fset *token.FileSet, files []*ast.File) (map[string]map[int]allowSite, []Diagnostic) {
 	allows := map[string]map[int]allowSite{}
 	var bad []Diagnostic
+	srcCache := map[string][]byte{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -211,7 +213,7 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (map[string]map[int]a
 				site := allowSite{analyzer: m[1], reason: strings.TrimSpace(m[2])}
 				perFile[pos.Line] = site
 				// A comment on its own line covers the next line of code.
-				if pos.Column == 1 || isCommentOnlyLine(c, pos) {
+				if isCommentOnlyLine(srcCache, pos) {
 					perFile[pos.Line+1] = site
 				}
 			}
@@ -220,12 +222,32 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (map[string]map[int]a
 	return allows, bad
 }
 
-// isCommentOnlyLine approximates "this comment is the whole line": the
-// comment starts at or before the usual indentation columns. Suffix
-// comments (code on the same line) start well past column 1 but so do
-// indented full-line comments, so cover the next line in both cases; a
-// suffix comment's own line match already handled the code it trails.
-func isCommentOnlyLine(_ *ast.Comment, _ token.Position) bool { return true }
+// isCommentOnlyLine reports whether the comment starting at pos is the
+// first token on its line, i.e. only whitespace precedes it. Full-line
+// comments (indented or not) cover the next line of code; suffix comments
+// trailing code cover only their own line. The check reads the source
+// file (cached per file); if the bytes are unavailable the comment is
+// treated as a suffix comment, the narrower suppression.
+func isCommentOnlyLine(srcCache map[string][]byte, pos token.Position) bool {
+	if pos.Column == 1 {
+		return true
+	}
+	src, ok := srcCache[pos.Filename]
+	if !ok {
+		src, _ = os.ReadFile(pos.Filename)
+		srcCache[pos.Filename] = src
+	}
+	lineStart := pos.Offset - (pos.Column - 1)
+	if lineStart < 0 || pos.Offset > len(src) {
+		return false
+	}
+	for _, b := range src[lineStart:pos.Offset] {
+		if b != ' ' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
 
 // marker comments recognized on any package file.
 var markerNames = []string{"lockless", "deterministic", "paniccapture", "durable"}

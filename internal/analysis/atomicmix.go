@@ -56,7 +56,7 @@ func runAtomicMix(pass *Pass) {
 			// Only the package-level functions address their target via the
 			// first argument; methods on atomic.Int64 etc. mutate their
 			// receiver, whose type already forbids plain access.
-			if fn.Signature().Recv() != nil {
+			if fn.Type().(*types.Signature).Recv() != nil {
 				return true
 			}
 			if !hasAtomicOpPrefix(fn.Name()) {

@@ -177,7 +177,7 @@ func (co *chunkOwnerCheck) checkWrite(lhs ast.Expr) {
 
 func (co *chunkOwnerCheck) checkCall(call *ast.CallExpr) {
 	fn := calleeFunc(co.pass.TypesInfo, call)
-	if fn == nil || fn.Signature().Recv() == nil || co.chunksafe[fn] {
+	if fn == nil || fn.Type().(*types.Signature).Recv() == nil || co.chunksafe[fn] {
 		return
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)

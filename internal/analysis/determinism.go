@@ -39,7 +39,7 @@ func runDeterminism(pass *Pass) {
 			switch x := n.(type) {
 			case *ast.CallExpr:
 				fn := calleeFunc(pass.TypesInfo, x)
-				if fn == nil || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+				if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
 					return true
 				}
 				switch fn.Pkg().Path() {

@@ -32,4 +32,10 @@ func audited() {
 	go work() // saga:allow paniccapture -- worker is panic-free by construction.
 }
 
+// A suffix allow comment covers only its own line, never the next one.
+func auditedSuffixNarrow() {
+	_ = 0 // saga:allow paniccapture -- suffix comment; must not leak downward.
+	go work() // want `goroutine launches a named function`
+}
+
 func work() {}
