@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: sagabench
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkComputePRFSonAS-4     	      20	    480000 ns/op	    9432 B/op	     122 allocs/op
+BenchmarkComputePRINConAS-4    	      20	     85000 ns/op	    7096 B/op	      45 allocs/op
+BenchmarkNewOne-4              	      10	      1234 ns/op
+PASS
+ok  	sagabench	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	pr := got["BenchmarkComputePRFSonAS"]
+	if pr.NsPerOp != 480000 || pr.AllocsOp != 122 || pr.BPerOp != 9432 || pr.Iters != 20 {
+		t.Fatalf("BenchmarkComputePRFSonAS parsed as %+v", pr)
+	}
+	if n := got["BenchmarkNewOne"]; n.NsPerOp != 1234 || n.AllocsOp != 0 {
+		t.Fatalf("no-benchmem line parsed as %+v", n)
+	}
+}
+
+func TestParseBenchOutputKeepsMinimum(t *testing.T) {
+	doubled := sampleOutput + "BenchmarkComputePRFSonAS-4 20 400000 ns/op 9432 B/op 122 allocs/op\n"
+	got, err := parseBenchOutput(strings.NewReader(doubled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got["BenchmarkComputePRFSonAS"].NsPerOp; ns != 400000 {
+		t.Fatalf("repeated benchmark kept %v ns/op, want the 400000 minimum", ns)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := []BaselineEntry{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 1000, AllocsOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 1, AllocsOp: 1},
+	}
+	fresh := map[string]BaselineEntry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 1050, AllocsOp: 105}, // within 10%
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 1500, AllocsOp: 130}, // both regressed
+	}
+
+	failures, warnings, missing := gate(base, fresh, 10, false)
+	if len(warnings) != 0 {
+		t.Fatalf("warnings %v, want none in strict mode", warnings)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures %v, want ns/op and allocs/op for BenchmarkB", failures)
+	}
+	for _, f := range failures {
+		if f.name != "BenchmarkB" {
+			t.Fatalf("unexpected failure %+v", f)
+		}
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing %v, want [BenchmarkGone]", missing)
+	}
+
+	// Advisory time: the ns/op regression downgrades, allocs still fails.
+	failures, warnings, _ = gate(base, fresh, 10, true)
+	if len(failures) != 1 || failures[0].metric != "allocs/op" {
+		t.Fatalf("advisory failures %v, want only allocs/op", failures)
+	}
+	if len(warnings) != 1 || warnings[0].metric != "ns/op" {
+		t.Fatalf("advisory warnings %v, want only ns/op", warnings)
+	}
+}
+
+func TestGateImprovementPasses(t *testing.T) {
+	base := []BaselineEntry{{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 100}}
+	fresh := map[string]BaselineEntry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 500, AllocsOp: 50},
+	}
+	failures, warnings, _ := gate(base, fresh, 10, false)
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Fatalf("improvement flagged: failures=%v warnings=%v", failures, warnings)
+	}
+}
+
+func TestDeltaPct(t *testing.T) {
+	if p := deltaPct(100, 110); p != 10 {
+		t.Fatalf("deltaPct(100,110)=%v", p)
+	}
+	if p := deltaPct(0, 0); p != 0 {
+		t.Fatalf("deltaPct(0,0)=%v", p)
+	}
+	if p := deltaPct(0, 5); p != 100 {
+		t.Fatalf("deltaPct(0,5)=%v, want 100 (regression from zero)", p)
+	}
+}

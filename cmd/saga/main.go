@@ -30,6 +30,7 @@ import (
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
 	"sagabench/internal/telemetry"
+	"sagabench/internal/trace"
 )
 
 func main() {
@@ -50,15 +51,39 @@ func main() {
 		source  = flag.Uint("source", 0, "source vertex for bfs/sssp/sswp")
 		verbose = flag.Bool("v", false, "print every batch latency")
 
-		listen      = flag.String("listen", "", "serve /metrics (Prometheus + expvar) and /debug/pprof on this address during the run, e.g. :8090")
+		listen      = flag.String("listen", "", "serve /metrics (Prometheus + expvar), /debug/pprof, and /trace on this address during the run, e.g. :8090")
 		events      = flag.String("events", "", "write one JSONL telemetry event per batch to this file")
 		metricsDump = flag.Bool("metrics-dump", false, "print the final metrics in Prometheus text format after the run")
+
+		traceOn     = flag.Bool("trace", false, "record a span tree per batch into the flight-recorder ring (dumped on quarantine, served at /trace with -listen)")
+		traceFlight = flag.Int("trace-flight", 16, "flight-recorder capacity in complete batch traces")
+		traceOut    = flag.String("trace-out", "", "write the flight-recorder ring as Chrome trace-event JSON (Perfetto-loadable) to this file when the run ends; implies -trace")
+		traceJSONL  = flag.String("trace-jsonl", "", "stream every finished batch trace as one JSONL line to this file; implies -trace")
+		pprofLabels = flag.Bool("pprof-labels", false, "run pipeline phases under pprof labels (batch/stage/ds/alg/model) so CPU profiles attribute samples to stages; implies -trace")
 
 		walDir    = flag.String("wal", "", "durability directory: write-ahead log every batch, checkpoint periodically, recover and resume on restart")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy with -wal: always, interval, never")
 		ckptEvery = flag.Int("checkpoint-every", 64, "checkpoint every N batches with -wal (negative disables periodic checkpoints)")
 	)
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	var traceSink *trace.Sink
+	if *traceOn || *traceOut != "" || *traceJSONL != "" || *pprofLabels {
+		if *traceJSONL != "" {
+			f, err := os.Create(*traceJSONL)
+			if err != nil {
+				fatal(err)
+			}
+			traceSink = trace.NewSink(f)
+		}
+		tracer = trace.New(trace.Config{
+			DS: *dsName, Alg: *alg, Model: *model,
+			Flight:      *traceFlight,
+			Spans:       traceSink,
+			PprofLabels: *pprofLabels,
+		})
+	}
 
 	var rec *telemetry.Recorder
 	if *listen != "" || *events != "" || *metricsDump {
@@ -73,12 +98,12 @@ func main() {
 		}
 		rec = telemetry.NewRecorder(reg, sink)
 		if *listen != "" {
-			srv, err := telemetry.ListenAndServe(*listen, reg)
+			srv, err := telemetry.ListenAndServe(*listen, reg, tracer)
 			if err != nil {
 				fatal(err)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "saga: telemetry on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "saga: telemetry on http://%s (/metrics, /debug/pprof/, /trace)\n", srv.Addr())
 		}
 	}
 
@@ -90,6 +115,7 @@ func main() {
 		ComputeView:   *view,
 		Compute:       compute.Options{Source: graph.NodeID(*source)},
 		Telemetry:     rec,
+		Tracer:        tracer,
 	}
 	var onBatch func(b int, edges graph.Batch, p *core.Pipeline, lat core.BatchLatency)
 	if *verbose {
@@ -200,6 +226,20 @@ func main() {
 		}
 		if *metricsDump {
 			rec.Registry().WritePrometheus(os.Stdout)
+		}
+	}
+	if tracer != nil {
+		if *traceOut != "" {
+			if err := tracer.DumpChromeFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saga: wrote flight-recorder trace to %s (load at ui.perfetto.dev)\n", *traceOut)
+		}
+		if traceSink != nil {
+			if err := traceSink.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saga: wrote %d batch traces to %s\n", traceSink.Count(), *traceJSONL)
 		}
 	}
 }

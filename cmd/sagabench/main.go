@@ -19,6 +19,7 @@ import (
 	_ "sagabench/internal/ds/all"
 	"sagabench/internal/gen"
 	"sagabench/internal/telemetry"
+	"sagabench/internal/trace"
 )
 
 func main() {
@@ -33,11 +34,20 @@ func main() {
 		outdir     = flag.String("outdir", "", "also write the experiment output to <outdir>/<experiment>.txt")
 		csvdir     = flag.String("csv", "", "write each experiment's data series as CSV files into this directory")
 
-		listen      = flag.String("listen", "", "serve /metrics (Prometheus + expvar) and /debug/pprof on this address while experiments run, e.g. :8090")
+		listen      = flag.String("listen", "", "serve /metrics (Prometheus + expvar), /debug/pprof, and /trace on this address while experiments run, e.g. :8090")
 		events      = flag.String("events", "", "write one JSONL telemetry event per measured batch to this file")
 		metricsDump = flag.Bool("metrics-dump", false, "print the final metrics in Prometheus text format after the run")
+
+		traceOut    = flag.String("trace-out", "", "write the flight-recorder ring of the measured runs as Chrome trace-event JSON (Perfetto-loadable) to this file after the experiments")
+		traceFlight = flag.Int("trace-flight", 16, "flight-recorder capacity in complete batch traces with -trace-out")
+		pprofLabels = flag.Bool("pprof-labels", false, "run pipeline phases under pprof labels so -listen CPU profiles attribute samples to stages")
 	)
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOut != "" || *pprofLabels {
+		tracer = trace.New(trace.Config{Flight: *traceFlight, PprofLabels: *pprofLabels})
+	}
 
 	var rec *telemetry.Recorder
 	if *listen != "" || *events != "" || *metricsDump {
@@ -53,13 +63,13 @@ func main() {
 		}
 		rec = telemetry.NewRecorder(reg, sink)
 		if *listen != "" {
-			srv, err := telemetry.ListenAndServe(*listen, reg)
+			srv, err := telemetry.ListenAndServe(*listen, reg, tracer)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sagabench:", err)
 				os.Exit(1)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "sagabench: telemetry on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "sagabench: telemetry on http://%s (/metrics, /debug/pprof/, /trace)\n", srv.Addr())
 		}
 	}
 
@@ -87,6 +97,7 @@ func main() {
 		Out:         out,
 		CSVDir:      *csvdir,
 		Telemetry:   rec,
+		Tracer:      tracer,
 		ComputeView: *view,
 	})
 	start := time.Now()
@@ -104,6 +115,13 @@ func main() {
 		if *metricsDump {
 			rec.Registry().WritePrometheus(os.Stdout)
 		}
+	}
+	if *traceOut != "" {
+		if err := tracer.DumpChromeFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "sagabench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sagabench: wrote flight-recorder trace to %s (load at ui.perfetto.dev)\n", *traceOut)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"sagabench/internal/perfmon"
 	"sagabench/internal/stats"
 	"sagabench/internal/telemetry"
+	"sagabench/internal/trace"
 )
 
 // Options configures a harness invocation.
@@ -45,6 +46,10 @@ type Options struct {
 	// measured run (live metrics + JSONL event log; see cmd/sagabench
 	// -listen/-events).
 	Telemetry *telemetry.Recorder
+	// Tracer, when non-nil, records a span tree per batch of every run in
+	// the shared run matrix (see core.PipelineConfig.Tracer and
+	// cmd/sagabench -trace-out).
+	Tracer *trace.Tracer
 	// ComputeView runs every measured pipeline's compute phase on the
 	// incrementally rebuilt flat CSR mirror (core.PipelineConfig.ComputeView).
 	ComputeView bool
@@ -158,6 +163,7 @@ func (h *Harness) run(dataset, dsName, alg string, model compute.Model) (*core.R
 			Threads:       h.opts.Threads,
 			ComputeView:   h.opts.ComputeView,
 			Telemetry:     h.opts.Telemetry,
+			Tracer:        h.opts.Tracer,
 		},
 		Dataset: spec,
 		Seed:    h.opts.Seed,

@@ -25,6 +25,7 @@ import (
 
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
+	"sagabench/internal/trace"
 )
 
 // Model selects a compute model.
@@ -52,6 +53,13 @@ type Options struct {
 	// Epsilon overrides the INC triggering threshold (default 1e-7 for
 	// PR, exact change for the monotone algorithms).
 	Epsilon float64
+	// WorkerTiming enables the per-worker busy-time clocks behind
+	// Stats.WorkerBusyNS and StragglerRatio. It costs two monotonic clock
+	// reads per worker range per round — measurable on small INC rounds —
+	// so core.NewPipeline switches it on only when a telemetry recorder or
+	// tracer is attached; with it off the kernels run exactly the
+	// uninstrumented code path.
+	WorkerTiming bool
 }
 
 func (o Options) threads() int {
@@ -123,6 +131,48 @@ type Stats struct {
 	// (recomputation from scratch has no triggering).
 	Triggered uint64
 	Skipped   uint64
+	// WorkerBusyNS is the per-worker busy time (nanoseconds, indexed by
+	// worker slot) summed over the phase's parallel rounds — the raw
+	// material of the straggler ratio. It aliases engine scratch and is
+	// valid until the next PerformAlg; callers that retain it must copy.
+	// Empty for the sequential kernels (FS SSSP/SSWP) and before the
+	// first parallel round.
+	WorkerBusyNS []int64
+}
+
+// WorkersUsed counts the worker slots that did any work in the phase.
+func (s Stats) WorkersUsed() int {
+	used := 0
+	for _, ns := range s.WorkerBusyNS {
+		if ns > 0 {
+			used++
+		}
+	}
+	return used
+}
+
+// StragglerRatio is max/mean busy time over the worker slots that did any
+// work: 1.0 is a perfectly balanced phase, larger values mean one
+// worker's range dominated its rounds even under the edge-balanced cuts
+// (a skew the degree prefix sum cannot see, e.g. weight-dependent
+// convergence). 0 when no parallel round ran.
+func (s Stats) StragglerRatio() float64 {
+	var max, sum int64
+	used := 0
+	for _, ns := range s.WorkerBusyNS {
+		if ns <= 0 {
+			continue
+		}
+		used++
+		sum += ns
+		if ns > max {
+			max = ns
+		}
+	}
+	if used == 0 || sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(used) / float64(sum)
 }
 
 // TriggerFraction reports Triggered / (Triggered + Skipped) — the paper's
@@ -134,6 +184,15 @@ func (s Stats) TriggerFraction() float64 {
 		return 0
 	}
 	return float64(s.Triggered) / float64(n)
+}
+
+// Traceable is implemented by engines whose parallel rounds can be
+// attributed to a batch trace: the pipeline hands the engine the compute
+// phase's span context before each PerformAlg, and the kernels open one
+// span per worker range per round. The zero trace.Ctx disables span
+// recording at no cost.
+type Traceable interface {
+	SetTrace(ctx trace.Ctx)
 }
 
 // AlgNames lists the six algorithms in the paper's order.

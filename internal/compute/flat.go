@@ -2,6 +2,7 @@ package compute
 
 import (
 	"sync"
+	"time"
 
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
@@ -139,6 +140,35 @@ func parallelRanges(cuts []int, fn func(w, lo, hi int)) {
 	wg.Wait()
 	if panicVal != nil {
 		panic(panicVal)
+	}
+}
+
+// workerClock accumulates per-worker busy time across a phase's parallel
+// rounds, feeding Stats.WorkerBusyNS and the straggler ratio. Plain (non
+// atomic) stores are safe: each slot is written only by its own worker
+// inside parallelRanges, and rounds join through the WaitGroup before the
+// coordinator reads, so every access is ordered by happens-before edges
+// the kernels already have.
+type workerClock struct {
+	busy []int64
+}
+
+// reset prepares `workers` zeroed slots, retaining capacity.
+func (c *workerClock) reset(workers int) {
+	for len(c.busy) < workers {
+		c.busy = append(c.busy, 0)
+	}
+	c.busy = c.busy[:workers]
+	for i := range c.busy {
+		c.busy[i] = 0
+	}
+}
+
+// add charges d to worker w. No-op before reset or for out-of-range w
+// (sequential kernels never call it).
+func (c *workerClock) add(w int, d time.Duration) {
+	if w >= 0 && w < len(c.busy) {
+		c.busy[w] += int64(d)
 	}
 }
 

@@ -3,6 +3,7 @@ package compute
 import (
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
+	"sagabench/internal/trace"
 )
 
 // fsEngine implements the recomputation-from-scratch model: every batch it
@@ -28,6 +29,12 @@ type fsEngine struct {
 	// buffers and the edge-balanced range cuts.
 	push pushBufs
 	cuts []int
+
+	// clock accumulates per-worker busy time across the phase's rounds;
+	// tr scopes this phase's worker spans to the current batch trace (zero
+	// value = tracing off).
+	clock workerClock
+	tr    trace.Ctx
 }
 
 func newFSEngine(s spec, opts Options) *fsEngine {
@@ -45,6 +52,11 @@ func (e *fsEngine) Values() []float64 {
 
 func (e *fsEngine) Stats() Stats { return e.stats }
 
+// SetTrace implements Traceable: worker spans of the next PerformAlg are
+// recorded under ctx. The pipeline re-arms it every batch; the zero Ctx
+// disables recording.
+func (e *fsEngine) SetTrace(ctx trace.Ctx) { e.tr = ctx }
+
 // HandlesDeletions implements Engine: recomputation from scratch is
 // correct under any topology change.
 func (e *fsEngine) HandlesDeletions() bool { return true }
@@ -52,6 +64,9 @@ func (e *fsEngine) HandlesDeletions() bool { return true }
 // PerformAlg implements Engine.
 func (e *fsEngine) PerformAlg(g ds.Graph, _ []graph.NodeID) {
 	n := g.NumNodes()
+	if e.opts.WorkerTiming {
+		e.clock.reset(e.opts.threads())
+	}
 	e.stats = Stats{}
 	if cap(e.vals) < n {
 		e.vals = make(values, n)
@@ -64,9 +79,15 @@ func (e *fsEngine) PerformAlg(g ds.Graph, _ []graph.NodeID) {
 		e.vals.set(int(e.opts.Source), e.spec.sourceValue)
 	}
 	if n == 0 {
+		if e.opts.WorkerTiming {
+			e.stats.WorkerBusyNS = e.clock.busy
+		}
 		return
 	}
 	e.spec.fsRun(e, g)
+	if e.opts.WorkerTiming {
+		e.stats.WorkerBusyNS = e.clock.busy
+	}
 }
 
 // resetVisited clears and sizes the visited scratch.

@@ -2,6 +2,7 @@ package compute
 
 import (
 	"sync/atomic"
+	"time"
 
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
@@ -39,7 +40,12 @@ func fsPR(e *fsEngine, g ds.Graph) {
 	var processed, edges atomic.Uint64
 	for iter := 0; iter < maxIters; iter++ {
 		var sumDelta atomic.Uint64 // float64 bits of the summed |delta|
-		parallelRanges(e.cuts, func(_, lo, hi int) {
+		parallelRanges(e.cuts, func(w, lo, hi int) {
+			var t0 time.Time
+			if e.opts.WorkerTiming {
+				t0 = time.Now() // saga:allow determinism -- worker busy-time metric and trace spans only; never feeds values or frontier order.
+			}
+			sp := e.tr.Worker("fs.pr.iter", w)
 			ctx := &recomputeCtx{g: g, csr: csr, vals: e.vals, numNodes: n, opts: e.opts}
 			localSum := 0.0
 			for v := lo; v < hi; v++ {
@@ -50,6 +56,13 @@ func fsPR(e *fsEngine, g ds.Graph) {
 			addFloat(&sumDelta, localSum)
 			processed.Add(uint64(hi - lo))
 			edges.Add(ctx.edges)
+			sp.SetInt("iter", int64(iter+1))
+			sp.SetInt("vertices", int64(hi-lo))
+			sp.SetInt("edges", int64(ctx.edges))
+			sp.End()
+			if e.opts.WorkerTiming {
+				e.clock.add(w, time.Since(t0)) // saga:allow determinism -- worker busy-time metric only.
+			}
 		})
 		e.vals, e.aux = e.aux, e.vals
 		e.stats.Iterations++

@@ -2,6 +2,7 @@ package compute
 
 import (
 	"sync/atomic"
+	"time"
 
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
@@ -74,6 +75,11 @@ func (e *fsEngine) bfsTopDown(g ds.Graph, csr *graph.CSR, depth float64, threads
 	k := len(e.cuts) - 1
 	e.push.reset(k)
 	parallelRanges(e.cuts, func(w, lo, hi int) {
+		var t0 time.Time
+		if e.opts.WorkerTiming {
+			t0 = time.Now() // saga:allow determinism -- worker busy-time metric and trace spans only; never feeds values or frontier order.
+		}
+		sp := e.tr.Worker("fs.bfs.topdown", w)
 		local := e.push.bufs[w]
 		var buf []graph.Neighbor
 		var nEdges uint64
@@ -91,6 +97,13 @@ func (e *fsEngine) bfsTopDown(g ds.Graph, csr *graph.CSR, depth float64, threads
 		processed.Add(uint64(hi - lo))
 		edges.Add(nEdges)
 		e.push.bufs[w] = local
+		sp.SetInt("depth", int64(depth))
+		sp.SetInt("vertices", int64(hi-lo))
+		sp.SetInt("edges", int64(nEdges))
+		sp.End()
+		if e.opts.WorkerTiming {
+			e.clock.add(w, time.Since(t0)) // saga:allow determinism -- worker busy-time metric only.
+		}
 	})
 	next := e.push.concat(e.next[:0], k)
 	e.next = frontier
@@ -114,6 +127,11 @@ func (e *fsEngine) bfsBottomUp(g ds.Graph, csr *graph.CSR, depth float64, thread
 	k := len(e.cuts) - 1
 	e.push.reset(k)
 	parallelRanges(e.cuts, func(w, lo, hi int) {
+		var t0 time.Time
+		if e.opts.WorkerTiming {
+			t0 = time.Now() // saga:allow determinism -- worker busy-time metric and trace spans only; never feeds values or frontier order.
+		}
+		sp := e.tr.Worker("fs.bfs.bottomup", w)
 		local := e.push.bufs[w]
 		var buf []graph.Neighbor
 		var nEdges uint64
@@ -145,6 +163,13 @@ func (e *fsEngine) bfsBottomUp(g ds.Graph, csr *graph.CSR, depth float64, thread
 		processed.Add(nProc)
 		edges.Add(nEdges)
 		e.push.bufs[w] = local
+		sp.SetInt("depth", int64(depth))
+		sp.SetInt("vertices", int64(nProc))
+		sp.SetInt("edges", int64(nEdges))
+		sp.End()
+		if e.opts.WorkerTiming {
+			e.clock.add(w, time.Since(t0)) // saga:allow determinism -- worker busy-time metric only.
+		}
 	})
 	next := e.push.concat(e.next[:0], k)
 	e.next = frontier
@@ -192,6 +217,11 @@ func fsLabelProp(e *fsEngine, g ds.Graph) {
 		// this round or the last, which only accelerates convergence
 		// of min/max fixpoints.
 		parallelRanges(e.cuts, func(w, lo, hi int) {
+			var t0 time.Time
+			if e.opts.WorkerTiming {
+				t0 = time.Now() // saga:allow determinism -- worker busy-time metric and trace spans only; never feeds values or frontier order.
+			}
+			sp := e.tr.Worker("fs.labelprop", w)
 			ctx := &recomputeCtx{g: g, csr: csr, vals: e.vals, numNodes: n, opts: e.opts}
 			local := e.push.bufs[w]
 			var pushBuf []graph.Neighbor
@@ -219,6 +249,15 @@ func fsLabelProp(e *fsEngine, g ds.Graph) {
 			processed.Add(uint64(hi - lo))
 			edges.Add(ctx.edges)
 			e.push.bufs[w] = local
+			// Iterations is coordinator-owned and stable for the round, so
+			// reading it from workers is race-free.
+			sp.SetInt("round", int64(e.stats.Iterations+1))
+			sp.SetInt("vertices", int64(hi-lo))
+			sp.SetInt("edges", int64(ctx.edges))
+			sp.End()
+			if e.opts.WorkerTiming {
+				e.clock.add(w, time.Since(t0)) // saga:allow determinism -- worker busy-time metric only.
+			}
 		})
 		next := e.push.concat(e.next[:0], k)
 		for _, v := range next {

@@ -2,9 +2,11 @@ package compute
 
 import (
 	"sync/atomic"
+	"time"
 
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
+	"sagabench/internal/trace"
 )
 
 // incEngine implements the paper's Algorithm 1: incremental computation via
@@ -38,6 +40,12 @@ type incEngine struct {
 	cuts  []int
 	front [2][]graph.NodeID
 	flip  int
+
+	// clock accumulates per-worker busy time across the phase's rounds;
+	// tr scopes this phase's worker spans to the current batch trace (zero
+	// value = tracing off).
+	clock workerClock
+	tr    trace.Ctx
 }
 
 func newIncEngine(s spec, opts Options) *incEngine {
@@ -55,6 +63,11 @@ func (e *incEngine) Values() []float64 {
 
 func (e *incEngine) Stats() Stats { return e.stats }
 
+// SetTrace implements Traceable: worker spans of the next PerformAlg are
+// recorded under ctx. The pipeline re-arms it every batch; the zero Ctx
+// disables recording.
+func (e *incEngine) SetTrace(ctx trace.Ctx) { e.tr = ctx }
+
 // HandlesDeletions implements Engine: PageRank re-converges natively, and
 // the monotone algorithms repair through KickStarter-style trimming
 // (NotifyDeletions in trim.go).
@@ -64,6 +77,9 @@ func (e *incEngine) HandlesDeletions() bool { return e.spec.deletionSafe || e.sp
 func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 	n := g.NumNodes()
 	csr := flatCSROf(g)
+	if e.opts.WorkerTiming {
+		e.clock.reset(e.opts.threads())
+	}
 	e.stats = Stats{}
 	// Lines 2-4: initialize new vertices only (processing amortization —
 	// old vertices keep the previous batch's values).
@@ -172,6 +188,11 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 		k := len(e.cuts) - 1
 		e.push.reset(k)
 		parallelRanges(e.cuts, func(w, lo, hi int) {
+			var t0 time.Time
+			if e.opts.WorkerTiming {
+				t0 = time.Now() // saga:allow determinism -- worker busy-time metric and trace spans only; never feeds values or frontier order.
+			}
+			sp := e.tr.Worker("inc.round", w)
 			ctx := &recomputeCtx{g: g, csr: csr, vals: e.vals, numNodes: n, opts: e.opts}
 			local := e.push.bufs[w]
 			var pushBuf []graph.Neighbor
@@ -222,6 +243,17 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 			triggered.Add(nTrig)
 			edges.Add(ctx.edges)
 			e.push.bufs[w] = local
+			// Iterations counts completed rounds and is coordinator-owned,
+			// stable while this round's workers run — race-free to read and
+			// cheaper than a dedicated counter (a fresh variable captured
+			// here would heap-escape once per PerformAlg call).
+			sp.SetInt("round", int64(e.stats.Iterations+1))
+			sp.SetInt("vertices", int64(hi-lo))
+			sp.SetInt("triggered", int64(nTrig))
+			sp.End()
+			if e.opts.WorkerTiming {
+				e.clock.add(w, time.Since(t0)) // saga:allow determinism -- worker busy-time metric only.
+			}
 		})
 		// Merge into the ping-pong destination the caller is not reading.
 		next := e.push.concat(e.front[e.flip][:0], k)
@@ -253,4 +285,7 @@ func (e *incEngine) PerformAlg(g ds.Graph, affected []graph.NodeID) {
 	e.stats.EdgesTraversed = edges.Load()
 	e.stats.Triggered = triggered.Load()
 	e.stats.Skipped = e.stats.Processed - e.stats.Triggered
+	if e.opts.WorkerTiming {
+		e.stats.WorkerBusyNS = e.clock.busy
+	}
 }

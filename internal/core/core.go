@@ -31,6 +31,7 @@ import (
 	"sagabench/internal/graph"
 	"sagabench/internal/stats"
 	"sagabench/internal/telemetry"
+	"sagabench/internal/trace"
 )
 
 // Pipeline couples one data structure with one compute engine.
@@ -54,6 +55,13 @@ type Pipeline struct {
 	// hot path then never touches it).
 	dur      *durState
 	poisoned []string
+
+	// tr is the batch tracer (nil = tracing off, zero cost); bt is the
+	// in-flight batch's span tree. Whoever starts bt finishes it: apply
+	// owns it on the direct path, processDurable on the durable path (so
+	// WAL and checkpoint spans land inside the batch trace).
+	tr *trace.Tracer
+	bt *trace.Batch
 
 	affected     []graph.NodeID
 	affectedMark []uint8
@@ -101,6 +109,13 @@ type PipelineConfig struct {
 	// (latencies, affected-set size, compute stats, ds profile deltas).
 	// Nil disables instrumentation at near-zero cost.
 	Telemetry *telemetry.Recorder
+	// Tracer, when non-nil, records a span tree per batch — update,
+	// view refresh, compute (with per-worker range spans), WAL append,
+	// checkpoint — into a flight-recorder ring that is dumped next to the
+	// poison file when a batch is quarantined and served by the telemetry
+	// server's /trace endpoint. Nil disables tracing: the hot path then
+	// performs no clock reads and no allocations on the tracer's behalf.
+	Tracer *trace.Tracer
 	// Durable, when non-nil, enables the crash-safety layer: every batch
 	// is write-ahead logged before it is applied, checkpoints are written
 	// periodically, and construction recovers whatever state the
@@ -122,6 +137,12 @@ func buildComponents(cfg PipelineConfig) (ds.Graph, compute.Engine, error) {
 	}
 	copts := cfg.Compute
 	copts.Threads = cfg.Threads
+	// Per-worker busy clocks cost two monotonic clock reads per worker
+	// range per round, so only pay for them when an observer is attached
+	// (per-batch events, straggler gauges, or batch traces consume them).
+	if cfg.Telemetry != nil || cfg.Tracer.Enabled() {
+		copts.WorkerTiming = true
+	}
 	engine, err := compute.NewEngine(cfg.Algorithm, cfg.Model, copts)
 	if err != nil {
 		return nil, nil, err
@@ -139,7 +160,7 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pipeline{g: g, engine: engine, rec: cfg.Telemetry, pcfg: cfg}
+	p := &Pipeline{g: g, engine: engine, rec: cfg.Telemetry, tr: cfg.Tracer, pcfg: cfg}
 	p.initView()
 	if cfg.Durable != nil {
 		if err := p.initDurable(*cfg.Durable); err != nil {
@@ -189,6 +210,13 @@ func (p *Pipeline) LastViewRefresh() ds.RefreshStats { return p.lastView }
 // SetTelemetry installs (or removes, with nil) the batch recorder on a
 // built pipeline.
 func (p *Pipeline) SetTelemetry(rec *telemetry.Recorder) { p.rec = rec }
+
+// SetTracer installs (or removes, with nil) the batch tracer on a built
+// pipeline. Must not be called while a batch is in flight.
+func (p *Pipeline) SetTracer(tr *trace.Tracer) { p.tr = tr }
+
+// Tracer exposes the pipeline's tracer (nil when tracing is off).
+func (p *Pipeline) Tracer() *trace.Tracer { return p.tr }
 
 // Graph exposes the topology (read-only between updates).
 func (p *Pipeline) Graph() ds.Graph { return p.g }
@@ -257,6 +285,13 @@ func (p *Pipeline) record(edges, deletes, affected int, lat BatchLatency) {
 		Triggered:      es.Triggered,
 		Skipped:        es.Skipped,
 		TriggerFrac:    es.TriggerFraction(),
+	}
+	if used := es.WorkersUsed(); used > 0 {
+		// Stats.WorkerBusyNS aliases engine scratch; the event outlives
+		// the batch, so it gets a copy.
+		ev.WorkerBusyNS = append([]int64(nil), es.WorkerBusyNS...)
+		ev.WorkersUsed = used
+		ev.Straggler = es.StragglerRatio()
 	}
 	if p.view != nil {
 		ev.ViewNS = p.lastView.Duration.Nanoseconds()
@@ -539,31 +574,34 @@ func (p *Pipeline) checkMixedSupport(mb MixedBatch) error {
 // apply runs the two phases of one mixed batch against the in-memory
 // components: the undecorated execution path shared by direct processing,
 // durable processing, and WAL replay.
+//
+// Trace ownership: when no batch trace is in flight (direct processing,
+// WAL replay) apply starts and finishes one; on the durable path
+// processDurable already opened it (so the WAL append span precedes the
+// phases) and apply only contributes phase spans and batch attributes.
 func (p *Pipeline) apply(mb MixedBatch) (BatchLatency, error) {
 	var lat BatchLatency
-	olds := p.overwrittenFor(mb.Adds)
-	t0 := time.Now()
-	p.g.Update(mb.Adds)
-	if len(mb.Dels) > 0 {
-		if err := p.g.(ds.Deleter).Delete(mb.Dels); err != nil {
-			return lat, err
-		}
+	owned := p.bt == nil && p.tr.Enabled()
+	if owned {
+		p.bt = p.tr.StartBatch(p.batchIdx)
 	}
-	lat.Update = time.Since(t0)
+	olds := p.overwrittenFor(mb.Adds)
 
-	// Refresh the flat mirror against the freshly updated topology; its
-	// cost belongs to the update phase (the mirror is part of ingesting
-	// the batch, exactly as GraphTango charges its flat-side maintenance).
-	// The compute phase — including deletion-cone trimming, which
-	// traverses adjacency — then reads the mirror.
+	var err error
+	if p.tr.PprofLabels() {
+		err = p.updateLabeled(mb, &lat)
+	} else {
+		err = p.updatePhase(mb, &lat)
+	}
+	if err != nil {
+		if owned {
+			p.abortTrace(err)
+		}
+		return lat, err
+	}
 	cg := p.g
 	if p.view != nil {
-		p.lastView = p.view.Refresh(mb.Adds, mb.Dels)
-		lat.Update += p.lastView.Duration
 		cg = p.view
-		if p.rec != nil {
-			p.rec.RecordViewRefresh(p.lastView.Duration, p.lastView.DirtyFraction(), p.lastView.Full)
-		}
 	}
 
 	// Overwritten weights and true deletions invalidate in one call so the
@@ -575,11 +613,141 @@ func (p *Pipeline) apply(mb MixedBatch) (BatchLatency, error) {
 	}
 	p.mixedScratch = append(append(p.mixedScratch[:0], mb.Adds...), mb.Dels...)
 	aff := p.affectedOf(p.mixedScratch)
-	t1 := time.Now()
-	p.engine.PerformAlg(cg, aff)
-	lat.Compute = time.Since(t1)
+	if p.tr.PprofLabels() {
+		p.computeLabeled(cg, aff, &lat)
+	} else {
+		p.computePhase(cg, aff, &lat)
+	}
 	if p.rec != nil {
 		p.record(len(mb.Adds), len(mb.Dels), len(aff), lat)
 	}
+	if p.bt != nil {
+		p.stampTrace(mb, len(aff), lat)
+		if owned {
+			bt := p.bt
+			p.bt = nil
+			bt.Finish()
+		}
+	}
 	return lat, nil
+}
+
+// updatePhase is the timed update side of one batch: ingest, deletions,
+// and the flat-mirror refresh (whose cost belongs to the update phase —
+// the mirror is part of ingesting the batch, exactly as GraphTango
+// charges its flat-side maintenance).
+func (p *Pipeline) updatePhase(mb MixedBatch, lat *BatchLatency) error {
+	sp := p.bt.Start("update")
+	t0 := time.Now()
+	p.g.Update(mb.Adds)
+	if len(mb.Dels) > 0 {
+		if err := p.g.(ds.Deleter).Delete(mb.Dels); err != nil {
+			sp.SetStr("error", err.Error())
+			sp.End()
+			return err
+		}
+	}
+	lat.Update = time.Since(t0)
+	sp.SetInt("edges", int64(len(mb.Adds)))
+	if len(mb.Dels) > 0 {
+		sp.SetInt("deletes", int64(len(mb.Dels)))
+	}
+	sp.End()
+	if p.view != nil {
+		vsp := p.bt.Start("view.refresh")
+		p.lastView = p.view.Refresh(mb.Adds, mb.Dels)
+		lat.Update += p.lastView.Duration
+		vsp.SetFloat("dirty_frac", p.lastView.DirtyFraction())
+		if p.lastView.Full {
+			vsp.SetInt("full", 1)
+		}
+		vsp.End()
+		if p.rec != nil {
+			p.rec.RecordViewRefresh(p.lastView.Duration, p.lastView.DirtyFraction(), p.lastView.Full)
+		}
+	}
+	return nil
+}
+
+// computePhase is the timed compute side: PerformAlg under a compute span
+// whose context the engine threads down to per-worker range spans.
+func (p *Pipeline) computePhase(cg ds.Graph, aff []graph.NodeID, lat *BatchLatency) {
+	sp := p.bt.Start("compute")
+	// Re-arm every batch: each batch trace is a fresh span tree, and the
+	// zero Ctx (tracing off) disables the engine's span recording.
+	if te, ok := p.engine.(compute.Traceable); ok {
+		te.SetTrace(sp.Ctx())
+	}
+	t1 := time.Now()
+	p.engine.PerformAlg(cg, aff)
+	lat.Compute = time.Since(t1)
+	es := p.engine.Stats()
+	sp.SetInt("affected", int64(len(aff)))
+	sp.SetInt("iterations", int64(es.Iterations))
+	sp.SetInt("processed", int64(es.Processed))
+	if s := es.StragglerRatio(); s > 0 {
+		sp.SetFloat("straggler", s)
+	}
+	sp.End()
+}
+
+// updateLabeled / computeLabeled wrap the phases in pprof labels
+// (batch/stage/ds/alg/model). They are separate methods so apply itself
+// contains no closures: a func literal capturing locals would force those
+// locals to the heap on every call, labels on or off.
+func (p *Pipeline) updateLabeled(mb MixedBatch, lat *BatchLatency) error {
+	var err error
+	p.tr.LabelDo(p.traceSeq(), "update", func() { err = p.updatePhase(mb, lat) })
+	return err
+}
+
+func (p *Pipeline) computeLabeled(cg ds.Graph, aff []graph.NodeID, lat *BatchLatency) {
+	p.tr.LabelDo(p.traceSeq(), "compute", func() { p.computePhase(cg, aff, lat) })
+}
+
+// traceSeq is the in-flight batch's trace sequence number (0 when no
+// trace is open).
+func (p *Pipeline) traceSeq() uint64 {
+	if p.bt == nil {
+		return 0
+	}
+	return p.bt.Seq
+}
+
+// stampTrace attaches the batch-level attributes the flight recorder
+// indexes on: sizes, phase latencies, and the compute stats that tell a
+// straggler or a triggering storm apart from a big batch.
+func (p *Pipeline) stampTrace(mb MixedBatch, affected int, lat BatchLatency) {
+	bt := p.bt
+	es := p.engine.Stats()
+	bt.SetInt("edges", int64(len(mb.Adds)))
+	if len(mb.Dels) > 0 {
+		bt.SetInt("deletes", int64(len(mb.Dels)))
+	}
+	bt.SetInt("affected", int64(affected))
+	bt.SetInt("iterations", int64(es.Iterations))
+	if es.Triggered+es.Skipped > 0 {
+		bt.SetInt("triggered", int64(es.Triggered))
+		bt.SetInt("skipped", int64(es.Skipped))
+	}
+	if s := es.StragglerRatio(); s > 0 {
+		bt.SetFloat("straggler", s)
+	}
+	if p.view != nil {
+		bt.SetFloat("view_dirty_frac", p.lastView.DirtyFraction())
+	}
+	bt.SetInt("update_ns", lat.Update.Nanoseconds())
+	bt.SetInt("compute_ns", lat.Compute.Nanoseconds())
+}
+
+// abortTrace seals the in-flight batch trace with a failure cause (batch
+// rejected before the compute phase ran).
+func (p *Pipeline) abortTrace(err error) {
+	bt := p.bt
+	if bt == nil {
+		return
+	}
+	p.bt = nil
+	bt.SetStr("error", err.Error())
+	bt.Finish()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"sagabench/internal/compute"
@@ -164,21 +165,41 @@ func (p *Pipeline) restoreCheckpoint(cp *durable.Checkpoint) error {
 func (p *Pipeline) processDurable(mb MixedBatch) (BatchLatency, error) {
 	var lat BatchLatency
 	man := p.dur.man
+	// The durable path owns the batch trace so the WAL append and the
+	// checkpoint land inside it; apply (via applyRetry) sees it in flight
+	// and only contributes phase spans.
+	if p.tr.Enabled() {
+		p.bt = p.tr.StartBatch(p.batchIdx)
+	}
 	if err := durable.ValidateBatch(mb.Adds, mb.Dels, man.Config().MaxNodeID); err != nil {
 		path, qerr := man.Quarantine(p.dur.meta, 0, err.Error(), mb.Adds, mb.Dels)
 		if qerr != nil {
+			p.abortTrace(qerr)
 			return lat, qerr
 		}
 		p.poisoned = append(p.poisoned, path)
+		p.dumpQuarantineTrace(path, 0, err)
 		return lat, nil
 	}
+	wsp := p.bt.Start("wal.append")
 	seq, err := man.Append(mb.Adds, mb.Dels)
 	if err != nil {
+		p.abortTrace(err)
 		return lat, err
 	}
+	if wsp.Ctx().Enabled() {
+		bytes, fsync := man.LastAppendStats()
+		wsp.SetInt("seq", int64(seq))
+		wsp.SetInt("bytes", int64(bytes))
+		if fsync > 0 {
+			wsp.SetInt("fsync_ns", fsync.Nanoseconds())
+		}
+	}
+	wsp.End()
 	lat, err = p.applyRetry(seq, mb)
 	if err != nil {
 		if qerr := p.quarantine(seq, err, mb); qerr != nil {
+			p.abortTrace(qerr)
 			return BatchLatency{}, qerr
 		}
 		// The failed apply may have half-mutated the graph or the engine;
@@ -191,8 +212,14 @@ func (p *Pipeline) processDurable(mb MixedBatch) (BatchLatency, error) {
 	p.dur.sinceCkpt++
 	if every := man.Config().CheckpointEvery; every > 0 && p.dur.sinceCkpt >= every {
 		if err := p.writeDurableCheckpoint(); err != nil {
+			p.abortTrace(err)
 			return lat, err
 		}
+	}
+	if bt := p.bt; bt != nil {
+		p.bt = nil
+		bt.SetInt("wal_seq", int64(seq))
+		bt.Finish()
 	}
 	return lat, nil
 }
@@ -241,7 +268,7 @@ func (p *Pipeline) applyCaught(seq uint64, mb MixedBatch) (lat BatchLatency, err
 }
 
 // quarantine tombstones seq in the WAL and writes the batch to a
-// replayable .poison file.
+// replayable .poison file, plus the flight-recorder trace beside it.
 func (p *Pipeline) quarantine(seq uint64, cause error, mb MixedBatch) error {
 	if err := p.dur.man.AppendSkip(seq); err != nil {
 		return err
@@ -251,12 +278,39 @@ func (p *Pipeline) quarantine(seq uint64, cause error, mb MixedBatch) error {
 		return err
 	}
 	p.poisoned = append(p.poisoned, path)
+	p.dumpQuarantineTrace(path, seq, cause)
 	return nil
+}
+
+// dumpQuarantineTrace seals the poisoned batch's trace with the failure
+// cause and writes the whole flight-recorder ring — the batches leading
+// up to the death, plus the dying batch itself — as Chrome trace-event
+// JSON next to the poison file, so the forensic record travels with the
+// reproducer. No-op when tracing is off; best-effort otherwise (the
+// poison file is the primary artifact, a failed trace dump must not turn
+// a handled poison batch into a pipeline error).
+func (p *Pipeline) dumpQuarantineTrace(poisonPath string, seq uint64, cause error) {
+	if !p.tr.Enabled() {
+		return
+	}
+	if bt := p.bt; bt != nil {
+		p.bt = nil
+		if seq > 0 {
+			bt.SetInt("wal_seq", int64(seq))
+		}
+		bt.SetStr("quarantined", cause.Error())
+		bt.Finish()
+	}
+	tracePath := strings.TrimSuffix(poisonPath, ".poison") + ".trace.json"
+	// saga:allow errcheck-durable -- best-effort forensic sidecar; see doc comment.
+	_ = p.tr.DumpChromeFile(tracePath)
 }
 
 // writeDurableCheckpoint snapshots the current in-memory state at the
 // last logged sequence number.
 func (p *Pipeline) writeDurableCheckpoint() error {
+	sp := p.bt.Start("checkpoint")
+	defer sp.End()
 	threads := p.pcfg.Threads
 	if threads <= 0 {
 		threads = 1

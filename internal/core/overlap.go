@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sagabench/internal/compute"
 	"sagabench/internal/ds"
 	"sagabench/internal/graph"
 )
@@ -48,11 +49,18 @@ func RunOverlappedStream(cfg StreamConfig) (res *RunResult, hidden []float64, er
 		upd = append(upd, stage0.Seconds()) // seal added below
 	}
 	for i := range batches {
+		// One trace per batch here too: seal and the overlapped staging on
+		// the coordinator track, compute (with its worker spans) published
+		// concurrently from the compute goroutine — exactly the overlap the
+		// Perfetto view is for.
+		bt := p.tr.StartBatch(i)
 		// Seal batch i (staged during the previous iteration's compute,
 		// or just above for batch 0).
+		ssp := bt.Start("seal")
 		t0 := time.Now()
 		tc.SealBatch()
 		upd[i] += time.Since(t0).Seconds()
+		ssp.End()
 
 		// Compute on the sealed state of batch i...
 		aff := p.affectedOf(batches[i])
@@ -62,6 +70,10 @@ func RunOverlappedStream(cfg StreamConfig) (res *RunResult, hidden []float64, er
 		}
 		computeDone := make(chan computeResult, 1)
 		go func() {
+			sp := bt.Start("compute")
+			if te, ok := p.engine.(compute.Traceable); ok {
+				te.SetTrace(sp.Ctx())
+			}
 			t := time.Now()
 			defer func() {
 				if r := recover(); r != nil {
@@ -69,22 +81,35 @@ func RunOverlappedStream(cfg StreamConfig) (res *RunResult, hidden []float64, er
 				}
 			}()
 			p.engine.PerformAlg(p.g, aff)
+			sp.SetInt("affected", int64(len(aff)))
+			sp.End()
 			computeDone <- computeResult{elapsed: time.Since(t)}
 		}()
 		// ...while batch i+1 stages into the logs.
 		if i+1 < len(batches) {
+			stsp := bt.Start("stage.next")
 			t := time.Now()
 			tc.StageBatch(batches[i+1])
 			hidden[i+1] = time.Since(t).Seconds()
+			stsp.SetInt("edges", int64(len(batches[i+1])))
+			stsp.End()
 			upd = append(upd, 0) // its seal time lands next iteration
 		}
 		done := <-computeDone
 		if done.panicked != nil {
+			// Seal the trace with the cause before re-raising; the ring
+			// keeps it for whoever dumps /trace post-mortem.
+			if bt != nil {
+				bt.SetStr("error", fmt.Sprint(done.panicked))
+				bt.Finish()
+			}
 			// Re-raise on the caller so a poison batch is quarantined
 			// instead of killing the process from a raw goroutine.
 			panic(done.panicked)
 		}
 		cmp = append(cmp, done.elapsed.Seconds())
+		bt.SetInt("edges", int64(len(batches[i])))
+		bt.Finish()
 	}
 	res.Update = [][]float64{upd}
 	res.Compute = [][]float64{cmp}

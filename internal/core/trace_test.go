@@ -1,0 +1,225 @@
+package core_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	"sagabench/internal/durable"
+	"sagabench/internal/graph"
+	"sagabench/internal/trace"
+)
+
+// traceStream builds a few small insert batches touching vertices 0..n.
+func traceStream(batches, edgesPer int) []graph.Batch {
+	out := make([]graph.Batch, batches)
+	id := 0
+	for b := range out {
+		for e := 0; e < edgesPer; e++ {
+			out[b] = append(out[b], graph.Edge{
+				Src: graph.NodeID(id % 24), Dst: graph.NodeID((id + 7) % 24), Weight: 1,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// TestPipelineBatchTraces streams batches through a traced pipeline and
+// checks the flight recorder holds complete span trees: update and
+// compute phase spans, per-worker range spans parented under compute, and
+// the batch-level attributes.
+func TestPipelineBatchTraces(t *testing.T) {
+	tr := trace.New(trace.Config{DS: "adjshared", Alg: "pr", Model: "inc", Flight: 8})
+	p, err := core.NewPipeline(core.PipelineConfig{
+		DataStructure: "adjshared",
+		Algorithm:     "pr",
+		Model:         compute.INC,
+		Directed:      true,
+		Threads:       2,
+		Tracer:        tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range traceStream(5, 60) {
+		p.Process(b)
+	}
+	snap := tr.Flight().Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("flight recorder holds %d traces, want 5", len(snap))
+	}
+	d := snap[len(snap)-1]
+	stages := map[string]int{}
+	var computeID int32 = -2
+	for _, s := range d.Spans {
+		stages[s.Stage]++
+		if s.Stage == "compute" {
+			computeID = s.ID
+		}
+	}
+	if stages["update"] != 1 || stages["compute"] != 1 {
+		t.Fatalf("phase spans %v, want one update and one compute", stages)
+	}
+	if stages["inc.round"] == 0 {
+		t.Fatalf("no per-worker round spans recorded: %v", stages)
+	}
+	for _, s := range d.Spans {
+		if s.Stage == "inc.round" && s.Parent != computeID {
+			t.Fatalf("worker span parent %d, want compute id %d", s.Parent, computeID)
+		}
+	}
+	attrs := map[string]trace.Attr{}
+	for _, a := range d.Attrs {
+		attrs[a.Key] = a
+	}
+	if attrs["edges"].Int != 60 {
+		t.Fatalf("edges attr %+v, want 60", attrs["edges"])
+	}
+	for _, key := range []string{"affected", "iterations", "update_ns", "compute_ns"} {
+		if _, ok := attrs[key]; !ok {
+			t.Fatalf("batch attr %q missing (have %v)", key, d.Attrs)
+		}
+	}
+}
+
+// TestQuarantineWritesTrace is the forensic contract: a quarantined batch
+// must leave a Perfetto-loadable trace dump next to its .poison file, the
+// dumped ring must include the dying batch, and that batch's trace must
+// carry the failure cause.
+func TestQuarantineWritesTrace(t *testing.T) {
+	tr := trace.New(trace.Config{DS: "adjshared", Alg: "pr", Model: "inc", Flight: 8})
+	probe := func(seq uint64, _, _ graph.Batch) error {
+		if seq == 3 {
+			return errors.New("injected apply failure")
+		}
+		return nil
+	}
+	dcfg := &durable.Config{
+		Dir:             t.TempDir(),
+		Fsync:           durable.FsyncAlways,
+		CheckpointEvery: -1,
+		MaxRetries:      1,
+		RetryBackoff:    time.Microsecond,
+		ApplyProbe:      probe,
+	}
+	cfg := durableCfg(dcfg.Dir, "pr", dcfg)
+	cfg.Tracer = tr
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range traceStream(5, 40) {
+		if _, err := p.ProcessMixed(core.MixedBatch{Adds: b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := p.PoisonFiles()
+	if len(files) != 1 {
+		t.Fatalf("poison files %v, want exactly one", files)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := strings.TrimSuffix(files[0], ".poison") + ".trace.json"
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("quarantine trace sidecar missing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("quarantine trace is not valid Chrome JSON: %v", err)
+	}
+	var quarantined string
+	var batchEvents int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "batch ") {
+			batchEvents++
+			if q, ok := ev.Args["quarantined"].(string); ok {
+				quarantined = q
+			}
+		}
+	}
+	// The ring holds the batches leading up to the death plus the dying
+	// batch itself (sealed by the quarantine path).
+	if batchEvents < 3 {
+		t.Fatalf("trace dump holds %d batch events, want the poisoned batch plus context", batchEvents)
+	}
+	if !strings.Contains(quarantined, "injected apply failure") {
+		t.Fatalf("no batch event carries the quarantine cause (got %q)", quarantined)
+	}
+}
+
+// TestValidationRejectWritesTrace covers the other quarantine flavor: a
+// batch rejected before consuming a sequence number still dumps the ring
+// next to its invalid-*.poison file.
+func TestValidationRejectWritesTrace(t *testing.T) {
+	tr := trace.New(trace.Config{DS: "adjshared", Alg: "pr", Model: "inc", Flight: 4})
+	dcfg := &durable.Config{Dir: t.TempDir(), Fsync: durable.FsyncAlways, CheckpointEvery: -1, MaxNodeID: 100}
+	cfg := durableCfg(dcfg.Dir, "pr", dcfg)
+	cfg.Tracer = tr
+	p, err := core.NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	bad := graph.Batch{{Src: 5000, Dst: 1, Weight: 1}} // past MaxNodeID
+	if _, err := p.ProcessMixed(core.MixedBatch{Adds: bad}); err != nil {
+		t.Fatalf("validation reject must not error the stream: %v", err)
+	}
+	files := p.PoisonFiles()
+	if len(files) != 1 {
+		t.Fatalf("poison files %v", files)
+	}
+	tracePath := strings.TrimSuffix(files[0], ".poison") + ".trace.json"
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("validation-reject trace sidecar missing: %v", err)
+	}
+}
+
+// TestTracedPipelineMatchesUntraced guards against the tracer perturbing
+// results: identical streams through traced and untraced pipelines must
+// produce identical values.
+func TestTracedPipelineMatchesUntraced(t *testing.T) {
+	build := func(tr *trace.Tracer) *core.Pipeline {
+		p, err := core.NewPipeline(core.PipelineConfig{
+			DataStructure: "adjshared",
+			Algorithm:     "cc",
+			Model:         compute.INC,
+			Directed:      true,
+			Threads:       2,
+			Tracer:        tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	plain := build(nil)
+	traced := build(trace.New(trace.Config{Flight: 4}))
+	for _, b := range traceStream(4, 50) {
+		plain.Process(b)
+		traced.Process(b)
+	}
+	a, bvals := plain.Values(), traced.Values()
+	if len(a) != len(bvals) {
+		t.Fatalf("value array lengths differ: %d vs %d", len(a), len(bvals))
+	}
+	for i := range a {
+		if a[i] != bvals[i] {
+			t.Fatalf("traced pipeline diverged at vertex %d: %v vs %v", i, a[i], bvals[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package durable
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"sagabench/internal/graph"
 	"sagabench/internal/telemetry"
@@ -20,6 +21,9 @@ type Manager struct {
 
 	lastSeq uint64 // highest sequence number appended or recovered
 	ckptSeq uint64 // sequence covered by the newest durable checkpoint
+
+	lastAppendBytes int           // record size of the most recent Append
+	lastAppendFsync time.Duration // fsync latency of the most recent Append (0 = policy skipped)
 }
 
 // Open validates cfg, creates the directory if needed, clears stale
@@ -92,11 +96,19 @@ func (m *Manager) Append(adds, dels graph.Batch) (uint64, error) {
 		return 0, err
 	}
 	m.lastSeq = seq
+	m.lastAppendBytes, m.lastAppendFsync = n, fsync
 	m.rec.RecordWALAppend(n, fsync)
 	if m.cfg.Crash != nil {
 		m.cfg.Crash(CrashAfterAppend)
 	}
 	return seq, nil
+}
+
+// LastAppendStats reports the record size and fsync latency of the most
+// recent Append (fsync 0 when the policy skipped it) — the batch tracer
+// stamps these on its wal.append span.
+func (m *Manager) LastAppendStats() (bytes int, fsync time.Duration) {
+	return m.lastAppendBytes, m.lastAppendFsync
 }
 
 // AppendSkip tombstones seq in the log: recovery will never replay it

@@ -42,6 +42,16 @@ type BatchEvent struct {
 	Skipped     uint64  `json:"skipped,omitempty"`
 	TriggerFrac float64 `json:"trigger_frac,omitempty"`
 
+	// Per-worker compute-phase busy time of the batch (nanoseconds,
+	// indexed by worker slot; omitted for single-threaded runs with no
+	// skew to report). WorkersUsed counts the slots that did any work,
+	// and Straggler is max/mean busy time over those slots — the
+	// edge-balanced scheduling skew of the batch, visible without
+	// loading a trace (1.0 = perfectly balanced).
+	WorkerBusyNS []int64 `json:"worker_busy_ns,omitempty"`
+	WorkersUsed  int     `json:"workers_used,omitempty"`
+	Straggler    float64 `json:"straggler,omitempty"`
+
 	// Compute-view refresh of the batch (zero when the view is off):
 	// refresh wall time, fraction of vertices re-flattened, and whether
 	// the refresh fell back to a full rebuild.
@@ -64,9 +74,12 @@ func (e *BatchEvent) Total() time.Duration {
 	return time.Duration(e.UpdateNS + e.ComputeNS)
 }
 
-// EventSink writes BatchEvents as JSON lines to a writer. It is safe for
-// concurrent use; writes are buffered until Flush or Close.
-type EventSink struct {
+// LineSink writes JSON values as buffered JSONL lines. It is safe for
+// concurrent use; writes are buffered until Flush or Close, and the first
+// encode error is sticky. It is the shared machinery behind the per-batch
+// BatchEvent log (EventSink) and the trace layer's span stream
+// (internal/trace.Sink).
+type LineSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
@@ -75,26 +88,26 @@ type EventSink struct {
 	n   uint64
 }
 
-// NewEventSink wraps w. If w is also an io.Closer, Close closes it after
+// NewLineSink wraps w. If w is also an io.Closer, Close closes it after
 // flushing.
-func NewEventSink(w io.Writer) *EventSink {
+func NewLineSink(w io.Writer) *LineSink {
 	bw := bufio.NewWriter(w)
-	s := &EventSink{bw: bw, enc: json.NewEncoder(bw)}
+	s := &LineSink{bw: bw, enc: json.NewEncoder(bw)}
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
 	return s
 }
 
-// Write appends one event line. The first encode error is sticky and
+// Encode appends one JSONL line. The first encode error is sticky and
 // returned by every later call.
-func (s *EventSink) Write(ev *BatchEvent) error {
+func (s *LineSink) Encode(v any) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}
-	if err := s.enc.Encode(ev); err != nil {
+	if err := s.enc.Encode(v); err != nil {
 		s.err = err
 		return err
 	}
@@ -102,15 +115,15 @@ func (s *EventSink) Write(ev *BatchEvent) error {
 	return nil
 }
 
-// Count reports the number of events written so far.
-func (s *EventSink) Count() uint64 {
+// Count reports the number of lines written so far.
+func (s *LineSink) Count() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.n
 }
 
 // Flush drains the buffer to the underlying writer.
-func (s *EventSink) Flush() error {
+func (s *LineSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
@@ -120,7 +133,7 @@ func (s *EventSink) Flush() error {
 }
 
 // Close flushes and closes the underlying writer if it is closable.
-func (s *EventSink) Close() error {
+func (s *LineSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ferr := s.bw.Flush()
@@ -135,6 +148,30 @@ func (s *EventSink) Close() error {
 	}
 	return s.err
 }
+
+// EventSink writes BatchEvents as JSON lines to a writer: a typed LineSink.
+type EventSink struct {
+	ls *LineSink
+}
+
+// NewEventSink wraps w. If w is also an io.Closer, Close closes it after
+// flushing.
+func NewEventSink(w io.Writer) *EventSink {
+	return &EventSink{ls: NewLineSink(w)}
+}
+
+// Write appends one event line. The first encode error is sticky and
+// returned by every later call.
+func (s *EventSink) Write(ev *BatchEvent) error { return s.ls.Encode(ev) }
+
+// Count reports the number of events written so far.
+func (s *EventSink) Count() uint64 { return s.ls.Count() }
+
+// Flush drains the buffer to the underlying writer.
+func (s *EventSink) Flush() error { return s.ls.Flush() }
+
+// Close flushes and closes the underlying writer if it is closable.
+func (s *EventSink) Close() error { return s.ls.Close() }
 
 // ReadEvents decodes a JSONL event stream back into BatchEvents (the
 // inverse of EventSink for tooling and tests).

@@ -2,6 +2,7 @@ package telemetry_test
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestEventLogRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d events, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
 		}
 	}

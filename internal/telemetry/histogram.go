@@ -24,6 +24,13 @@ var FractionBuckets = []float64{
 	0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1,
 }
 
+// StragglerBuckets suit the compute-phase straggler ratio (max/mean
+// worker busy time): 1 is perfectly balanced, values grow unbounded as
+// one worker's range dominates the round.
+var StragglerBuckets = []float64{
+	1, 1.1, 1.25, 1.5, 2, 3, 4, 6, 8, 12, 16,
+}
+
 // Histogram is a fixed-bucket histogram with lock-free observation.
 // Observations land in the first bucket whose upper bound is >= the value;
 // values above the last bound land in an implicit +Inf overflow bucket.

@@ -1,6 +1,10 @@
 package telemetry
 
-import "time"
+import (
+	"fmt"
+	"sync"
+	"time"
+)
 
 // Recorder is the pipeline's hook point: the core package calls
 // RecordBatch once per processed batch, and the recorder fans the event
@@ -41,6 +45,16 @@ type Recorder struct {
 	viewDelta      *Counter
 	viewFull       *Counter
 
+	// Compute-phase worker skew: the straggler ratio (max/mean busy time
+	// across the workers that did any work in the batch) and lazily
+	// created per-worker busy gauges, so edge-balanced scheduling skew
+	// is visible in /metrics without loading a trace.
+	straggler       *Gauge
+	stragglerHist   *Histogram
+	workerBusyTotal *Counter
+	workerMu        sync.Mutex
+	workerBusy      []*Gauge
+
 	walAppends   *Counter
 	walBytes     *Counter
 	walFsyncLat  *Histogram
@@ -74,6 +88,9 @@ func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
 	r.dsConflicts = reg.Counter("saga_ds_lock_conflicts_total", "UpdateProfile: lock acquisitions that found the lock held")
 	r.dsMetaOps = reg.Counter("saga_ds_meta_ops_total", "UpdateProfile: degree-query and flush meta-operations")
 	r.dsImbalance = reg.Gauge("saga_ds_chunk_imbalance", "UpdateProfile: max/mean chunk load of the latest batch")
+	r.straggler = reg.Gauge("saga_compute_straggler_ratio", "Max/mean worker busy time of the latest batch's compute phase (1.0 = balanced)")
+	r.stragglerHist = reg.Histogram("saga_compute_straggler", "Per-batch compute-phase straggler ratio (max/mean worker busy time)", StragglerBuckets)
+	r.workerBusyTotal = reg.Counter("saga_compute_worker_busy_ns_total", "Summed compute-phase worker busy time across all workers and batches")
 	r.viewRefreshLat = reg.Histogram("saga_view_refresh_seconds", "Compute-view CSR mirror refresh latency per batch", nil)
 	r.viewDirtyFrac = reg.Gauge("saga_view_dirty_fraction", "Fraction of vertices re-flattened by the latest view refresh")
 	r.viewDelta = reg.Counter("saga_view_delta_rebuilds_total", "View refreshes that re-flattened only dirty vertices")
@@ -191,9 +208,41 @@ func (r *Recorder) RecordBatch(ev *BatchEvent) {
 	if ev.DSImbalance > 0 {
 		r.dsImbalance.Set(ev.DSImbalance)
 	}
+	if ev.Straggler > 0 {
+		r.straggler.Set(ev.Straggler)
+		r.stragglerHist.Observe(ev.Straggler)
+	}
+	if len(ev.WorkerBusyNS) > 0 {
+		var sum uint64
+		for _, ns := range ev.WorkerBusyNS {
+			if ns > 0 {
+				sum += uint64(ns)
+			}
+		}
+		r.workerBusyTotal.Add(sum)
+		for w, ns := range ev.WorkerBusyNS {
+			r.workerGauge(w).Set(float64(ns) / 1e9)
+		}
+	}
 	if r.sink != nil {
 		r.sink.Write(ev) // first error is sticky inside the sink
 	}
+}
+
+// workerGauge returns (creating on first use) the busy-seconds gauge for
+// worker slot w. The registry has no label support, so worker identity is
+// encoded in the metric name; slots are bounded by the configured thread
+// count, keeping the cardinality small.
+func (r *Recorder) workerGauge(w int) *Gauge {
+	r.workerMu.Lock()
+	defer r.workerMu.Unlock()
+	for len(r.workerBusy) <= w {
+		i := len(r.workerBusy)
+		g := r.reg.Gauge(fmt.Sprintf("saga_compute_worker_busy_seconds_w%02d", i),
+			fmt.Sprintf("Compute-phase busy time of worker slot %d in the latest batch", i))
+		r.workerBusy = append(r.workerBusy, g)
+	}
+	return r.workerBusy[w]
 }
 
 // Flush drains the event sink (no-op without one).

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -13,16 +14,36 @@ import (
 // panics on duplicate names, and tests may build several servers.
 var expvarOnce sync.Once
 
+// TraceSource serves an on-demand dump of recent batch traces — the
+// flight-recorder ring rendered as Chrome trace-event JSON (Perfetto
+// loads it directly). internal/trace.Tracer implements it; the telemetry
+// package stays one layer below and only knows the interface.
+type TraceSource interface {
+	WriteTrace(w io.Writer) error
+}
+
 // NewMux builds the observability mux:
 //
 //	/metrics       Prometheus text exposition of reg
 //	/debug/vars    expvar JSON (reg published under "saga")
 //	/debug/pprof/  live CPU/heap/goroutine profiling (net/http/pprof)
+//	/trace         flight-recorder dump as Perfetto-loadable JSON (when a
+//	               TraceSource is attached)
 //	/              endpoint index
-func NewMux(reg *Registry) *http.ServeMux {
+//
+// The optional trailing TraceSource attaches the /trace endpoint (only
+// the first non-nil source is used).
+func NewMux(reg *Registry, trace ...TraceSource) *http.ServeMux {
 	expvarOnce.Do(func() {
 		expvar.Publish("saga", reg.ExpvarFunc())
 	})
+	var ts TraceSource
+	for _, t := range trace {
+		if t != nil {
+			ts = t
+			break
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,12 +55,24 @@ func NewMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if ts == nil {
+			http.Error(w, "tracing is not enabled for this run (start with a tracer attached)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="saga-trace.json"`)
+		if err := ts.WriteTrace(w); err != nil {
+			// Headers are gone; best we can do is abort the body.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "saga telemetry\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "saga telemetry\n/metrics\n/debug/vars\n/debug/pprof/\n/trace\n")
 	})
 	return mux
 }
@@ -59,13 +92,14 @@ func (s *Server) Close() error { return s.srv.Close() }
 // ListenAndServe binds addr (e.g. ":8090") and serves the observability
 // mux in a background goroutine, so a streaming run can be scraped and
 // profiled while it executes. The returned server reports the bound
-// address and must be Closed by the caller.
-func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+// address and must be Closed by the caller. The optional trailing
+// TraceSource attaches the /trace endpoint.
+func ListenAndServe(addr string, reg *Registry, trace ...TraceSource) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{srv: &http.Server{Handler: NewMux(reg)}, ln: ln}
+	s := &Server{srv: &http.Server{Handler: NewMux(reg, trace...)}, ln: ln}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -46,4 +46,42 @@ func TestServerEndpoints(t *testing.T) {
 	if code, _ := get("/nope"); code != http.StatusNotFound {
 		t.Fatalf("/nope: code=%d, want 404", code)
 	}
+	// No TraceSource attached: /trace explains itself with a 404.
+	if code, _ := get("/trace"); code != http.StatusNotFound {
+		t.Fatalf("/trace without source: code=%d, want 404", code)
+	}
+}
+
+// fakeTraceSource serves a canned trace document.
+type fakeTraceSource struct{ doc string }
+
+func (f fakeTraceSource) WriteTrace(w io.Writer) error {
+	_, err := io.WriteString(w, f.doc)
+	return err
+}
+
+// TestServerTraceEndpoint checks /trace streams the attached source with
+// download headers.
+func TestServerTraceEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.ListenAndServe("127.0.0.1:0", reg, fakeTraceSource{doc: `{"traceEvents":[]}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != `{"traceEvents":[]}` {
+		t.Fatalf("/trace: code=%d body=%q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/trace content-type %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "saga-trace.json") {
+		t.Fatalf("/trace content-disposition %q", cd)
+	}
 }

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"sagabench/internal/telemetry"
+)
+
+// BatchDump is the immutable wire form of one batch trace: what the JSONL
+// span stream carries per line, what ReadDumps decodes, and what the
+// Chrome exporter renders. Span times are monotonic nanosecond offsets
+// from StartUnixNS.
+type BatchDump struct {
+	Seq         uint64       `json:"seq"`
+	Index       int          `json:"batch"`
+	DS          string       `json:"ds,omitempty"`
+	Alg         string       `json:"alg,omitempty"`
+	Model       string       `json:"model,omitempty"`
+	StartUnixNS int64        `json:"ts_ns"`
+	DurNS       int64        `json:"dur_ns"`
+	Attrs       []Attr       `json:"attrs,omitempty"`
+	Spans       []SpanRecord `json:"spans"`
+}
+
+// Dump snapshots the batch trace. Spans are ordered by (StartNS, ID) so
+// the output is stable regardless of which worker's End ran first.
+func (b *Batch) Dump() BatchDump {
+	b.mu.Lock()
+	d := BatchDump{
+		Seq:         b.Seq,
+		Index:       b.Index,
+		DS:          b.DS,
+		Alg:         b.Alg,
+		Model:       b.Model,
+		StartUnixNS: b.WallStart.UnixNano(),
+		DurNS:       b.endNS,
+		Attrs:       append([]Attr(nil), b.attrs...),
+		Spans:       append([]SpanRecord(nil), b.spans...),
+	}
+	b.mu.Unlock()
+	if d.DurNS == 0 {
+		// Dumped mid-flight (e.g. /trace during a long batch): report
+		// elapsed-so-far rather than a zero-width batch.
+		d.DurNS = b.sinceNS()
+	}
+	sort.Slice(d.Spans, func(i, j int) bool {
+		if d.Spans[i].StartNS != d.Spans[j].StartNS {
+			return d.Spans[i].StartNS < d.Spans[j].StartNS
+		}
+		return d.Spans[i].ID < d.Spans[j].ID
+	})
+	if len(d.Attrs) == 0 {
+		d.Attrs = nil
+	}
+	return d
+}
+
+// Sink streams finished batch traces as JSONL, one BatchDump per line, on
+// top of the telemetry package's concurrent line-sink machinery.
+type Sink struct {
+	ls *telemetry.LineSink
+}
+
+// NewSink wraps w. If w is also an io.Closer, Close closes it after
+// flushing.
+func NewSink(w io.Writer) *Sink { return &Sink{ls: telemetry.NewLineSink(w)} }
+
+// WriteBatch appends one batch trace line. The first encode error is
+// sticky and returned by every later call.
+func (s *Sink) WriteBatch(b *Batch) error {
+	d := b.Dump()
+	return s.ls.Encode(&d)
+}
+
+// WriteDump appends an already-snapshotted trace line.
+func (s *Sink) WriteDump(d BatchDump) error { return s.ls.Encode(&d) }
+
+// Count reports the number of traces written so far.
+func (s *Sink) Count() uint64 { return s.ls.Count() }
+
+// Flush drains the buffer to the underlying writer.
+func (s *Sink) Flush() error { return s.ls.Flush() }
+
+// Close flushes and closes the underlying writer if it is closable.
+func (s *Sink) Close() error { return s.ls.Close() }
+
+// ReadDumps decodes a JSONL trace stream back into batch dumps (the
+// inverse of Sink for tooling and tests).
+func ReadDumps(r io.Reader) ([]BatchDump, error) {
+	dec := json.NewDecoder(r)
+	var out []BatchDump
+	for {
+		var d BatchDump
+		if err := dec.Decode(&d); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, d)
+	}
+}

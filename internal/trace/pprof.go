@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// LabelDo runs f under pprof labels identifying the pipeline stage:
+// batch/stage/ds/alg/model. CPU profiles captured from the telemetry
+// endpoint's /debug/pprof/profile then attribute samples to pipeline
+// stages (`go tool pprof -tagfocus stage=compute ...`), closing the gap
+// between "the process was busy" and "batch 1041's update phase was
+// busy".
+//
+// Callers must branch on PprofLabels() before building the closure — the
+// disabled path must not pay the closure allocation:
+//
+//	if p.tr.PprofLabels() {
+//		p.tr.LabelDo(bt.Seq, "update", func() { ... })
+//	} else {
+//		... // same body, un-labeled
+//	}
+func (t *Tracer) LabelDo(batchSeq uint64, stage string, f func()) {
+	if t == nil {
+		f()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels(
+		"batch", strconv.FormatUint(batchSeq, 10),
+		"stage", stage,
+		"ds", t.cfg.DS,
+		"alg", t.cfg.Alg,
+		"model", t.cfg.Model,
+	), func(context.Context) { f() })
+}

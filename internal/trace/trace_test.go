@@ -1,0 +1,395 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"sagabench/internal/trace"
+)
+
+// TestNilTracerSafe checks the whole disabled surface: a nil tracer, the
+// nil batch it produces, and the zero Ctx/Span values must all no-op.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *trace.Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.PprofLabels() {
+		t.Fatal("nil tracer reports pprof labels")
+	}
+	if tr.Flight() != nil {
+		t.Fatal("nil tracer has a flight recorder")
+	}
+	b := tr.StartBatch(0)
+	if b != nil {
+		t.Fatal("nil tracer produced a batch")
+	}
+	b.SetInt("k", 1)
+	b.SetFloat("k", 1)
+	b.SetStr("k", "v")
+	sp := b.Start("stage")
+	sp.SetInt("k", 1)
+	child := sp.Ctx().Worker("w", 3)
+	child.SetStr("k", "v")
+	child.End()
+	sp.End()
+	b.Finish()
+	if ctx := b.Ctx(); ctx.Enabled() {
+		t.Fatal("nil batch context enabled")
+	}
+	if err := tr.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer WriteTrace must error")
+	}
+	ran := false
+	tr.LabelDo(1, "update", func() { ran = true })
+	if !ran {
+		t.Fatal("nil tracer LabelDo must still run f")
+	}
+}
+
+// TestDisabledTracerZeroAllocs asserts the batch hot loop pays zero
+// allocations for trace hooks when tracing is off — the contract the
+// pipeline relies on to leave the tracer compiled in unconditionally.
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	var tr *trace.Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := tr.StartBatch(7)
+		sp := b.Start("update")
+		sp.SetInt("edges", 1000)
+		sp.End()
+		csp := b.Start("compute")
+		ctx := csp.Ctx()
+		for w := 0; w < 4; w++ {
+			wsp := ctx.Worker("round", w)
+			wsp.SetInt("vertices", 128)
+			wsp.End()
+		}
+		csp.End()
+		b.SetFloat("straggler", 1.2)
+		b.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer hot loop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchTraceRoundTrip records a realistic span tree, streams it
+// through the JSONL sink, decodes it back, and checks structure and
+// attributes survive.
+func TestBatchTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := trace.NewSink(&buf)
+	tr := trace.New(trace.Config{DS: "adjshared", Alg: "pr", Model: "inc", Flight: 4, Spans: sink})
+
+	b := tr.StartBatch(3)
+	up := b.Start("update")
+	up.SetInt("edges", 500)
+	up.End()
+	cp := b.Start("compute")
+	ctx := cp.Ctx()
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := ctx.Worker("inc.round", w)
+			sp.SetInt("vertices", int64(10*w))
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	cp.SetInt("iterations", 2)
+	cp.End()
+	b.SetFloat("straggler", 1.5)
+	b.Finish()
+
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dumps, err := trace.ReadDumps(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) != 1 {
+		t.Fatalf("decoded %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.Seq != 1 || d.Index != 3 || d.DS != "adjshared" || d.Alg != "pr" || d.Model != "inc" {
+		t.Fatalf("dump header %+v", d)
+	}
+	if d.DurNS <= 0 {
+		t.Fatalf("dur_ns %d, want > 0", d.DurNS)
+	}
+	if len(d.Spans) != 5 {
+		t.Fatalf("got %d spans, want 5 (update, compute, 3 workers)", len(d.Spans))
+	}
+	byStage := map[string][]trace.SpanRecord{}
+	for _, s := range d.Spans {
+		byStage[s.Stage] = append(byStage[s.Stage], s)
+		if s.EndNS < s.StartNS {
+			t.Fatalf("span %q ends before it starts: %+v", s.Stage, s)
+		}
+	}
+	compute := byStage["compute"]
+	if len(compute) != 1 || compute[0].Parent != -1 || compute[0].Worker != -1 {
+		t.Fatalf("compute span %+v", compute)
+	}
+	workers := byStage["inc.round"]
+	if len(workers) != 3 {
+		t.Fatalf("got %d worker spans, want 3", len(workers))
+	}
+	seen := map[int32]bool{}
+	for _, s := range workers {
+		if s.Parent != compute[0].ID {
+			t.Fatalf("worker span parent %d, want compute id %d", s.Parent, compute[0].ID)
+		}
+		seen[s.Worker] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("worker slots %v, want 3 distinct", seen)
+	}
+	var straggler float64
+	for _, a := range d.Attrs {
+		if a.Key == "straggler" {
+			straggler = a.Float
+		}
+	}
+	if straggler != 1.5 {
+		t.Fatalf("straggler attr %v, want 1.5", straggler)
+	}
+}
+
+// TestFlightRecorderEviction fills the ring past capacity and checks the
+// snapshot holds exactly the newest Cap traces in sequence order.
+func TestFlightRecorderEviction(t *testing.T) {
+	tr := trace.New(trace.Config{Flight: 4})
+	for i := 0; i < 10; i++ {
+		tr.StartBatch(i).Finish()
+	}
+	ring := tr.Flight()
+	if ring.Cap() != 4 || ring.Recorded() != 10 {
+		t.Fatalf("cap %d recorded %d, want 4/10", ring.Cap(), ring.Recorded())
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot holds %d traces, want 4", len(snap))
+	}
+	for i, d := range snap {
+		if want := uint64(7 + i); d.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (newest 4, oldest first)", i, d.Seq, want)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the ring with concurrent batch
+// writers (each publishing worker spans) while dumping snapshots; run
+// under -race this is the data-race proof for the lock-free design.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	tr := trace.New(trace.Config{Flight: 8})
+	const writers, perWriter = 4, 50
+	stop := make(chan struct{})
+	dumperDone := make(chan struct{})
+	go func() { // concurrent dumper
+		defer close(dumperDone)
+		for {
+			for _, d := range tr.Flight().Snapshot() {
+				if d.DurNS < 0 {
+					t.Error("negative duration in concurrent snapshot")
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				b := tr.StartBatch(i)
+				sp := b.Start("compute")
+				ctx := sp.Ctx()
+				var inner sync.WaitGroup
+				for w := 0; w < 2; w++ {
+					inner.Add(1)
+					go func(w int) {
+						defer inner.Done()
+						ws := ctx.Worker("round", w)
+						ws.SetInt("w", int64(w))
+						ws.End()
+					}(w)
+				}
+				inner.Wait()
+				sp.End()
+				b.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-dumperDone
+	if got := tr.Flight().Recorded(); got != writers*perWriter {
+		t.Fatalf("recorded %d traces, want %d", got, writers*perWriter)
+	}
+	if snap := tr.Flight().Snapshot(); len(snap) != 8 {
+		t.Fatalf("final snapshot holds %d traces, want 8 (ring capacity)", len(snap))
+	}
+}
+
+// TestWriteChrome checks the exporter emits valid Chrome trace-event JSON
+// with per-worker tracks and thread-name metadata — the Perfetto loading
+// contract.
+func TestWriteChrome(t *testing.T) {
+	tr := trace.New(trace.Config{DS: "dah", Alg: "bfs", Model: "fs", Flight: 2})
+	b := tr.StartBatch(0)
+	sp := b.Start("compute")
+	w0 := sp.Ctx().Worker("fs.bfs.topdown", 0)
+	w0.End()
+	w1 := sp.Ctx().Worker("fs.bfs.topdown", 1)
+	w1.End()
+	sp.End()
+	b.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	var metas, batches, spans int
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+			if ev.Name != "thread_name" {
+				t.Fatalf("metadata event %q", ev.Name)
+			}
+		case "X":
+			tids[ev.TID] = true
+			if strings.HasPrefix(ev.Name, "batch ") {
+				batches++
+				if ev.Args["ds"] != "dah" || ev.Args["alg"] != "bfs" {
+					t.Fatalf("batch args %v", ev.Args)
+				}
+			} else {
+				spans++
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// Tracks: pipeline (0) + workers 0,1 (tids 1,2); metadata names all 3.
+	if metas != 3 {
+		t.Fatalf("%d thread_name metadata events, want 3", metas)
+	}
+	if batches != 1 || spans != 3 {
+		t.Fatalf("batches=%d spans=%d, want 1/3", batches, spans)
+	}
+	for _, tid := range []int{0, 1, 2} {
+		if !tids[tid] {
+			t.Fatalf("no events on tid %d (tracks %v)", tid, tids)
+		}
+	}
+}
+
+// TestDumpChromeFile writes the ring to a file and re-parses it.
+func TestDumpChromeFile(t *testing.T) {
+	tr := trace.New(trace.Config{Flight: 2})
+	tr.StartBatch(0).Finish()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.DumpChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dumps, err := readChromeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumps == 0 {
+		t.Fatal("dumped file holds no trace events")
+	}
+}
+
+// BenchmarkDisabledTraceHotLoop measures the per-batch cost of the trace
+// hooks with tracing off; the companion test asserts 0 allocs/op, this
+// reports the time cost (a handful of nil checks).
+func BenchmarkDisabledTraceHotLoop(bm *testing.B) {
+	var tr *trace.Tracer
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		b := tr.StartBatch(i)
+		sp := b.Start("update")
+		sp.SetInt("edges", 1000)
+		sp.End()
+		csp := b.Start("compute")
+		ctx := csp.Ctx()
+		for w := 0; w < 8; w++ {
+			wsp := ctx.Worker("round", w)
+			wsp.SetInt("vertices", 128)
+			wsp.End()
+		}
+		csp.End()
+		b.Finish()
+	}
+}
+
+// BenchmarkEnabledTrace measures the full per-batch recording cost with
+// an 8-worker round, for the overhead table in EXPERIMENTS.md.
+func BenchmarkEnabledTrace(bm *testing.B) {
+	tr := trace.New(trace.Config{DS: "adjshared", Alg: "pr", Model: "inc", Flight: 16})
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		b := tr.StartBatch(i)
+		sp := b.Start("update")
+		sp.SetInt("edges", 1000)
+		sp.End()
+		csp := b.Start("compute")
+		ctx := csp.Ctx()
+		for w := 0; w < 8; w++ {
+			wsp := ctx.Worker("round", w)
+			wsp.SetInt("vertices", 128)
+			wsp.End()
+		}
+		csp.End()
+		b.Finish()
+	}
+}
+
+// readChromeFile counts trace events in a Chrome JSON file.
+func readChromeFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, err
+	}
+	return len(doc.TraceEvents), nil
+}
