@@ -61,6 +61,9 @@ func main() {
 		traceJSONL  = flag.String("trace-jsonl", "", "stream every finished batch trace as one JSONL line to this file; implies -trace")
 		pprofLabels = flag.Bool("pprof-labels", false, "run pipeline phases under pprof labels (batch/stage/ds/alg/model) so CPU profiles attribute samples to stages; implies -trace")
 
+		serveQ   = flag.Bool("serve-queries", false, "publish an immutable epoch snapshot after every batch and serve concurrent neighborhood/value reads from it while the stream runs (non-blocking queries)")
+		qReaders = flag.Int("query-readers", 4, "concurrent reader goroutines with -serve-queries")
+
 		walDir    = flag.String("wal", "", "durability directory: write-ahead log every batch, checkpoint periodically, recover and resume on restart")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy with -wal: always, interval, never")
 		ckptEvery = flag.Int("checkpoint-every", 64, "checkpoint every N batches with -wal (negative disables periodic checkpoints)")
@@ -113,9 +116,24 @@ func main() {
 		Model:         compute.Model(*model),
 		Threads:       *threads,
 		ComputeView:   *view,
+		ServeQueries:  *serveQ,
 		Compute:       compute.Options{Source: graph.NodeID(*source)},
 		Telemetry:     rec,
 		Tracer:        tracer,
+	}
+	// With -serve-queries, each measured pipeline gets a concurrent reader
+	// fleet pinned to its published epochs; the per-run stats accumulate
+	// for the summary line after the latency table.
+	var qstats []core.QueryLoadStats
+	var onPipeline func(*core.Pipeline) func()
+	if *serveQ {
+		onPipeline = func(p *core.Pipeline) func() {
+			ql, qerr := core.StartQueryLoad(p, core.QueryLoadConfig{Readers: *qReaders, Seed: *seed})
+			if qerr != nil {
+				fatal(qerr)
+			}
+			return func() { qstats = append(qstats, ql.Stop()) }
+		}
 	}
 	var onBatch func(b int, edges graph.Batch, p *core.Pipeline, lat core.BatchLatency)
 	if *verbose {
@@ -170,7 +188,7 @@ func main() {
 			Dir:             *walDir,
 			Fsync:           durable.FsyncPolicy(*fsync),
 			CheckpointEvery: *ckptEvery,
-		}, edges, batchSize, *repeats, onBatch, sigC)
+		}, edges, batchSize, *repeats, onBatch, onPipeline, sigC)
 	} else {
 		go func() {
 			<-sigC
@@ -185,6 +203,7 @@ func main() {
 			BatchSize:      batchSize,
 			Repeats:        *repeats,
 			OnBatch:        onBatch,
+			OnPipeline:     onPipeline,
 		})
 	}
 	if err != nil {
@@ -217,6 +236,31 @@ func main() {
 	fmt.Printf("update share of batch latency: P1=%.0f%% P2=%.0f%% P3=%.0f%%\n",
 		100*share[0], 100*share[1], 100*share[2])
 
+	if *serveQ {
+		var agg core.QueryLoadStats
+		for _, s := range qstats {
+			agg.Queries += s.Queries
+			agg.Sessions += s.Sessions
+			agg.Misses += s.Misses
+			agg.Violations += s.Violations
+			if s.MaxStaleness > agg.MaxStaleness {
+				agg.MaxStaleness = s.MaxStaleness
+			}
+			if agg.FirstViolation == "" {
+				agg.FirstViolation = s.FirstViolation
+			}
+			agg.Elapsed += s.Elapsed
+		}
+		fmt.Printf("queries: readers=%d served=%d (%.0f/s) sessions=%d misses=%d max-staleness=%d batches [%s]\n",
+			*qReaders, agg.Queries, agg.QPS(), agg.Sessions, agg.Misses, agg.MaxStaleness,
+			compute.ValueLabel(*alg))
+		if agg.Violations > 0 {
+			fmt.Fprintf(os.Stderr, "saga: %d query consistency violations, first: %s\n",
+				agg.Violations, agg.FirstViolation)
+			os.Exit(1)
+		}
+	}
+
 	if rec != nil {
 		if err := rec.Close(); err != nil {
 			fatal(err)
@@ -248,7 +292,8 @@ func main() {
 // past whatever the durability directory already covers. Repeats make no
 // sense against persistent state, so the stream runs exactly once.
 func runDurable(pc core.PipelineConfig, dcfg durable.Config, edges []graph.Edge, batchSize, repeats int,
-	onBatch func(int, graph.Batch, *core.Pipeline, core.BatchLatency), sigC chan os.Signal) (*core.RunResult, error) {
+	onBatch func(int, graph.Batch, *core.Pipeline, core.BatchLatency),
+	onPipeline func(*core.Pipeline) func(), sigC chan os.Signal) (*core.RunResult, error) {
 	if batchSize <= 0 {
 		return nil, fmt.Errorf("batch size must be positive")
 	}
@@ -259,6 +304,10 @@ func runDurable(pc core.PipelineConfig, dcfg durable.Config, edges []graph.Edge,
 	p, err := core.NewPipeline(pc)
 	if err != nil {
 		return nil, err
+	}
+	var stopLoad func()
+	if onPipeline != nil {
+		stopLoad = onPipeline(p)
 	}
 	batches := graph.Batches(edges, batchSize)
 	resume := p.DurableSeq()
@@ -280,6 +329,9 @@ stream:
 		}
 		lat, err := p.ProcessMixed(core.MixedBatch{Adds: b})
 		if err != nil {
+			if stopLoad != nil {
+				stopLoad()
+			}
 			p.Close()
 			return nil, err
 		}
@@ -288,6 +340,9 @@ stream:
 		if onBatch != nil {
 			onBatch(bi, b, p, lat)
 		}
+	}
+	if stopLoad != nil {
+		stopLoad()
 	}
 	if err := p.Close(); err != nil {
 		return nil, err

@@ -28,6 +28,7 @@ func main() {
 		profile    = flag.String("profile", "default", "dataset scale: tiny, default, large")
 		threads    = flag.Int("threads", 4, "worker threads")
 		view       = flag.Bool("compute-view", false, "run every compute phase on the incrementally rebuilt flat CSR mirror")
+		serveQ     = flag.Int("serve-queries", 0, "serve non-blocking queries during every measured run with this many concurrent readers (0 disables)")
 		repeats    = flag.Int("repeats", 1, "stream repetitions (paper uses 3)")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		machdiv    = flag.Int("machdiv", 128, "simulated-machine capacity divisor for fig9/fig10")
@@ -89,16 +90,17 @@ func main() {
 	}
 
 	h := bench.New(bench.Options{
-		Profile:     gen.Profile(*profile),
-		Threads:     *threads,
-		Repeats:     *repeats,
-		Seed:        *seed,
-		MachineDiv:  *machdiv,
-		Out:         out,
-		CSVDir:      *csvdir,
-		Telemetry:   rec,
-		Tracer:      tracer,
-		ComputeView: *view,
+		Profile:      gen.Profile(*profile),
+		Threads:      *threads,
+		Repeats:      *repeats,
+		Seed:         *seed,
+		MachineDiv:   *machdiv,
+		Out:          out,
+		CSVDir:       *csvdir,
+		Telemetry:    rec,
+		Tracer:       tracer,
+		ComputeView:  *view,
+		QueryReaders: *serveQ,
 	})
 	start := time.Now()
 	if err := h.RunExperiment(*experiment); err != nil {

@@ -53,6 +53,12 @@ type Options struct {
 	// ComputeView runs every measured pipeline's compute phase on the
 	// incrementally rebuilt flat CSR mirror (core.PipelineConfig.ComputeView).
 	ComputeView bool
+	// QueryReaders, when positive, serves non-blocking queries during
+	// every measured run: each pipeline publishes an epoch snapshot per
+	// batch and this many concurrent readers query the snapshots while
+	// the stream applies (core.StartQueryLoad). Aggregate query stats
+	// print after the experiments finish.
+	QueryReaders int
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +118,8 @@ type Harness struct {
 	runs     map[runKey]*core.RunResult
 	profiles map[profKey]*perfmon.Report
 
+	qstats []core.QueryLoadStats
+
 	csvData    map[string][][]string
 	csvHeaders map[string][]string
 }
@@ -155,7 +163,7 @@ func (h *Harness) run(dataset, dsName, alg string, model compute.Model) (*core.R
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(core.RunConfig{
+	cfg := core.RunConfig{
 		PipelineConfig: core.PipelineConfig{
 			DataStructure: dsName,
 			Algorithm:     alg,
@@ -168,7 +176,12 @@ func (h *Harness) run(dataset, dsName, alg string, model compute.Model) (*core.R
 		Dataset: spec,
 		Seed:    h.opts.Seed,
 		Repeats: h.opts.Repeats,
-	})
+	}
+	if h.opts.QueryReaders > 0 {
+		cfg.ServeQueries = true
+		cfg.OnPipeline = h.attachQueryLoad
+	}
+	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +300,7 @@ var Experiments = []struct {
 	{"ablation", "Design-parameter sweeps (block size, flush threshold, chunks)", (*Harness).Ablation},
 	{"extensions", "Log-structured ingest + sliding-window deletion (beyond the paper)", (*Harness).Extensions},
 	{"sensitivity", "Fig 9/10 conclusions vs simulated-machine scale (robustness check)", (*Harness).Sensitivity},
+	{"interference", "Non-blocking query readers vs update throughput (beyond the paper)", (*Harness).Interference},
 }
 
 // RunExperiment dispatches by ID ("all" runs everything in order) and
@@ -298,14 +312,14 @@ func (h *Harness) RunExperiment(id string) error {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
 		}
-		return h.FlushCSV()
+		return h.finish()
 	}
 	for _, e := range Experiments {
 		if e.ID == id {
 			if err := e.Run(h); err != nil {
 				return err
 			}
-			return h.FlushCSV()
+			return h.finish()
 		}
 	}
 	ids := make([]string, len(Experiments))
@@ -313,4 +327,22 @@ func (h *Harness) RunExperiment(id string) error {
 		ids[i] = e.ID
 	}
 	return fmt.Errorf("bench: unknown experiment %q (have %v and \"all\")", id, ids)
+}
+
+// finish flushes CSVs and, when query loads ran alongside the measured
+// runs (Options.QueryReaders), reports their aggregate and fails on any
+// consistency violation so CI catches torn epochs in ordinary sweeps.
+func (h *Harness) finish() error {
+	if err := h.FlushCSV(); err != nil {
+		return err
+	}
+	if h.opts.QueryReaders > 0 {
+		agg := h.QueryStats()
+		h.printf("\nqueries: readers=%d served=%d (%.0f/s) sessions=%d misses=%d max-staleness=%d batches\n",
+			h.opts.QueryReaders, agg.Queries, agg.QPS(), agg.Sessions, agg.Misses, agg.MaxStaleness)
+		if agg.Violations > 0 {
+			return fmt.Errorf("bench: %d query consistency violations, first: %s", agg.Violations, agg.FirstViolation)
+		}
+	}
+	return nil
 }

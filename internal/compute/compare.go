@@ -60,6 +60,28 @@ func Tolerance(alg string) float64 {
 	}
 }
 
+// ValueLabel names what one slot of alg's property vector means — the
+// unit a served query result should be read (and reported) in. The
+// non-blocking query surface uses it to label sampled values, so a CLI
+// or dashboard shows "bfs depth 3" rather than a bare float.
+func ValueLabel(alg string) string {
+	switch alg {
+	case "bfs":
+		return "hop depth"
+	case "cc":
+		return "component label"
+	case "mc":
+		return "max color"
+	case "pr":
+		return "pagerank score"
+	case "sssp":
+		return "shortest-path distance"
+	case "sswp":
+		return "widest-path capacity"
+	}
+	return "value"
+}
+
 // DiffValues returns the index of the first slot where got and want differ
 // by more than tol (+Inf matches +Inf), or -1 when the vectors agree. A
 // length mismatch reports the first index past the shorter vector.

@@ -27,6 +27,7 @@ import (
 	"sagabench/internal/compute"
 	"sagabench/internal/ds"
 	"sagabench/internal/durable"
+	"sagabench/internal/epoch"
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
 	"sagabench/internal/stats"
@@ -62,6 +63,14 @@ type Pipeline struct {
 	// WAL and checkpoint spans land inside the batch trace).
 	tr *trace.Tracer
 	bt *trace.Batch
+
+	// em is the epoch-publication manager (nil when ServeQueries is off —
+	// the batch loop then never touches it). epochBatch counts published
+	// batches independently of the telemetry-gated batchIdx; lastEpoch
+	// remembers the manager counters so record emits deltas.
+	em         *epoch.Manager
+	epochBatch int
+	lastEpoch  epoch.Stats
 
 	affected     []graph.NodeID
 	affectedMark []uint8
@@ -105,6 +114,17 @@ type PipelineConfig struct {
 	// both sides honest). Structures without a Flattener fall back to the
 	// interface path silently.
 	ComputeView bool
+	// ServeQueries enables non-blocking queries: after every batch the
+	// pipeline publishes an immutable snapshot of the graph (the refreshed
+	// compute-view CSR when ComputeView is on, else a freshly built CSR)
+	// plus the algorithm's property vector, behind an epoch counter with
+	// reader refcounts. Concurrent readers then pin epochs through
+	// AcquireQuery and read without ever blocking the update phase; the
+	// writer never frees or reuses a pinned snapshot's memory (see
+	// internal/epoch). With ComputeView the marginal publication cost is
+	// one property-vector copy per batch — the CSR is the mirror the
+	// refresh built anyway; without it every batch pays a full CSR export.
+	ServeQueries bool
 	// Telemetry, when non-nil, receives one event per processed batch
 	// (latencies, affected-set size, compute stats, ds profile deltas).
 	// Nil disables instrumentation at near-zero cost.
@@ -162,6 +182,11 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	}
 	p := &Pipeline{g: g, engine: engine, rec: cfg.Telemetry, tr: cfg.Tracer, pcfg: cfg}
 	p.initView()
+	if cfg.ServeQueries {
+		// Buffer reuse is negotiated with the compute-view double buffer;
+		// the export fallback publishes fresh arrays every batch.
+		p.em = epoch.NewManager(cfg.ComputeView)
+	}
 	if cfg.Durable != nil {
 		if err := p.initDurable(*cfg.Durable); err != nil {
 			return nil, err
@@ -185,9 +210,11 @@ func (p *Pipeline) initView() {
 		threads = 1
 	}
 	if v, ok := ds.NewComputeView(p.g, threads); ok {
-		if !compute.NeedsInAdjacency(p.pcfg.Algorithm, p.pcfg.Model) {
+		if !compute.NeedsInAdjacency(p.pcfg.Algorithm, p.pcfg.Model) && !p.pcfg.ServeQueries {
 			// The registered kernel never pulls from in-neighbors, so
-			// don't pay to mirror that direction on every batch.
+			// don't pay to mirror that direction on every batch. Served
+			// queries forbid the shortcut: a pinned epoch must answer
+			// in-neighborhood reads regardless of the algorithm.
 			v.MirrorOutOnly()
 		}
 		p.view = v
@@ -298,6 +325,11 @@ func (p *Pipeline) record(edges, deletes, affected int, lat BatchLatency) {
 		ev.ViewDirtyFrac = p.lastView.DirtyFraction()
 		ev.ViewFull = p.lastView.Full
 	}
+	if p.em != nil {
+		// publishEpoch ran just before record, so the latest epoch is this
+		// batch's publication.
+		ev.Epoch = p.em.LatestEpoch()
+	}
 	p.batchIdx++
 	if prof, ok := ds.ProfileOf(p.g); ok {
 		d := prof.Delta(&p.lastProf)
@@ -372,6 +404,12 @@ type RunConfig struct {
 	// OnBatch, if set, observes each processed batch (used by the
 	// architecture profiler to replay traces).
 	OnBatch func(batch int, edges graph.Batch, p *Pipeline, lat BatchLatency)
+	// OnPipeline, if set, observes each repeat's freshly built pipeline
+	// before its first batch; the returned stop function (may be nil) is
+	// called after the repeat's last batch, before the pipeline is closed.
+	// The query-load generator attaches here so readers run concurrently
+	// with the measured stream.
+	OnPipeline func(p *Pipeline) (stop func())
 }
 
 // RunResult holds the per-batch latency series of all repeats.
@@ -398,7 +436,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	res := &RunResult{}
 	for r := 0; r < repeats; r++ {
 		edges := cfg.Dataset.Generate(cfg.Seed + int64(r))
-		if err := res.measureOnce(cfg.PipelineConfig, edges, cfg.Dataset.BatchSize, cfg.OnBatch, r); err != nil {
+		if err := res.measureOnce(cfg.PipelineConfig, edges, cfg.Dataset.BatchSize, cfg.OnBatch, cfg.OnPipeline, r); err != nil {
 			return nil, err
 		}
 	}
@@ -414,6 +452,8 @@ type StreamConfig struct {
 	BatchSize int
 	Repeats   int
 	OnBatch   func(batch int, edges graph.Batch, p *Pipeline, lat BatchLatency)
+	// OnPipeline mirrors RunConfig.OnPipeline.
+	OnPipeline func(p *Pipeline) (stop func())
 }
 
 // RunStream executes the stream experiment.
@@ -430,7 +470,7 @@ func RunStream(cfg StreamConfig) (*RunResult, error) {
 	}
 	res := &RunResult{}
 	for r := 0; r < repeats; r++ {
-		if err := res.measureOnce(cfg.PipelineConfig, cfg.Edges, cfg.BatchSize, cfg.OnBatch, r); err != nil {
+		if err := res.measureOnce(cfg.PipelineConfig, cfg.Edges, cfg.BatchSize, cfg.OnBatch, cfg.OnPipeline, r); err != nil {
 			return nil, err
 		}
 	}
@@ -439,12 +479,16 @@ func RunStream(cfg StreamConfig) (*RunResult, error) {
 
 // measureOnce streams one repeat on a fresh pipeline, appending its latency
 // series.
-func (res *RunResult) measureOnce(pc PipelineConfig, edges []graph.Edge, batchSize int, onBatch func(int, graph.Batch, *Pipeline, BatchLatency), repeat int) error {
+func (res *RunResult) measureOnce(pc PipelineConfig, edges []graph.Edge, batchSize int, onBatch func(int, graph.Batch, *Pipeline, BatchLatency), onPipeline func(*Pipeline) func(), repeat int) error {
 	p, err := NewPipeline(pc)
 	if err != nil {
 		return err
 	}
 	p.repeatTag = repeat
+	var stop func()
+	if onPipeline != nil {
+		stop = onPipeline(p)
+	}
 	batches := graph.Batches(edges, batchSize)
 	if res.BatchCount == 0 {
 		res.BatchCount = len(batches)
@@ -460,6 +504,12 @@ func (res *RunResult) measureOnce(pc PipelineConfig, edges []graph.Edge, batchSi
 		if onBatch != nil {
 			onBatch(bi, b, p, lat)
 		}
+	}
+	if stop != nil {
+		stop()
+	}
+	if err := p.Close(); err != nil {
+		return err
 	}
 	res.Update = append(res.Update, upd)
 	res.Compute = append(res.Compute, cmp)
@@ -618,6 +668,9 @@ func (p *Pipeline) apply(mb MixedBatch) (BatchLatency, error) {
 	} else {
 		p.computePhase(cg, aff, &lat)
 	}
+	if p.em != nil {
+		p.publishEpoch()
+	}
 	if p.rec != nil {
 		p.record(len(mb.Adds), len(mb.Dels), len(aff), lat)
 	}
@@ -654,6 +707,14 @@ func (p *Pipeline) updatePhase(mb MixedBatch, lat *BatchLatency) error {
 	}
 	sp.End()
 	if p.view != nil {
+		// The refresh is about to scribble the double buffer's spare
+		// arrays, which belong to the snapshot superseded two publishes
+		// ago. If readers still pin it, abandon the spares to the GC (the
+		// rebuild then allocates fresh arrays) instead of tearing the
+		// pinned epoch — the writer never frees under a reader.
+		if p.em != nil && p.em.ReclaimSpare() {
+			p.view.DropSpares()
+		}
 		vsp := p.bt.Start("view.refresh")
 		p.lastView = p.view.Refresh(mb.Adds, mb.Dels)
 		lat.Update += p.lastView.Duration

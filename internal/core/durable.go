@@ -108,6 +108,13 @@ func (p *Pipeline) resetComponents() error {
 	// checkpoint-restored topology (restoreCheckpoint writes the structure
 	// directly, bypassing apply and therefore the mirror).
 	p.initView()
+	if p.em != nil {
+		// The double buffer was discarded with the old view; the spare the
+		// manager tracked no longer exists, so stop gating on it. Snapshots
+		// published before the reset stay pinned and intact — their arrays
+		// belong to the GC now, not to any live double buffer.
+		p.em.ForgetSpare()
+	}
 	return nil
 }
 
@@ -332,9 +339,15 @@ func (p *Pipeline) writeDurableCheckpoint() error {
 	return nil
 }
 
-// Close flushes the durability layer: final checkpoint, then WAL close.
-// A pipeline without durability has nothing to close.
+// Close shuts the pipeline down: epoch publication stops (subsequent
+// AcquireQuery calls fail; handles already pinned stay valid until
+// released — their snapshots are immutable and outlive the pipeline),
+// then the durability layer flushes: final checkpoint, then WAL close.
+// A pipeline with neither has nothing to close.
 func (p *Pipeline) Close() error {
+	if p.em != nil {
+		p.em.Close()
+	}
 	if p.dur == nil {
 		return nil
 	}

@@ -96,6 +96,7 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 	r := &Repro{Model: compute.FS}
 	lineNo := 1
 	inStream := false
+	var noteLines []string
 	parseEdge := func(fields []string) (graph.Edge, error) {
 		var e graph.Edge
 		if len(fields) != 4 {
@@ -118,7 +119,13 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Comment lines are the serialized Note; restore it so a
+			// parsed repro keeps its provenance.
+			noteLines = append(noteLines, strings.TrimSpace(strings.TrimPrefix(line, "#")))
 			continue
 		}
 		fields := strings.Fields(line)
@@ -190,6 +197,7 @@ func ParseRepro(rd io.Reader) (*Repro, error) {
 	if r.DS == "" {
 		return nil, fmt.Errorf("crosscheck: repro names no data structure")
 	}
+	r.Note = strings.Join(noteLines, "\n")
 	return r, nil
 }
 

@@ -265,6 +265,19 @@ func (d *mirrorDir) rebuild(n int, oldIdx []int64, oldAdj []graph.Neighbor, full
 	return newIdx, newAdj
 }
 
+// DropSpares abandons the double buffer's spare arrays to the garbage
+// collector: the next Refresh then writes into freshly allocated arrays
+// instead of scribbling over the spares. The epoch-publication layer
+// calls this when the snapshot that owns the spare arrays is still
+// pinned by readers — the snapshot keeps its (now GC-owned) arrays
+// intact, and the writer pays one allocation instead of blocking.
+func (v *ComputeView) DropSpares() {
+	v.out.spareIdx, v.out.spareAdj = nil, nil
+	if v.in != nil {
+		v.in.spareIdx, v.in.spareAdj = nil, nil
+	}
+}
+
 // Source exposes the mirrored dynamic structure.
 func (v *ComputeView) Source() Graph { return v.src }
 

@@ -148,6 +148,70 @@ func TestComputeViewReadOnly(t *testing.T) {
 	view.Update(graph.Batch{{Src: 0, Dst: 1}})
 }
 
+// TestComputeViewDropSpares pins down the double-buffer contract behind
+// epoch publication: by default the third refresh scribbles the arrays
+// published two refreshes ago (they are the spare buffer — the control
+// half asserts that reuse so the test has teeth), and after DropSpares
+// the next rebuild allocates fresh arrays, leaving the old ones — which a
+// pinned snapshot may still hold — bit-for-bit intact.
+func TestComputeViewDropSpares(t *testing.T) {
+	mkBatch := func(round int) graph.Batch {
+		var b graph.Batch
+		for src := 0; src < 16; src++ {
+			for k := 1; k <= 3; k++ {
+				b = append(b, graph.Edge{
+					Src:    graph.NodeID(src),
+					Dst:    graph.NodeID((src + k) % 16),
+					Weight: graph.Weight(1 + (src+k+round)%7),
+				})
+			}
+		}
+		return b
+	}
+	setup := func() (ds.Graph, *ds.ComputeView) {
+		g := ds.MustNew("adjshared", ds.Config{Directed: true, Threads: 2})
+		view, ok := ds.NewComputeView(g, 2)
+		if !ok {
+			t.Fatal("NewComputeView failed")
+		}
+		b := mkBatch(0)
+		g.Update(b)
+		view.Refresh(b, nil)
+		return g, view
+	}
+	step := func(g ds.Graph, view *ds.ComputeView, round int) {
+		b := mkBatch(round) // same edges, new weights: dirty, no growth
+		g.Update(b)
+		view.Refresh(b, nil)
+	}
+
+	// Control: without DropSpares, refresh 3 reuses refresh 1's arrays.
+	g, view := setup()
+	idx1, adj1 := view.FlatCSR().OutIndex, view.FlatCSR().OutAdj
+	step(g, view, 1)
+	step(g, view, 2)
+	c3 := view.FlatCSR()
+	if &c3.OutIndex[0] != &idx1[0] || &c3.OutAdj[0] != &adj1[0] {
+		t.Fatal("control: third refresh did not reuse the double buffer; DropSpares test would be vacuous")
+	}
+
+	// With DropSpares between: refresh 3 allocates, the held arrays survive.
+	g, view = setup()
+	idx1, adj1 = view.FlatCSR().OutIndex, view.FlatCSR().OutAdj
+	wantIdx := append([]int64(nil), idx1...)
+	wantAdj := append([]graph.Neighbor(nil), adj1...)
+	step(g, view, 1)
+	view.DropSpares()
+	step(g, view, 2)
+	c3 = view.FlatCSR()
+	if &c3.OutIndex[0] == &idx1[0] || &c3.OutAdj[0] == &adj1[0] {
+		t.Fatal("refresh after DropSpares still reused the dropped arrays")
+	}
+	if !reflect.DeepEqual(idx1, wantIdx) || !reflect.DeepEqual(adj1, wantAdj) {
+		t.Fatal("dropped arrays were scribbled after DropSpares")
+	}
+}
+
 // TestExportEdgesParallel checks the fanned-out exporter produces the
 // identical canonical edge list as the sequential one, for every
 // structure, after a mixed stream.

@@ -1,0 +1,360 @@
+// Package epoch implements the snapshot-publication protocol behind
+// SAGA-Bench's non-blocking queries: after each update phase the writer
+// publishes an immutable CSR snapshot of the graph (plus the algorithm's
+// property vector) behind an atomically swapped epoch pointer; readers pin
+// the latest epoch with a refcount, read without any lock, and release.
+//
+// Progress guarantees (the vocabulary of the wait-free concurrent-graph
+// line of work — Peri et al.):
+//
+//   - Readers never block the writer: Pin/Release are a handful of atomic
+//     operations; no reader-side mutex exists for the writer to wait on.
+//     A slow or stuck reader only delays buffer reuse, never publication.
+//   - The writer never frees (or reuses) memory under a reader: the
+//     double-buffered mirror arrays of a superseded snapshot are reused
+//     only after its refcount has drained (ReclaimSpare); if readers still
+//     hold it, the writer abandons those buffers to the garbage collector
+//     and allocates fresh ones — retirement is deferred, not blocking.
+//   - Readers are lock-free: Pin retries only when a publication lands
+//     between its load and its validation, which bounds retries by writer
+//     progress, not by other readers.
+//
+// The package is deliberately small and dependency-free (graph only): the
+// core pipeline wires it into batch processing, and the crosscheck
+// harness drives it directly for the read-during-update differential.
+package epoch
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"sagabench/internal/graph"
+)
+
+// Snapshot is one published epoch: an immutable CSR of the graph as of
+// one batch boundary, plus the algorithm's property vector at that batch.
+// All exported fields are read-only after Publish; the arrays must never
+// be mutated by readers or re-published.
+type Snapshot struct {
+	// Epoch is the publication sequence number (1-based; assigned by
+	// Publish).
+	Epoch uint64
+	// Batch is the 0-based index of the batch whose application this
+	// snapshot reflects.
+	Batch int
+	// Wall is the publication wall time, stamped by the caller (the
+	// deterministic crosscheck harness leaves it zero).
+	Wall time.Time
+	// CSR is the adjacency snapshot. For undirected graphs the in arrays
+	// alias the out arrays.
+	CSR graph.CSR
+	// Values is the algorithm's vertex property vector at this batch
+	// (may be empty when the publisher runs no compute phase).
+	Values []float64
+	// Directed reports the stream's directedness.
+	Directed bool
+
+	// refs counts pinned readers. It can only grow while the snapshot is
+	// the latest epoch; once superseded it drains monotonically, which is
+	// what makes ReclaimSpare's refs==0 check stable.
+	refs atomic.Int64
+}
+
+// NumNodes reports the snapshot's vertex count.
+func (s *Snapshot) NumNodes() int { return len(s.CSR.OutIndex) - 1 }
+
+// NumEdges reports the snapshot's directed edge count.
+func (s *Snapshot) NumEdges() int { return len(s.CSR.OutAdj) }
+
+// OutDegree reports v's out-degree (0 beyond the vertex space).
+func (s *Snapshot) OutDegree(v graph.NodeID) int {
+	if int(v) >= s.NumNodes() {
+		return 0
+	}
+	return s.CSR.OutDegree(v)
+}
+
+// InDegree reports v's in-degree (0 beyond the vertex space).
+func (s *Snapshot) InDegree(v graph.NodeID) int {
+	if int(v) >= s.NumNodes() {
+		return 0
+	}
+	return s.CSR.InDegree(v)
+}
+
+// Out returns v's out-adjacency run (nil beyond the vertex space). The
+// run aliases the snapshot and must not be mutated or held past Release.
+func (s *Snapshot) Out(v graph.NodeID) []graph.Neighbor {
+	if int(v) >= s.NumNodes() {
+		return nil
+	}
+	return s.CSR.Out(v)
+}
+
+// In returns v's in-adjacency run (nil beyond the vertex space).
+func (s *Snapshot) In(v graph.NodeID) []graph.Neighbor {
+	if int(v) >= s.NumNodes() {
+		return nil
+	}
+	return s.CSR.In(v)
+}
+
+// HasEdge scans v's out-run for dst, returning the stored weight.
+func (s *Snapshot) HasEdge(src, dst graph.NodeID) (graph.Weight, bool) {
+	for _, nb := range s.Out(src) {
+		if nb.ID == dst {
+			return nb.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// Value returns v's algorithm property value at this epoch.
+func (s *Snapshot) Value(v graph.NodeID) (float64, bool) {
+	if int(v) >= len(s.Values) {
+		return 0, false
+	}
+	return s.Values[v], true
+}
+
+// CheckConsistent verifies the snapshot's structural invariants: index
+// arrays that start at 0, are monotone, and cover the adjacency arrays
+// exactly; neighbor IDs inside the vertex space; a property vector sized
+// to the vertex space (or absent). A torn or scribbled publication breaks
+// at least one of these. O(V+E) — meant for tests and the differential
+// harness, not the query hot path.
+func (s *Snapshot) CheckConsistent() error {
+	n := s.NumNodes()
+	if n < 0 {
+		return fmt.Errorf("epoch %d: empty out index", s.Epoch)
+	}
+	if err := checkDir("out", n, s.CSR.OutIndex, s.CSR.OutAdj); err != nil {
+		return fmt.Errorf("epoch %d: %w", s.Epoch, err)
+	}
+	if len(s.CSR.InIndex) > 0 {
+		if len(s.CSR.InIndex) != n+1 {
+			return fmt.Errorf("epoch %d: in index covers %d vertices, out index %d", s.Epoch, len(s.CSR.InIndex)-1, n)
+		}
+		if err := checkDir("in", n, s.CSR.InIndex, s.CSR.InAdj); err != nil {
+			return fmt.Errorf("epoch %d: %w", s.Epoch, err)
+		}
+		if len(s.CSR.InAdj) != len(s.CSR.OutAdj) {
+			return fmt.Errorf("epoch %d: %d in records vs %d out records", s.Epoch, len(s.CSR.InAdj), len(s.CSR.OutAdj))
+		}
+	}
+	if len(s.Values) != 0 && len(s.Values) != n {
+		return fmt.Errorf("epoch %d: %d property values for %d vertices", s.Epoch, len(s.Values), n)
+	}
+	return nil
+}
+
+func checkDir(dir string, n int, index []int64, adj []graph.Neighbor) error {
+	if index[0] != 0 {
+		return fmt.Errorf("%s index starts at %d, want 0", dir, index[0])
+	}
+	for v := 0; v < n; v++ {
+		if index[v+1] < index[v] {
+			return fmt.Errorf("%s index decreases at vertex %d (%d -> %d)", dir, v, index[v], index[v+1])
+		}
+	}
+	if int(index[n]) != len(adj) {
+		return fmt.Errorf("%s index covers %d records, adjacency holds %d", dir, index[n], len(adj))
+	}
+	for i, nb := range adj {
+		if int(nb.ID) >= n {
+			return fmt.Errorf("%s record %d names vertex %d outside space of %d", dir, i, nb.ID, n)
+		}
+	}
+	return nil
+}
+
+// Fingerprint hashes the snapshot's topology and values (FNV-1a over the
+// index, adjacency, and property arrays). A pinned epoch's fingerprint
+// must never change — the race battery computes it at pin time and again
+// after the writer has advanced, so any scribble on a held snapshot is
+// caught even if the structural invariants still hold.
+func (s *Snapshot) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, x := range s.CSR.OutIndex {
+		mix(uint64(x))
+	}
+	for _, nb := range s.CSR.OutAdj {
+		mix(uint64(nb.ID))
+		mix(uint64(math.Float32bits(float32(nb.Weight))))
+	}
+	// The undirected mirror aliases in onto out; hashing the alias twice
+	// is harmless and keeps the code branch-free for the directed case.
+	for _, x := range s.CSR.InIndex {
+		mix(uint64(x))
+	}
+	for _, nb := range s.CSR.InAdj {
+		mix(uint64(nb.ID))
+	}
+	for _, v := range s.Values {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
+// Stats is a monotone snapshot of the manager's counters.
+type Stats struct {
+	// Published counts snapshots published.
+	Published uint64
+	// Reclaimed counts superseded snapshots whose buffers drained and
+	// were handed back to the writer's double buffer (the zero-reader
+	// fast path).
+	Reclaimed uint64
+	// Dropped counts superseded snapshots that were still pinned when
+	// the writer needed their buffers; their arrays were abandoned to the
+	// GC and the writer allocated fresh ones.
+	Dropped uint64
+	// Pins is the current number of outstanding pinned handles.
+	Pins int64
+}
+
+// Manager publishes snapshots and coordinates reader pins with writer
+// buffer reuse. Publish/ReclaimSpare/ForgetSpare/Close are writer-side:
+// they must be called from one goroutine (the pipeline's batch loop).
+// Pin/Release are safe from any number of concurrent readers.
+type Manager struct {
+	latest atomic.Pointer[Snapshot]
+
+	pins      atomic.Int64
+	published atomic.Uint64
+	reclaimed atomic.Uint64
+	dropped   atomic.Uint64
+
+	// reuse declares that published CSR arrays come from a double
+	// buffer the writer wants back (the compute-view mirror). Without it
+	// every publication carries fresh arrays and spare tracking is off.
+	reuse bool
+	// spareOwner is the snapshot whose arrays currently sit in the
+	// writer's spare buffer — the epoch superseded by the latest publish.
+	// Writer-side only.
+	spareOwner *Snapshot
+}
+
+// NewManager builds a manager. reuseBuffers declares that the writer
+// double-buffers the published arrays and will ask ReclaimSpare before
+// each rebuild; publishers of freshly allocated arrays pass false.
+func NewManager(reuseBuffers bool) *Manager {
+	return &Manager{reuse: reuseBuffers}
+}
+
+// Publish makes s the latest epoch. The previously latest snapshot is
+// superseded: no new pins can land on it, so its refcount only drains
+// from here on. Returns the assigned epoch number.
+func (m *Manager) Publish(s *Snapshot) uint64 {
+	s.Epoch = m.published.Add(1)
+	prev := m.latest.Swap(s)
+	if m.reuse {
+		// prev's arrays are now the writer's spare buffer (the double
+		// buffer swapped during the rebuild that produced s); remember
+		// whose they are so ReclaimSpare can gate the next rebuild.
+		m.spareOwner = prev
+	}
+	return s.Epoch
+}
+
+// ReclaimSpare is the writer's pre-rebuild gate: it reports whether the
+// spare buffers (owned by the snapshot superseded two publications ago)
+// may be scribbled. A false return means the owner has drained — reuse
+// freely. A true return means readers still pin the owner: the caller
+// MUST abandon the spare buffers (ds.ComputeView.DropSpares) so the next
+// rebuild allocates fresh arrays; the pinned snapshot stays intact and is
+// garbage-collected when its readers release.
+func (m *Manager) ReclaimSpare() (mustDrop bool) {
+	owner := m.spareOwner
+	if owner == nil {
+		return false
+	}
+	m.spareOwner = nil
+	// owner is superseded (Publish swapped it out), so refs can only
+	// drain: a reader that loads it stale will fail Pin's validation and
+	// never read through it. Observing 0 here is therefore stable.
+	if owner.refs.Load() == 0 {
+		m.reclaimed.Add(1)
+		return false
+	}
+	m.dropped.Add(1)
+	return true
+}
+
+// ForgetSpare drops spare tracking without reclaiming — for writers that
+// discard their double buffer wholesale (durable recovery rebuilds the
+// mirror from scratch).
+func (m *Manager) ForgetSpare() { m.spareOwner = nil }
+
+// Pin acquires the latest snapshot for reading, or nil when nothing has
+// been published (or the manager is closed). The caller must Release it.
+//
+// The load→increment→validate dance closes the race with a concurrent
+// publication: if the snapshot was superseded between the load and the
+// increment, the validation load (sequentially consistent, so ordered
+// after the publisher's swap) observes the newer epoch and the pin is
+// retried — the transient refcount bump on the superseded snapshot is
+// harmless because this reader never dereferences it.
+func (m *Manager) Pin() *Snapshot {
+	for {
+		s := m.latest.Load()
+		if s == nil {
+			return nil
+		}
+		s.refs.Add(1)
+		if m.latest.Load() == s {
+			m.pins.Add(1)
+			return s
+		}
+		s.refs.Add(-1)
+	}
+}
+
+// Release returns a pinned snapshot. Must be called exactly once per
+// successful Pin.
+func (m *Manager) Release(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	s.refs.Add(-1)
+	m.pins.Add(-1)
+}
+
+// LatestEpoch reports the epoch number of the latest publication (0
+// before the first). Readers use it to measure the staleness of a pinned
+// handle in batches.
+func (m *Manager) LatestEpoch() uint64 {
+	if s := m.latest.Load(); s != nil {
+		return s.Epoch
+	}
+	return m.published.Load()
+}
+
+// Close stops publication hand-out: subsequent Pins return nil. Handles
+// already pinned stay valid — their snapshots are immutable and outlive
+// the manager — so a late-releasing reader never observes freed memory.
+func (m *Manager) Close() {
+	m.latest.Store(nil)
+	m.spareOwner = nil
+}
+
+// Stats reads the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Published: m.published.Load(),
+		Reclaimed: m.reclaimed.Load(),
+		Dropped:   m.dropped.Load(),
+		Pins:      m.pins.Load(),
+	}
+}

@@ -1,0 +1,152 @@
+package snapshot
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sagabench/internal/graph"
+)
+
+// TestStoreAtTable sweeps the checkpoint-plus-log reconstruction across
+// the configurations that stress its boundary arithmetic: a checkpoint at
+// every batch (pure-checkpoint), a cadence that never fires past batch 0
+// (pure-log), cadences whose boundaries land mid-stream, delete-heavy
+// deltas, and both directednesses. Every observed batch index is
+// materialized and compared against a full replay.
+func TestStoreAtTable(t *testing.T) {
+	cases := []struct {
+		name        string
+		every       int
+		batches     int
+		directed    bool
+		deleteHeavy bool
+		wantChecks  int
+	}{
+		{"checkpoint-every-batch", 1, 9, true, false, 9},
+		{"pure-log", 1000, 9, true, false, 1}, // only batch 0 checkpoints
+		{"boundary-cadence", 4, 12, true, false, 3},
+		{"cadence-equals-stream", 6, 6, true, false, 1},
+		{"undirected", 3, 10, false, false, 4},
+		{"delete-heavy", 3, 10, true, true, 4},
+		{"undirected-delete-heavy", 4, 12, false, true, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			adds, dels := randomStream(17, tc.batches, 80, 32, tc.deleteHeavy)
+			if tc.deleteHeavy {
+				// Amplify deletions: also drop the first half of each
+				// batch's own insertions, so some snapshots shrink
+				// between checkpoints.
+				for b := range adds {
+					dels[b] = append(dels[b], adds[b][:len(adds[b])/2]...)
+				}
+			}
+			s := New(Config{Directed: tc.directed, Every: tc.every})
+			for b := range adds {
+				s.Observe(adds[b], dels[b])
+			}
+			if got := s.Batches(); got != tc.batches {
+				t.Fatalf("Batches=%d want %d", got, tc.batches)
+			}
+			if got := s.Checkpoints(); got != tc.wantChecks {
+				t.Fatalf("Checkpoints=%d want %d", got, tc.wantChecks)
+			}
+			for i := 0; i < tc.batches; i++ {
+				c, err := s.At(i)
+				if err != nil {
+					t.Fatalf("At(%d): %v", i, err)
+				}
+				csrEqualsOracle(t, fmt.Sprintf("At(%d)", i), c, expectedAt(adds, dels, i, tc.directed))
+			}
+			csrEqualsOracle(t, "Latest", s.Latest(), expectedAt(adds, dels, tc.batches-1, tc.directed))
+		})
+	}
+}
+
+// TestStoreAtErrors pins the error text for out-of-range indices so CLI
+// surfaces stay stable.
+func TestStoreAtErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe int
+		at      int
+		wantErr string
+	}{
+		{"empty-store", 0, 0, "outside observed range [0,0)"},
+		{"negative", 3, -1, "outside observed range [0,3)"},
+		{"exactly-past-end", 3, 3, "outside observed range [0,3)"},
+		{"far-future", 3, 100, "outside observed range [0,3)"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{Directed: true})
+			for b := 0; b < tc.observe; b++ {
+				s.Observe(graph.Batch{{Src: 0, Dst: graph.NodeID(b + 1), Weight: 1}}, nil)
+			}
+			_, err := s.At(tc.at)
+			if err == nil {
+				t.Fatalf("At(%d) on %d-batch store succeeded", tc.at, tc.observe)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("At(%d) error %q lacks %q", tc.at, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestStoreDefaultCadence: a zero/negative Every falls back to the
+// documented default of 8.
+func TestStoreDefaultCadence(t *testing.T) {
+	for _, every := range []int{0, -3} {
+		s := New(Config{Directed: true, Every: every})
+		for b := 0; b < 17; b++ {
+			s.Observe(graph.Batch{{Src: 0, Dst: graph.NodeID(b), Weight: 1}}, nil)
+		}
+		if got := s.Checkpoints(); got != 3 { // batches 0, 8, 16
+			t.Fatalf("Every=%d: Checkpoints=%d want 3", every, got)
+		}
+	}
+}
+
+// TestStoreEmptyAndDeleteOnlyBatches: batches that add nothing (or only
+// delete) still advance the observed range and reconstruct exactly.
+func TestStoreEmptyAndDeleteOnlyBatches(t *testing.T) {
+	s := New(Config{Directed: true, Every: 2})
+	e01 := graph.Edge{Src: 0, Dst: 1, Weight: 1}
+	e12 := graph.Edge{Src: 1, Dst: 2, Weight: 2}
+	s.Observe(graph.Batch{e01, e12}, nil) // batch 0
+	s.Observe(nil, nil)                   // batch 1: empty
+	s.Observe(nil, graph.Batch{e01})      // batch 2: delete-only
+	if s.Batches() != 3 {
+		t.Fatalf("Batches=%d want 3", s.Batches())
+	}
+	wantEdges := []int{2, 2, 1}
+	for i, want := range wantEdges {
+		c, err := s.At(i)
+		if err != nil {
+			t.Fatalf("At(%d): %v", i, err)
+		}
+		if c.NumEdges() != want {
+			t.Fatalf("At(%d): %d edges want %d", i, c.NumEdges(), want)
+		}
+	}
+	if got := s.Latest().NumEdges(); got != 1 {
+		t.Fatalf("Latest: %d edges want 1", got)
+	}
+	// The vertex space never shrinks: vertex 2 remains addressable after
+	// the delete even though vertex 0 lost its only edge.
+	c, err := s.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() < 3 {
+		t.Fatalf("At(2): %d nodes want >=3", c.NumNodes())
+	}
+	if c.OutDegree(0) != 0 || c.OutDegree(1) != 1 {
+		t.Fatalf("At(2): deg0=%d deg1=%d want 0,1", c.OutDegree(0), c.OutDegree(1))
+	}
+}

@@ -59,6 +59,10 @@ type BatchEvent struct {
 	ViewDirtyFrac float64 `json:"view_dirty_frac,omitempty"`
 	ViewFull      bool    `json:"view_full,omitempty"`
 
+	// Epoch is the publication number of the batch's published snapshot
+	// (zero when non-blocking queries are off).
+	Epoch uint64 `json:"epoch,omitempty"`
+
 	// Update-phase data-structure profile, as per-batch deltas of
 	// ds.UpdateProfile (zero when the structure is not profiled).
 	DSEdgesIngested uint64  `json:"ds_edges_ingested,omitempty"`

@@ -55,6 +55,18 @@ type Recorder struct {
 	workerMu        sync.Mutex
 	workerBusy      []*Gauge
 
+	// Non-blocking query serving: epoch publications, the fate of the
+	// double buffers behind superseded snapshots, and the reader side
+	// (sessions, per-session query counts, pin-time staleness).
+	epochsPublished *Counter
+	epochReclaimed  *Counter
+	epochDropped    *Counter
+	epochPins       *Gauge
+	queries         *Counter
+	querySessions   *Counter
+	queryMisses     *Counter
+	queryStaleness  *Gauge
+
 	walAppends   *Counter
 	walBytes     *Counter
 	walFsyncLat  *Histogram
@@ -95,6 +107,14 @@ func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
 	r.viewDirtyFrac = reg.Gauge("saga_view_dirty_fraction", "Fraction of vertices re-flattened by the latest view refresh")
 	r.viewDelta = reg.Counter("saga_view_delta_rebuilds_total", "View refreshes that re-flattened only dirty vertices")
 	r.viewFull = reg.Counter("saga_view_full_rebuilds_total", "View refreshes that rebuilt the whole mirror")
+	r.epochsPublished = reg.Counter("saga_epochs_published_total", "Snapshots published for non-blocking queries")
+	r.epochReclaimed = reg.Counter("saga_epoch_buffers_reclaimed_total", "Superseded snapshots whose buffers drained and returned to the double buffer")
+	r.epochDropped = reg.Counter("saga_epoch_buffers_dropped_total", "Superseded snapshots abandoned to the GC because readers still pinned them")
+	r.epochPins = reg.Gauge("saga_query_pinned_handles", "Query handles currently pinning an epoch")
+	r.queries = reg.Counter("saga_queries_total", "Reads served from pinned epochs")
+	r.querySessions = reg.Counter("saga_query_sessions_total", "Pin/release query sessions completed")
+	r.queryMisses = reg.Counter("saga_query_misses_total", "Query acquisitions that found no published epoch")
+	r.queryStaleness = reg.Gauge("saga_query_staleness_batches", "Batches behind the latest epoch at the most recent session release")
 	r.walAppends = reg.Counter("saga_wal_appends_total", "Batch records appended to the write-ahead log")
 	r.walBytes = reg.Counter("saga_wal_bytes_total", "Bytes appended to the write-ahead log")
 	r.walFsyncLat = reg.Histogram("saga_wal_fsync_seconds", "WAL fsync latency per flushed append", nil)
@@ -120,6 +140,40 @@ func (r *Recorder) RecordViewRefresh(d time.Duration, dirtyFrac float64, full bo
 	} else {
 		r.viewDelta.Inc()
 	}
+}
+
+// RecordEpochPublish folds one epoch publication into the metrics.
+// reclaimed/dropped are the publication's deltas of the buffer-fate
+// counters (at most one of them is 1), and pins is the number of handles
+// currently pinning epochs.
+func (r *Recorder) RecordEpochPublish(reclaimed, dropped uint64, pins int64) {
+	if r == nil {
+		return
+	}
+	r.epochsPublished.Inc()
+	r.epochReclaimed.Add(reclaimed)
+	r.epochDropped.Add(dropped)
+	r.epochPins.Set(float64(pins))
+}
+
+// RecordQuerySession folds one completed pin/release session into the
+// metrics: how many reads it served and how many batches stale it was
+// when released.
+func (r *Recorder) RecordQuerySession(queries, staleness uint64) {
+	if r == nil {
+		return
+	}
+	r.querySessions.Inc()
+	r.queries.Add(queries)
+	r.queryStaleness.Set(float64(staleness))
+}
+
+// RecordQueryMiss counts an acquisition that found no published epoch.
+func (r *Recorder) RecordQueryMiss() {
+	if r == nil {
+		return
+	}
+	r.queryMisses.Inc()
 }
 
 // RecordWALAppend folds one WAL append into the metrics. fsync is the

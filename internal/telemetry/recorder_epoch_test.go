@@ -1,0 +1,100 @@
+package telemetry
+
+import "testing"
+
+// The epoch/query recorder surface: counter values, gauge semantics, and
+// the nil-recorder contract that lets the pipeline call these hooks
+// unconditionally when telemetry is disabled.
+
+func TestRecordEpochPublish(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRecorder(reg, nil)
+
+	r.RecordEpochPublish(0, 0, 0) // first publish: no spare yet
+	r.RecordEpochPublish(1, 0, 2) // spare reclaimed, two pins live
+	r.RecordEpochPublish(0, 1, 5) // spare dropped to the GC
+	r.RecordEpochPublish(1, 0, 0) // drained again
+
+	for _, tc := range []struct {
+		name string
+		want uint64
+	}{
+		{"saga_epochs_published_total", 4},
+		{"saga_epoch_buffers_reclaimed_total", 2},
+		{"saga_epoch_buffers_dropped_total", 1},
+	} {
+		if got := reg.Counter(tc.name, "").Value(); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// The pin gauge tracks the latest publication, not a running sum.
+	if got := reg.Gauge("saga_query_pinned_handles", "").Value(); got != 0 {
+		t.Errorf("saga_query_pinned_handles = %v, want 0 (latest publish)", got)
+	}
+	r.RecordEpochPublish(0, 0, 3)
+	if got := reg.Gauge("saga_query_pinned_handles", "").Value(); got != 3 {
+		t.Errorf("saga_query_pinned_handles = %v, want 3", got)
+	}
+}
+
+func TestRecordQuerySessionAndMiss(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRecorder(reg, nil)
+
+	r.RecordQuerySession(10, 0)
+	r.RecordQuerySession(0, 2) // a session may release without reading
+	r.RecordQuerySession(5, 7)
+	r.RecordQueryMiss()
+	r.RecordQueryMiss()
+
+	for _, tc := range []struct {
+		name string
+		want uint64
+	}{
+		{"saga_query_sessions_total", 3},
+		{"saga_queries_total", 15},
+		{"saga_query_misses_total", 2},
+	} {
+		if got := reg.Counter(tc.name, "").Value(); got != tc.want {
+			t.Errorf("%s = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Staleness is a most-recent-release gauge.
+	if got := reg.Gauge("saga_query_staleness_batches", "").Value(); got != 7 {
+		t.Errorf("saga_query_staleness_batches = %v, want 7", got)
+	}
+}
+
+// TestEpochRecorderNilSafety: every epoch/query hook must be callable on
+// a nil recorder — the pipeline does exactly that when telemetry is off.
+func TestEpochRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.RecordEpochPublish(1, 1, 9)
+	r.RecordQuerySession(3, 1)
+	r.RecordQueryMiss()
+}
+
+// TestEpochMetricsRegistered: the full metric-name surface the README and
+// dashboards reference must exist on a fresh recorder, before any event.
+func TestEpochMetricsRegistered(t *testing.T) {
+	reg := NewRegistry()
+	NewRecorder(reg, nil)
+	names := map[string]bool{}
+	for _, n := range reg.Names() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"saga_epochs_published_total",
+		"saga_epoch_buffers_reclaimed_total",
+		"saga_epoch_buffers_dropped_total",
+		"saga_query_pinned_handles",
+		"saga_queries_total",
+		"saga_query_sessions_total",
+		"saga_query_misses_total",
+		"saga_query_staleness_batches",
+	} {
+		if !names[want] {
+			t.Errorf("metric %s not registered", want)
+		}
+	}
+}
