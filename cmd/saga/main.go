@@ -15,6 +15,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ import (
 	_ "sagabench/internal/ds/all"
 	"sagabench/internal/durable"
 	"sagabench/internal/elio"
+	"sagabench/internal/fault"
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
 	"sagabench/internal/telemetry"
@@ -67,8 +70,22 @@ func main() {
 		walDir    = flag.String("wal", "", "durability directory: write-ahead log every batch, checkpoint periodically, recover and resume on restart")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy with -wal: always, interval, never")
 		ckptEvery = flag.Int("checkpoint-every", 64, "checkpoint every N batches with -wal (negative disables periodic checkpoints)")
+
+		faultSpec  = flag.String("fault-schedule", "", "inject I/O and phase faults from a seed-deterministic schedule, e.g. slow(wal-fsync,0.3,2ms);enospc(wal-append,120);stall(compute,40,3s) (see internal/fault; seeded by -seed)")
+		degradePol = flag.String("degrade-policy", "", "reaction to a permanent durability fault with -wal: fail (default; the batch errors out), degrade (keep applying in memory, suspend the WAL), read-only (refuse ingest, keep serving queries)")
+		maxQueue   = flag.Int("max-queue", 0, "run the -wal pipeline under the supervisor with a bounded ingest queue of N batches, per-phase watchdog deadlines, and panic-isolated restart from the last durable state (0 = direct synchronous ingest)")
+		shed       = flag.Bool("shed", false, "with -max-queue, drop the newest batch when the queue is full instead of applying backpressure")
+		healthOut  = flag.String("health-out", "", "write the exit health report (JSON) to this file; it is always printed to stderr when the run ends in any state other than healthy")
 	)
 	flag.Parse()
+
+	sched, err := fault.ParseSchedule(*faultSpec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if (*degradePol != "" || *maxQueue > 0) && *walDir == "" {
+		fatal(fmt.Errorf("-degrade-policy and -max-queue require -wal (they govern the durable service path)"))
+	}
 
 	var tracer *trace.Tracer
 	var traceSink *trace.Sink
@@ -120,6 +137,10 @@ func main() {
 		Compute:       compute.Options{Source: graph.NodeID(*source)},
 		Telemetry:     rec,
 		Tracer:        tracer,
+		DegradePolicy: core.DegradePolicy(*degradePol),
+	}
+	if sched != nil {
+		pc.Faults = sched
 	}
 	// With -serve-queries, each measured pipeline gets a concurrent reader
 	// fleet pinned to its published epochs; the per-run stats accumulate
@@ -151,7 +172,7 @@ func main() {
 	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
 
 	var res *core.RunResult
-	var err error
+	var healthRep *core.HealthReport
 	label := *dataset
 	var edges []graph.Edge
 	batchSize := *batch
@@ -184,11 +205,21 @@ func main() {
 	}
 
 	if *walDir != "" {
-		res, err = runDurable(pc, durable.Config{
+		dcfg := durable.Config{
 			Dir:             *walDir,
 			Fsync:           durable.FsyncPolicy(*fsync),
 			CheckpointEvery: *ckptEvery,
-		}, edges, batchSize, *repeats, onBatch, onPipeline, sigC)
+		}
+		if sched != nil {
+			// One schedule instance feeds both layers so occurrence
+			// counts are shared between WAL/checkpoint and phase ops.
+			dcfg.IO = sched
+		}
+		if *maxQueue > 0 {
+			healthRep, err = runSupervised(pc, dcfg, edges, batchSize, *maxQueue, *shed, onPipeline, sigC)
+		} else {
+			res, healthRep, err = runDurable(pc, dcfg, edges, batchSize, *repeats, onBatch, onPipeline, sigC)
+		}
 	} else {
 		go func() {
 			<-sigC
@@ -207,34 +238,39 @@ func main() {
 		})
 	}
 	if err != nil {
+		// A dying durable run still owes its health report (and the
+		// -health-out artifact) before the error exit.
+		emitHealth(healthRep, *healthOut)
 		fatal(err)
 	}
 
-	fmt.Printf("dataset=%s ds=%s alg=%s model=%s threads=%d batches=%d repeats=%d\n",
-		label, *dsName, *alg, *model, *threads, res.BatchCount, len(res.Update))
-	fmt.Printf("%-8s %14s %14s %14s\n", "stage", "update", "compute", "total")
-	names := [3]string{"P1", "P2", "P3"}
-	upd, err := res.StageSummaries(core.MetricUpdate)
-	if err != nil {
-		fatal(err)
+	if res != nil {
+		fmt.Printf("dataset=%s ds=%s alg=%s model=%s threads=%d batches=%d repeats=%d\n",
+			label, *dsName, *alg, *model, *threads, res.BatchCount, len(res.Update))
+		fmt.Printf("%-8s %14s %14s %14s\n", "stage", "update", "compute", "total")
+		names := [3]string{"P1", "P2", "P3"}
+		upd, err := res.StageSummaries(core.MetricUpdate)
+		if err != nil {
+			fatal(err)
+		}
+		cmp, err := res.StageSummaries(core.MetricCompute)
+		if err != nil {
+			fatal(err)
+		}
+		tot, err := res.StageSummaries(core.MetricTotal)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range names {
+			fmt.Printf("%-8s %14s %14s %14s\n", names[i], upd[i], cmp[i], tot[i])
+		}
+		share, err := res.UpdateShare()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("update share of batch latency: P1=%.0f%% P2=%.0f%% P3=%.0f%%\n",
+			100*share[0], 100*share[1], 100*share[2])
 	}
-	cmp, err := res.StageSummaries(core.MetricCompute)
-	if err != nil {
-		fatal(err)
-	}
-	tot, err := res.StageSummaries(core.MetricTotal)
-	if err != nil {
-		fatal(err)
-	}
-	for i := range names {
-		fmt.Printf("%-8s %14s %14s %14s\n", names[i], upd[i], cmp[i], tot[i])
-	}
-	share, err := res.UpdateShare()
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("update share of batch latency: P1=%.0f%% P2=%.0f%% P3=%.0f%%\n",
-		100*share[0], 100*share[1], 100*share[2])
 
 	if *serveQ {
 		var agg core.QueryLoadStats
@@ -286,16 +322,49 @@ func main() {
 			fmt.Fprintf(os.Stderr, "saga: wrote %d batch traces to %s\n", traceSink.Count(), *traceJSONL)
 		}
 	}
+	if code := emitHealth(healthRep, *healthOut); code != 0 {
+		os.Exit(code)
+	}
+}
+
+// emitHealth writes the durable run's health report — to -health-out
+// when set, and to stderr whenever the run ended in any state other
+// than healthy. It returns the process exit code: 0 for a healthy run
+// (or a run with no health machine), 2 otherwise, so scripts can tell a
+// degraded pipeline (2) from an operational error (1).
+func emitHealth(rep *core.HealthReport, path string) int {
+	if rep == nil {
+		return 0
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		data = []byte(fmt.Sprintf("{\"state\":%q}", rep.State))
+	}
+	if path != "" {
+		if werr := os.WriteFile(path, append(data, '\n'), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "saga: writing -health-out: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "saga: wrote health report to %s\n", path)
+		}
+	}
+	if rep.Healthy() {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "saga: pipeline ended %s\n%s\n", rep.State, data)
+	return 2
 }
 
 // runDurable streams the batches through a durable pipeline, resuming
 // past whatever the durability directory already covers. Repeats make no
-// sense against persistent state, so the stream runs exactly once.
+// sense against persistent state, so the stream runs exactly once. The
+// returned health report reflects the whole run including Close; it is
+// non-nil whenever the pipeline carried a health machine (any explicit
+// -degrade-policy).
 func runDurable(pc core.PipelineConfig, dcfg durable.Config, edges []graph.Edge, batchSize, repeats int,
 	onBatch func(int, graph.Batch, *core.Pipeline, core.BatchLatency),
-	onPipeline func(*core.Pipeline) func(), sigC chan os.Signal) (*core.RunResult, error) {
+	onPipeline func(*core.Pipeline) func(), sigC chan os.Signal) (*core.RunResult, *core.HealthReport, error) {
 	if batchSize <= 0 {
-		return nil, fmt.Errorf("batch size must be positive")
+		return nil, nil, fmt.Errorf("batch size must be positive")
 	}
 	if repeats > 1 {
 		fmt.Fprintf(os.Stderr, "saga: -wal streams once against persistent state; ignoring -repeats %d\n", repeats)
@@ -303,7 +372,11 @@ func runDurable(pc core.PipelineConfig, dcfg durable.Config, edges []graph.Edge,
 	pc.Durable = &dcfg
 	p, err := core.NewPipeline(pc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	report := func() *core.HealthReport {
+		r := p.HealthReport()
+		return &r
 	}
 	var stopLoad func()
 	if onPipeline != nil {
@@ -329,11 +402,17 @@ stream:
 		}
 		lat, err := p.ProcessMixed(core.MixedBatch{Adds: b})
 		if err != nil {
+			if errors.Is(err, core.ErrReadOnly) || errors.Is(err, core.ErrFailed) {
+				// The health machine refused ingest; stop streaming and
+				// let the report carry the story.
+				fmt.Fprintf(os.Stderr, "saga: ingest refused at batch %d: %v\n", bi, err)
+				break stream
+			}
 			if stopLoad != nil {
 				stopLoad()
 			}
 			p.Close()
-			return nil, err
+			return nil, report(), err
 		}
 		upd = append(upd, lat.Update.Seconds())
 		cmp = append(cmp, lat.Compute.Seconds())
@@ -345,7 +424,7 @@ stream:
 		stopLoad()
 	}
 	if err := p.Close(); err != nil {
-		return nil, err
+		return nil, report(), err
 	}
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "saga: interrupted at batch %d/%d; WAL flushed and checkpoint written, re-run with the same -wal to resume\n",
@@ -363,7 +442,85 @@ stream:
 		BatchCount: len(upd),
 		Update:     [][]float64{upd},
 		Compute:    [][]float64{cmp},
-	}, nil
+	}, report(), nil
+}
+
+// runSupervised streams the batches through the supervised runtime: a
+// bounded ingest queue in front of the durable pipeline, per-phase
+// watchdog deadlines, and panic-isolated restart from the last durable
+// state. Ingest is asynchronous, so the per-batch latency table does
+// not apply; the run reports ingest counters and health instead.
+func runSupervised(pc core.PipelineConfig, dcfg durable.Config, edges []graph.Edge, batchSize, maxQueue int, shed bool,
+	onPipeline func(*core.Pipeline) func(), sigC chan os.Signal) (*core.HealthReport, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("batch size must be positive")
+	}
+	pc.Durable = &dcfg
+	sup, err := core.NewSupervisor(core.SupervisorConfig{
+		Pipeline: pc,
+		MaxQueue: maxQueue,
+		Shed:     shed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The reader fleet pins the initial instance; epoch snapshots it
+	// published keep serving even after a restart fences it.
+	var stopLoad func()
+	if onPipeline != nil {
+		stopLoad = onPipeline(sup.Pipeline())
+	}
+	batches := graph.Batches(edges, batchSize)
+	resume := sup.DurableSeq()
+	if resume > 0 {
+		fmt.Fprintf(os.Stderr, "saga: recovered %s through batch %d, resuming\n", dcfg.Dir, resume)
+	}
+	submitted, shedN := 0, 0
+	interrupted := false
+stream:
+	for bi, b := range batches {
+		if uint64(bi) < resume {
+			continue
+		}
+		select {
+		case <-sigC:
+			interrupted = true
+			break stream
+		default:
+		}
+		serr := sup.Submit(core.MixedBatch{Adds: b})
+		switch {
+		case serr == nil:
+			submitted++
+		case errors.Is(serr, core.ErrShed):
+			shedN++
+		case errors.Is(serr, core.ErrReadOnly), errors.Is(serr, core.ErrFailed):
+			fmt.Fprintf(os.Stderr, "saga: ingest refused at batch %d: %v\n", bi, serr)
+			break stream
+		default:
+			if stopLoad != nil {
+				stopLoad()
+			}
+			sup.Close()
+			rep := sup.Report()
+			return &rep, serr
+		}
+	}
+	if stopLoad != nil {
+		stopLoad()
+	}
+	cerr := sup.Close()
+	rep := sup.Report()
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "saga: interrupted; WAL flushed through batch %d, re-run with the same -wal to resume\n",
+			sup.DurableSeq())
+	}
+	for _, path := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "saga: quarantined poison batch: %s (replay: sagafuzz -replay %s)\n", path, path)
+	}
+	fmt.Printf("supervised: batches=%d submitted=%d shed=%d refused=%d restarts=%d watchdog-fires=%d retries=%d state=%s\n",
+		len(batches), submitted, shedN, rep.Refused, rep.Restarts, rep.WatchdogFires, rep.DurableRetry, rep.State)
+	return &rep, cerr
 }
 
 func fatal(err error) {

@@ -42,6 +42,11 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write the flight-recorder ring of the measured runs as Chrome trace-event JSON (Perfetto-loadable) to this file after the experiments")
 		traceFlight = flag.Int("trace-flight", 16, "flight-recorder capacity in complete batch traces with -trace-out")
 		pprofLabels = flag.Bool("pprof-labels", false, "run pipeline phases under pprof labels so -listen CPU profiles attribute samples to stages")
+
+		faultSpec  = flag.String("fault-schedule", "", "override the faults experiment's fault schedule, e.g. slow(wal-fsync,0.3,2ms);enospc(wal-append,40) (see internal/fault; seeded by -seed)")
+		maxQueue   = flag.Int("max-queue", 0, "supervised ingest queue bound for the faults experiment (default 8)")
+		degradePol = flag.String("degrade-policy", "", "restrict the faults experiment to the baseline plus this one policy: fail, degrade, read-only")
+		healthDir  = flag.String("health-dir", "", "write one JSON health report per faults-experiment run into this directory (CI uploads them as artifacts)")
 	)
 	flag.Parse()
 
@@ -90,17 +95,21 @@ func main() {
 	}
 
 	h := bench.New(bench.Options{
-		Profile:      gen.Profile(*profile),
-		Threads:      *threads,
-		Repeats:      *repeats,
-		Seed:         *seed,
-		MachineDiv:   *machdiv,
-		Out:          out,
-		CSVDir:       *csvdir,
-		Telemetry:    rec,
-		Tracer:       tracer,
-		ComputeView:  *view,
-		QueryReaders: *serveQ,
+		Profile:       gen.Profile(*profile),
+		Threads:       *threads,
+		Repeats:       *repeats,
+		Seed:          *seed,
+		MachineDiv:    *machdiv,
+		Out:           out,
+		CSVDir:        *csvdir,
+		Telemetry:     rec,
+		Tracer:        tracer,
+		ComputeView:   *view,
+		QueryReaders:  *serveQ,
+		FaultSchedule: *faultSpec,
+		MaxQueue:      *maxQueue,
+		DegradePolicy: *degradePol,
+		HealthDir:     *healthDir,
 	})
 	start := time.Now()
 	if err := h.RunExperiment(*experiment); err != nil {

@@ -68,6 +68,9 @@ func main() {
 		crashModel = flag.String("crash-model", "inc", "compute model for -crash: fs or inc")
 		crashFsync = flag.String("crash-fsync", "interval", "WAL fsync policy for -crash: always, interval, never")
 		noFaults   = flag.Bool("crash-no-faults", false, "disable torn writes, bit flips, and poison injection in -crash")
+		diskFaults = flag.String("crash-disk-faults", "", "fault-schedule spec layered under the kills, e.g. slow(wal-fsync,0.3,2ms);enospc(wal-append,5);eio(ckpt-rename,1)")
+		verifyEach = flag.Bool("crash-verify-recoveries", false, "diff recovered state against the oracle after every recovery, not only at the end")
+		noKills    = flag.Bool("crash-no-kills", false, "disable the rotating crash points, leaving -crash-disk-faults as the only death source")
 	)
 	flag.Parse()
 
@@ -78,21 +81,24 @@ func main() {
 
 	if *crash {
 		os.Exit(runCrash(crashloop.Options{
-			Seed:       *seed,
-			Batches:    *batches,
-			BatchSize:  *batchSize,
-			NumNodes:   *nodes,
-			Directed:   *directed,
-			Deletes:    *deletes,
-			DS:         *crashDS,
-			Alg:        *crashAlg,
-			Model:      compute.Model(*crashModel),
-			Threads:    *threads,
-			Dir:        *crashDir,
-			Fsync:      durable.FsyncPolicy(*crashFsync),
-			TornWrites: !*noFaults,
-			BitFlips:   !*noFaults,
-			Poison:     !*noFaults,
+			Seed:               *seed,
+			Batches:            *batches,
+			BatchSize:          *batchSize,
+			NumNodes:           *nodes,
+			Directed:           *directed,
+			Deletes:            *deletes,
+			DS:                 *crashDS,
+			Alg:                *crashAlg,
+			Model:              compute.Model(*crashModel),
+			Threads:            *threads,
+			Dir:                *crashDir,
+			Fsync:              durable.FsyncPolicy(*crashFsync),
+			TornWrites:         !*noFaults,
+			BitFlips:           !*noFaults,
+			Poison:             !*noFaults,
+			DiskFaults:         *diskFaults,
+			VerifyEachRecovery: *verifyEach,
+			NoKills:            *noKills,
 		}))
 	}
 
@@ -177,6 +183,13 @@ func runCrash(opts crashloop.Options) int {
 		if n := res.Crashes[pt]; n > 0 {
 			fmt.Printf("sagafuzz:   crashed %2dx at %s\n", n, pt)
 		}
+	}
+	if res.DiskKills > 0 || len(res.Injections) > 0 {
+		fmt.Printf("sagafuzz:   disk faults: %d generation(s) killed, injections %s\n",
+			res.DiskKills, strings.Join(res.Injections, " "))
+	}
+	if res.RecoveryOK > 0 {
+		fmt.Printf("sagafuzz:   %d recoveries verified against the oracle\n", res.RecoveryOK)
 	}
 	for _, pf := range res.PoisonFiles {
 		fmt.Printf("sagafuzz:   quarantined: %s (replay: sagafuzz -replay %s)\n", pf, pf)

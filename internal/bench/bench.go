@@ -59,6 +59,19 @@ type Options struct {
 	// the stream applies (core.StartQueryLoad). Aggregate query stats
 	// print after the experiments finish.
 	QueryReaders int
+	// FaultSchedule overrides the faults experiment's built-in fault
+	// schedule (fault.ParseSchedule syntax, seeded by Seed).
+	FaultSchedule string
+	// MaxQueue bounds the supervised ingest queue of the faults
+	// experiment (default 8).
+	MaxQueue int
+	// DegradePolicy, when set, restricts the faults experiment to the
+	// baseline plus this one policy instead of sweeping all three.
+	DegradePolicy string
+	// HealthDir, when set, writes one JSON health report per faults-
+	// experiment run into this directory (faults-<policy>.json) — the CI
+	// chaos job uploads them as artifacts.
+	HealthDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -301,6 +314,7 @@ var Experiments = []struct {
 	{"extensions", "Log-structured ingest + sliding-window deletion (beyond the paper)", (*Harness).Extensions},
 	{"sensitivity", "Fig 9/10 conclusions vs simulated-machine scale (robustness check)", (*Harness).Sensitivity},
 	{"interference", "Non-blocking query readers vs update throughput (beyond the paper)", (*Harness).Interference},
+	{"faults", "Ingest throughput and query availability per degrade policy under injected faults (beyond the paper)", (*Harness).Faults},
 }
 
 // RunExperiment dispatches by ID ("all" runs everything in order) and

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sagabench/internal/compute"
+	"sagabench/internal/core"
+	"sagabench/internal/durable"
+	"sagabench/internal/fault"
+	"sagabench/internal/gen"
+	"sagabench/internal/graph"
+)
+
+// Availability under faults: what does each degrade policy cost in
+// ingest throughput and query availability once the disk turns
+// permanent-faulty mid-stream? The experiment streams one representative
+// configuration (lj, AS, INC+PR) through the supervised durable runtime
+// four times — a fault-free baseline and one run per degrade policy with
+// an identical ENOSPC injected at the WAL halfway through — and reports,
+// per run, the final health state, the ingest outcome (applied, refused,
+// shed), and query availability measured by a probe that pins an epoch
+// snapshot after every submission.
+//
+// The expected shape: degrade keeps both ingest and queries at 100% (in
+// memory, WAL suspended); read-only halves ingest but keeps queries at
+// ~100% (the point of the state); fail halves ingest and kills queries
+// from the failure on.
+
+// Faults runs the availability study (EXPERIMENTS.md "Availability under
+// injected faults").
+func (h *Harness) Faults() error {
+	h.printf("\n== Faults: ingest throughput and query availability per degrade policy (lj, AS, INC+PR) ==\n")
+	h.printf("%-10s %-20s %9s %9s %7s %12s %9s %9s %13s\n",
+		"policy", "final state", "applied", "refused", "shed", "ingest/s", "queries", "served", "availability")
+	h.csvHeader("faults", "policy", "final_state", "applied", "refused", "shed",
+		"ingest_per_s", "queries", "served", "availability_pct", "retries", "restarts")
+
+	spec, err := gen.Dataset("lj", h.opts.Profile)
+	if err != nil {
+		return err
+	}
+	edges := spec.Generate(h.opts.Seed)
+	batches := graph.Batches(edges, spec.BatchSize)
+	faultAt := len(batches)/2 + 1
+	schedSpec := h.opts.FaultSchedule
+	if schedSpec == "" {
+		schedSpec = fmt.Sprintf("slow(wal-fsync,0.2,200us);enospc(wal-append,%d)", faultAt)
+	}
+
+	rows := []struct {
+		label  string
+		policy core.DegradePolicy
+		spec   string
+	}{
+		{"baseline", "", ""},
+		{"degrade", core.DegradeContinue, schedSpec},
+		{"read-only", core.DegradeReadOnly, schedSpec},
+		{"fail", core.DegradeFail, schedSpec},
+	}
+	if h.opts.DegradePolicy != "" {
+		rows = rows[:1]
+		rows = append(rows, struct {
+			label  string
+			policy core.DegradePolicy
+			spec   string
+		}{h.opts.DegradePolicy, core.DegradePolicy(h.opts.DegradePolicy), schedSpec})
+	}
+	for _, row := range rows {
+		if err := h.faultRun(row.label, row.policy, row.spec, spec.Directed, spec.NumNodes, batches); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultRun drives one supervised stream under one policy and prints its
+// availability row.
+func (h *Harness) faultRun(label string, policy core.DegradePolicy, schedSpec string, directed bool, numNodes int, batches []graph.Batch) error {
+	dir, err := os.MkdirTemp("", "sagabench-faults-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	sched, err := fault.ParseSchedule(schedSpec, h.opts.Seed)
+	if err != nil {
+		return err
+	}
+	dcfg := &durable.Config{Dir: dir, Fsync: durable.FsyncInterval, CheckpointEvery: 16}
+	if sched != nil {
+		dcfg.IO = sched
+	}
+	pc := core.PipelineConfig{
+		DataStructure: "adjshared",
+		Algorithm:     "pr",
+		Model:         compute.INC,
+		Directed:      directed,
+		Threads:       h.opts.Threads,
+		MaxNodesHint:  numNodes,
+		ServeQueries:  true,
+		DegradePolicy: policy,
+		Durable:       dcfg,
+		Telemetry:     h.opts.Telemetry,
+	}
+	if sched != nil {
+		pc.Faults = sched
+	}
+	maxQueue := h.opts.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 8
+	}
+	sup, err := core.NewSupervisor(core.SupervisorConfig{Pipeline: pc, MaxQueue: maxQueue})
+	if err != nil {
+		return err
+	}
+
+	applied, refused, shed := 0, 0, 0
+	queries, served := 0, 0
+	start := time.Now()
+	for _, b := range batches {
+		switch serr := sup.Submit(core.MixedBatch{Adds: b}); {
+		case serr == nil:
+			applied++
+		case errors.Is(serr, core.ErrShed):
+			shed++
+		default:
+			// ErrReadOnly / ErrFailed: keep probing queries through the
+			// rest of the stream — availability after the fault is the
+			// measurement.
+			refused++
+		}
+		queries++
+		if q, qerr := sup.AcquireQuery(); qerr == nil {
+			q.NumNodes()
+			q.Release()
+			served++
+		}
+	}
+	elapsed := time.Since(start)
+	// A failed or read-only pipeline legitimately refuses the final
+	// flush; the health report is the outcome, not the close error.
+	_ = sup.Close() //nolint:errcheck
+	rep := sup.Report()
+
+	rate := float64(applied) / elapsed.Seconds()
+	avail := 100 * float64(served) / float64(queries)
+	name := string(policy)
+	if name == "" {
+		name = label
+	}
+	h.printf("%-10s %-20s %9d %9d %7d %12.0f %9d %9d %12.1f%%\n",
+		label, rep.State, applied, refused, shed, rate, queries, served, avail)
+	h.csvRow("faults", name, rep.State.String(), applied, refused, shed,
+		fmt.Sprintf("%.0f", rate), queries, served, fmt.Sprintf("%.1f", avail),
+		rep.DurableRetry, rep.Restarts)
+	if h.opts.HealthDir != "" {
+		if err := os.MkdirAll(h.opts.HealthDir, 0o755); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(h.opts.HealthDir, "faults-"+label+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -22,12 +22,14 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sagabench/internal/compute"
 	"sagabench/internal/ds"
 	"sagabench/internal/durable"
 	"sagabench/internal/epoch"
+	"sagabench/internal/fault"
 	"sagabench/internal/gen"
 	"sagabench/internal/graph"
 	"sagabench/internal/stats"
@@ -56,6 +58,16 @@ type Pipeline struct {
 	// hot path then never touches it).
 	dur      *durState
 	poisoned []string
+
+	// health is the degradation state machine (nil only when no degrade
+	// policy and no explicit Health were configured; every accessor is
+	// nil-receiver safe, so the hot path never branches on it). fenced is
+	// flipped by the supervisor when this instance is superseded by a
+	// rebuild: a fenced pipeline refuses every durable file operation, so
+	// a worker abandoned mid-stall cannot scribble WAL files the
+	// replacement now owns.
+	health *Health
+	fenced atomic.Bool
 
 	// tr is the batch tracer (nil = tracing off, zero cost); bt is the
 	// in-flight batch's span tree. Whoever starts bt finishes it: apply
@@ -142,6 +154,29 @@ type PipelineConfig struct {
 	// directory already holds (see internal/durable and durable.go).
 	// Nil disables durability at zero per-batch cost.
 	Durable *durable.Config
+	// Faults, when non-nil, is consulted at the start of the update,
+	// compute, and publish phases (ops "update"/"compute"/"publish").
+	// An injected stall sleeps in-phase — exactly where a watchdog must
+	// catch it — and an injected error panics, which the durable path's
+	// panic capture converts into the poison-batch protocol. Durability
+	// I/O faults are injected separately through Durable.IO.
+	Faults fault.Injector
+	// DegradePolicy selects what a permanent (or retry-exhausted)
+	// durability fault does: "degrade" keeps applying batches in memory
+	// without logging, "read-only" refuses ingest but keeps serving
+	// epoch-snapshot queries, "fail" (and "", the zero value) surfaces
+	// the error — the pre-supervision behavior.
+	DegradePolicy DegradePolicy
+	// Health, when non-nil, is the shared health machine the pipeline
+	// reports transitions to. The supervisor passes one Health through
+	// every rebuild so degradations outlive pipeline instances; when nil
+	// and DegradePolicy absorbs faults, the pipeline creates its own.
+	Health *Health
+
+	// phaseHook, when set (by the supervisor), observes phase boundaries:
+	// phaseHook(name, false) at entry, phaseHook(name, true) at exit. The
+	// watchdog derives per-phase deadlines from these signals.
+	phaseHook func(name string, done bool)
 }
 
 // buildComponents constructs the data structure and engine for cfg; the
@@ -176,11 +211,21 @@ func buildComponents(cfg PipelineConfig) (ds.Graph, compute.Engine, error) {
 // directory recovers to an empty pipeline, so the first run and every
 // restart share one code path.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if err := cfg.DegradePolicy.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Health == nil && cfg.DegradePolicy != "" {
+		// An explicit policy needs somewhere to record what it decided —
+		// absorbed faults for degrade/read-only, the Failed transition
+		// for fail. Only the zero policy (pure pre-supervision behavior)
+		// runs without a machine.
+		cfg.Health = NewHealth(cfg.Telemetry)
+	}
 	g, engine, err := buildComponents(cfg)
 	if err != nil {
 		return nil, err
 	}
-	p := &Pipeline{g: g, engine: engine, rec: cfg.Telemetry, tr: cfg.Tracer, pcfg: cfg}
+	p := &Pipeline{g: g, engine: engine, rec: cfg.Telemetry, tr: cfg.Tracer, pcfg: cfg, health: cfg.Health}
 	p.initView()
 	if cfg.ServeQueries {
 		// Buffer reuse is negotiated with the compute-view double buffer;
@@ -273,6 +318,9 @@ func (l BatchLatency) Total() time.Duration { return l.Update + l.Compute }
 // The overwrite scan runs outside the timed update phase — the paper's
 // update phase likewise knows which edges it rewrote.
 func (p *Pipeline) Process(batch graph.Batch) BatchLatency {
+	if err := p.refuseUnhealthy(); err != nil {
+		panic(err)
+	}
 	mb := MixedBatch{Adds: batch}
 	if p.dur != nil {
 		lat, err := p.processDurable(mb)
@@ -595,6 +643,9 @@ type MixedBatch struct {
 // moving (see PoisonFiles). A non-nil error then means unrecoverable
 // durability I/O, not a bad batch.
 func (p *Pipeline) ProcessMixed(mb MixedBatch) (BatchLatency, error) {
+	if err := p.refuseUnhealthy(); err != nil {
+		return BatchLatency{}, err
+	}
 	if err := p.checkMixedSupport(mb); err != nil {
 		return BatchLatency{}, err
 	}
@@ -602,6 +653,75 @@ func (p *Pipeline) ProcessMixed(mb MixedBatch) (BatchLatency, error) {
 		return p.processDurable(mb)
 	}
 	return p.apply(mb)
+}
+
+// refuseUnhealthy gates ingest on the health machine: a read-only
+// pipeline refuses the batch but keeps serving queries; a failed one
+// refuses everything. Healthy and degraded-durability pipelines ingest
+// normally.
+func (p *Pipeline) refuseUnhealthy() error {
+	switch st := p.health.State(); {
+	case st >= Failed:
+		p.health.NoteRefused()
+		return ErrFailed
+	case st >= ReadOnly:
+		p.health.NoteRefused()
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Health exposes the pipeline's health machine (nil when neither a
+// degrade policy nor an explicit Health was configured; HealthState
+// reads through a nil Health as healthy).
+func (p *Pipeline) Health() *Health { return p.health }
+
+// Fence marks this instance superseded: every subsequent durable file
+// operation is refused. The supervisor fences a pipeline it is about to
+// replace so a worker abandoned mid-stall cannot write WAL or
+// checkpoint files the rebuilt instance now owns.
+func (p *Pipeline) Fence() { p.fenced.Store(true) }
+
+// HealthReport assembles the structured exit report: final health
+// state, transition history, and the counters that describe what the
+// run survived (retries, restarts, sheds) and what it lost
+// (quarantined batches).
+func (p *Pipeline) HealthReport() HealthReport {
+	r := p.health.report()
+	if p.dur != nil {
+		r.DurableRetry = p.dur.man.Retries()
+	}
+	r.Quarantined = append([]string(nil), p.poisoned...)
+	if s, ok := p.pcfg.Faults.(*fault.Schedule); ok && s != nil {
+		r.Injections = s.Summary()
+	}
+	if r.Injections == nil && p.pcfg.Durable != nil {
+		if s, ok := p.pcfg.Durable.IO.(*fault.Schedule); ok && s != nil {
+			r.Injections = s.Summary()
+		}
+	}
+	return r
+}
+
+// enterPhase fires the supervisor's watchdog hook and the phase fault
+// injector, in that order — an injected stall must sleep while the
+// watchdog already sees the phase in flight. An injected error panics;
+// the durable path's panic capture turns it into the poison-batch
+// protocol, and the supervisor's worker capture turns it into a
+// restart on the direct path.
+func (p *Pipeline) enterPhase(name string, op fault.Op) {
+	if hook := p.pcfg.phaseHook; hook != nil {
+		hook(name, false)
+	}
+	if err := fault.Inject(p.pcfg.Faults, op); err != nil {
+		panic(err)
+	}
+}
+
+func (p *Pipeline) exitPhase(name string) {
+	if hook := p.pcfg.phaseHook; hook != nil {
+		hook(name, true)
+	}
 }
 
 // checkMixedSupport rejects deletion batches the components cannot
@@ -690,6 +810,8 @@ func (p *Pipeline) apply(mb MixedBatch) (BatchLatency, error) {
 // the mirror is part of ingesting the batch, exactly as GraphTango
 // charges its flat-side maintenance).
 func (p *Pipeline) updatePhase(mb MixedBatch, lat *BatchLatency) error {
+	p.enterPhase("update", fault.OpUpdate)
+	defer p.exitPhase("update")
 	sp := p.bt.Start("update")
 	t0 := time.Now()
 	p.g.Update(mb.Adds)
@@ -733,6 +855,8 @@ func (p *Pipeline) updatePhase(mb MixedBatch, lat *BatchLatency) error {
 // computePhase is the timed compute side: PerformAlg under a compute span
 // whose context the engine threads down to per-worker range spans.
 func (p *Pipeline) computePhase(cg ds.Graph, aff []graph.NodeID, lat *BatchLatency) {
+	p.enterPhase("compute", fault.OpCompute)
+	defer p.exitPhase("compute")
 	sp := p.bt.Start("compute")
 	// Re-arm every batch: each batch trace is a fresh span tree, and the
 	// zero Ctx (tracing off) disables the engine's span recording.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -28,7 +29,20 @@ type durState struct {
 	man       *durable.Manager
 	meta      durable.PoisonMeta
 	sinceCkpt int // applied batches since the last checkpoint
+
+	// suspended: the WAL failed permanently under a "degrade" policy;
+	// batches keep applying in memory, nothing more is logged.
+	// ckptSuspended: checkpointing failed permanently; the WAL (if not
+	// itself suspended) keeps the batches recoverable, just from an older
+	// snapshot. Both are one-way — the degrade machinery never un-fails.
+	suspended     bool
+	ckptSuspended bool
 }
+
+// errFenced is returned by durable operations on a pipeline the
+// supervisor has superseded: the rebuilt instance owns the WAL and
+// checkpoint files now.
+var errFenced = errors.New("core: pipeline fenced (superseded by a supervised rebuild)")
 
 // initDurable opens the durability directory and recovers its contents.
 func (p *Pipeline) initDurable(cfg durable.Config) error {
@@ -171,6 +185,9 @@ func (p *Pipeline) restoreCheckpoint(cp *durable.Checkpoint) error {
 // non-nil error is unrecoverable durability I/O.
 func (p *Pipeline) processDurable(mb MixedBatch) (BatchLatency, error) {
 	var lat BatchLatency
+	if p.fenced.Load() {
+		return lat, errFenced
+	}
 	man := p.dur.man
 	// The durable path owns the batch trace so the WAL append and the
 	// checkpoint land inside it; apply (via applyRetry) sees it in flight
@@ -188,23 +205,44 @@ func (p *Pipeline) processDurable(mb MixedBatch) (BatchLatency, error) {
 		p.dumpQuarantineTrace(path, 0, err)
 		return lat, nil
 	}
-	wsp := p.bt.Start("wal.append")
-	seq, err := man.Append(mb.Adds, mb.Dels)
-	if err != nil {
-		p.abortTrace(err)
-		return lat, err
-	}
-	if wsp.Ctx().Enabled() {
-		bytes, fsync := man.LastAppendStats()
-		wsp.SetInt("seq", int64(seq))
-		wsp.SetInt("bytes", int64(bytes))
-		if fsync > 0 {
-			wsp.SetInt("fsync_ns", fsync.Nanoseconds())
+	// seq stays 0 in degraded-durability mode: the batch applies in
+	// memory only and the quarantine/rebuild machinery (which needs a
+	// logged record to tombstone) is off.
+	var seq uint64
+	if !p.dur.suspended {
+		wsp := p.bt.Start("wal.append")
+		s, err := man.Append(mb.Adds, mb.Dels)
+		if err != nil {
+			wsp.SetStr("error", err.Error())
+			wsp.End()
+			if derr := p.durableFault("wal-append", err); derr != nil {
+				p.abortTrace(derr)
+				return lat, derr
+			}
+			// Degrade policy absorbed the fault: apply unlogged.
+		} else {
+			seq = s
+			if wsp.Ctx().Enabled() {
+				bytes, fsync := man.LastAppendStats()
+				wsp.SetInt("seq", int64(seq))
+				wsp.SetInt("bytes", int64(bytes))
+				if fsync > 0 {
+					wsp.SetInt("fsync_ns", fsync.Nanoseconds())
+				}
+			}
+			wsp.End()
 		}
 	}
-	wsp.End()
-	lat, err = p.applyRetry(seq, mb)
+	lat, err := p.applyRetry(seq, mb)
 	if err != nil {
+		if seq == 0 {
+			// Degraded mode: nothing was logged, so there is no tombstone
+			// to write and no durable state to rebuild the half-mutated
+			// components from. The pipeline is done.
+			p.health.To(Failed, fmt.Sprintf("apply failed with durability suspended: %v", err))
+			p.abortTrace(err)
+			return BatchLatency{}, err
+		}
 		if qerr := p.quarantine(seq, err, mb); qerr != nil {
 			p.abortTrace(qerr)
 			return BatchLatency{}, qerr
@@ -217,10 +255,14 @@ func (p *Pipeline) processDurable(mb MixedBatch) (BatchLatency, error) {
 		return BatchLatency{}, nil
 	}
 	p.dur.sinceCkpt++
-	if every := man.Config().CheckpointEvery; every > 0 && p.dur.sinceCkpt >= every {
+	if every := man.Config().CheckpointEvery; every > 0 && !p.dur.ckptSuspended && p.dur.sinceCkpt >= every {
 		if err := p.writeDurableCheckpoint(); err != nil {
-			p.abortTrace(err)
-			return lat, err
+			if derr := p.checkpointFault(err); derr != nil {
+				p.abortTrace(derr)
+				return lat, derr
+			}
+			// Absorbed: this batch is already logged and applied; only
+			// future checkpoints are off.
 		}
 	}
 	if bt := p.bt; bt != nil {
@@ -229,6 +271,61 @@ func (p *Pipeline) processDurable(mb MixedBatch) (BatchLatency, error) {
 		bt.Finish()
 	}
 	return lat, nil
+}
+
+// durableFault routes a WAL failure (already classified and retried by
+// internal/durable) through the degrade policy. It returns nil when the
+// pipeline absorbed the fault and the caller should apply the batch in
+// memory, or the error the caller must surface: ErrReadOnly when the
+// policy refuses ingest from here on, the original error when the
+// policy is fail.
+func (p *Pipeline) durableFault(op string, err error) error {
+	if errors.Is(err, errFenced) {
+		// A fenced instance hitting its own fence is not a disk fault;
+		// routing it through the policy would degrade the shared health
+		// machine on behalf of an instance that no longer matters.
+		return err
+	}
+	cause := fmt.Sprintf("%s: %v", op, err)
+	switch p.pcfg.DegradePolicy.target() {
+	case DegradedDurability:
+		p.dur.suspended = true
+		p.dur.ckptSuspended = true
+		p.health.To(DegradedDurability, cause)
+		return nil
+	case ReadOnly:
+		p.health.To(ReadOnly, cause)
+		p.health.NoteRefused()
+		return ErrReadOnly
+	default:
+		p.health.To(Failed, cause)
+		return err
+	}
+}
+
+// checkpointFault routes a checkpoint failure through the degrade
+// policy. Unlike a WAL fault, the batch that triggered it is already
+// logged and applied, so the absorbing policies return nil (batch
+// succeeded) and only stop future checkpoints; the WAL keeps the state
+// recoverable from the last good snapshot.
+func (p *Pipeline) checkpointFault(err error) error {
+	if errors.Is(err, errFenced) {
+		return err
+	}
+	cause := fmt.Sprintf("checkpoint: %v", err)
+	switch p.pcfg.DegradePolicy.target() {
+	case DegradedDurability:
+		p.dur.ckptSuspended = true
+		p.health.To(DegradedDurability, cause)
+		return nil
+	case ReadOnly:
+		p.dur.ckptSuspended = true
+		p.health.To(ReadOnly, cause)
+		return nil
+	default:
+		p.health.To(Failed, cause)
+		return err
+	}
 }
 
 // applyRetry applies one batch with panic capture and exponential-backoff
@@ -277,6 +374,9 @@ func (p *Pipeline) applyCaught(seq uint64, mb MixedBatch) (lat BatchLatency, err
 // quarantine tombstones seq in the WAL and writes the batch to a
 // replayable .poison file, plus the flight-recorder trace beside it.
 func (p *Pipeline) quarantine(seq uint64, cause error, mb MixedBatch) error {
+	if p.fenced.Load() {
+		return errFenced
+	}
 	if err := p.dur.man.AppendSkip(seq); err != nil {
 		return err
 	}
@@ -316,6 +416,9 @@ func (p *Pipeline) dumpQuarantineTrace(poisonPath string, seq uint64, cause erro
 // writeDurableCheckpoint snapshots the current in-memory state at the
 // last logged sequence number.
 func (p *Pipeline) writeDurableCheckpoint() error {
+	if p.fenced.Load() {
+		return errFenced
+	}
 	sp := p.bt.Start("checkpoint")
 	defer sp.End()
 	threads := p.pcfg.Threads
@@ -351,11 +454,22 @@ func (p *Pipeline) Close() error {
 	if p.dur == nil {
 		return nil
 	}
-	var firstErr error
-	if err := p.writeDurableCheckpoint(); err != nil {
-		firstErr = err
+	if p.fenced.Load() {
+		// A superseded instance must not flush through files the rebuilt
+		// pipeline owns; the supervisor abandoned this one deliberately.
+		return nil
 	}
-	if err := p.dur.man.Close(); err != nil && firstErr == nil {
+	var firstErr error
+	if !p.dur.suspended && !p.dur.ckptSuspended {
+		if err := p.writeDurableCheckpoint(); err != nil {
+			firstErr = err
+		}
+	}
+	if p.dur.suspended {
+		// The WAL already failed permanently; a close-time fsync through
+		// the same dead disk would only manufacture a second error.
+		p.dur.man.Abandon()
+	} else if err := p.dur.man.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr

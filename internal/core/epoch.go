@@ -7,6 +7,7 @@ import (
 
 	"sagabench/internal/ds"
 	"sagabench/internal/epoch"
+	"sagabench/internal/fault"
 	"sagabench/internal/graph"
 	"sagabench/internal/snapshot"
 )
@@ -24,6 +25,8 @@ import (
 // (fresh arrays, nothing to gate). The property vector is copied either
 // way: the engine mutates its array in place next batch.
 func (p *Pipeline) publishEpoch() {
+	p.enterPhase("publish", fault.OpPublish)
+	defer p.exitPhase("publish")
 	sp := p.bt.Start("epoch.publish")
 	var csr graph.CSR
 	if p.view != nil {

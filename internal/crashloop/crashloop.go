@@ -21,6 +21,7 @@ package crashloop
 import (
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"sagabench/internal/compute"
@@ -28,6 +29,7 @@ import (
 	"sagabench/internal/crosscheck"
 	"sagabench/internal/ds"
 	"sagabench/internal/durable"
+	"sagabench/internal/fault"
 	"sagabench/internal/graph"
 )
 
@@ -57,6 +59,28 @@ type Options struct {
 	// against real files.
 	TornWrites bool
 	BitFlips   bool
+
+	// DiskFaults is a fault-schedule spec (see fault.ParseSchedule)
+	// layered under the kills: each generation arms a fresh copy with
+	// occurrence counts offset by the cycle index, so injected faults land
+	// further into the stream every round and the stream still completes.
+	// Transient faults (eio, slow) must be absorbed by the durable retry
+	// policy; a permanent fault (enospc, short) that escapes retry kills
+	// the generation exactly like a simulated crash — recovery must cope
+	// with a disk that died mid-operation, not only with a clean kill.
+	DiskFaults string
+
+	// VerifyEachRecovery diffs the recovered topology and vertex values
+	// against the sequential oracle's replay of the durable prefix after
+	// every recovery, instead of only at the final cold restart. Catches
+	// recoveries that return plausible-but-wrong state which the stream
+	// tail would otherwise paper over.
+	VerifyEachRecovery bool
+
+	// NoKills disables the rotating crash-point schedule, leaving
+	// DiskFaults as the only death source — used to soak the disk-fault
+	// path in isolation.
+	NoKills bool
 	// Poison injects apply failures at two fixed sequence numbers via
 	// ApplyProbe; the batches must be quarantined and excluded from the
 	// oracle.
@@ -114,6 +138,9 @@ type Result struct {
 	TornTails    int
 	BitFlips     int
 	Recoveries   int
+	DiskKills    int      // generations ended by an injected permanent disk fault
+	Injections   []string // "kind(op)xN" totals across every generation's schedule
+	RecoveryOK   int      // per-recovery oracle verifications that ran (VerifyEachRecovery)
 	PoisonFiles  []string
 	ReplayedOK   bool // the final cold restart recovered and replayed
 	Failures     []string
@@ -193,6 +220,23 @@ func Run(o Options) (*Result, error) {
 		return nil
 	}
 
+	// The disk-fault schedule, when present, is re-armed each generation
+	// with occurrence counts shifted by the cycle index — the same
+	// guaranteed-progress trick as the rotating crash schedule below.
+	base, err := fault.ParseSchedule(o.DiskFaults, o.Seed)
+	if err != nil {
+		if ownDir {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	injCounts := map[string]int{}
+	mergeInjections := func(s *fault.Schedule) {
+		for _, inj := range s.Injections() {
+			injCounts[fmt.Sprintf("%s(%s)", inj.Kind, inj.Op)]++
+		}
+	}
+
 	// The crash schedule rotates through every point; round r arms the
 	// (r+1)th occurrence, so each generation gets further than the last
 	// and the stream is guaranteed to finish.
@@ -218,28 +262,83 @@ func Run(o Options) (*Result, error) {
 			Crash:           durable.CrashAt(point, nth),
 			ApplyProbe:      probe,
 		}
+		if o.NoKills {
+			dcfg.Crash = nil
+		}
+		sched := base.Offset(uint64(cycle))
+		if sched != nil {
+			dcfg.IO = sched
+		}
 		cfg := pcfg
 		cfg.Durable = &dcfg
 
+		// diskKill classifies an error escaping the durable layer: an
+		// injected fault ends the generation like a crash would; anything
+		// else is a real harness failure.
+		diskKill := func(stage string, err error) (bool, error) {
+			if !fault.IsInjected(err) {
+				return false, err
+			}
+			res.DiskKills++
+			logf("cycle %d: %s killed by injected disk fault: %v", cycle, stage, err)
+			return true, nil
+		}
+
 		p, crash, err := build(cfg)
 		if err != nil {
-			return res, err
+			if killed, err := diskKill("recovery", err); !killed {
+				mergeInjections(sched)
+				return res, err
+			}
+			mergeInjections(sched)
+			continue
 		}
 		if crash == nil {
 			res.Recoveries++
+			if o.VerifyEachRecovery {
+				res.RecoveryOK++
+				if fails := verifyRecovered(p, stream, poisonSeq, o, copts); len(fails) > 0 {
+					res.Failures = append(res.Failures, fails...)
+					p.Abandon()
+					mergeInjections(sched)
+					break
+				}
+			}
 			cursor := p.DurableSeq()
 			crash, err = drive(p, stream, cursor)
 			if err != nil {
-				return res, err
+				killed, err := diskKill("stream", err)
+				if !killed {
+					mergeInjections(sched)
+					return res, err
+				}
+				// Quarantines that happened before the kill are real
+				// outcomes; harvest them before abandoning the generation.
+				res.PoisonFiles = append(res.PoisonFiles, p.PoisonFiles()...)
+				p.Abandon()
+				mergeInjections(sched)
+				continue
 			}
 			res.PoisonFiles = append(res.PoisonFiles, p.PoisonFiles()...)
 			if crash == nil {
 				// Stream complete; the armed hook may still kill the
 				// final checkpoint inside Close.
-				crash = safeClose(p)
+				var cerr error
+				crash, cerr = safeClose(p)
+				if cerr != nil {
+					killed, cerr := diskKill("close", cerr)
+					if !killed {
+						mergeInjections(sched)
+						return res, cerr
+					}
+					p.Abandon()
+					mergeInjections(sched)
+					continue
+				}
 				done = crash == nil
 			}
 		}
+		mergeInjections(sched)
 		if crash != nil {
 			res.Crashes[crash.Point]++
 			durableSeq := uint64(0)
@@ -263,6 +362,15 @@ func Run(o Options) (*Result, error) {
 			}
 			faultFlip++
 		}
+	}
+
+	keys := make([]string, 0, len(injCounts))
+	for k := range injCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		res.Injections = append(res.Injections, fmt.Sprintf("%sx%d", k, injCounts[k]))
 	}
 
 	if len(res.Failures) == 0 {
@@ -349,17 +457,47 @@ func drive(p *core.Pipeline, stream crosscheck.Stream, cursor uint64) (crash *du
 }
 
 // safeClose closes the pipeline, converting a crash during the final
-// checkpoint into a crash result.
-func safeClose(p *core.Pipeline) (crash *durable.Crash) {
+// checkpoint into a crash result and surfacing Close's own error (an
+// injected disk fault on the final checkpoint arrives this way).
+func safeClose(p *core.Pipeline) (crash *durable.Crash, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if c, ok := durable.AsCrash(r); ok {
 				crash = &c
+				err = nil
 				return
 			}
 			panic(r)
 		}
 	}()
-	p.Close()
-	return nil
+	return nil, p.Close()
+}
+
+// verifyRecovered diffs a freshly recovered pipeline against the
+// sequential oracle's replay of the durable prefix (minus poisoned
+// batches). Failures name the recovered sequence so a bad recovery is
+// attributable to the generation that produced it.
+func verifyRecovered(p *core.Pipeline, stream crosscheck.Stream, poisonSeq map[uint64]bool, o Options, copts compute.Options) []string {
+	seq := p.DurableSeq()
+	if seq > uint64(len(stream)) {
+		return []string{fmt.Sprintf("recovery at seq %d: beyond the %d-batch stream", seq, len(stream))}
+	}
+	orc := graph.NewOracle(o.Directed)
+	for i := 0; i < int(seq); i++ {
+		if poisonSeq[uint64(i)+1] {
+			continue
+		}
+		orc.Update(stream[i].Adds)
+		orc.Delete(stream[i].Dels)
+	}
+	var fails []string
+	for _, d := range ds.DiffOracle(p.Graph(), orc, 8) {
+		fails = append(fails, fmt.Sprintf("recovery at seq %d: topology: %s", seq, d))
+	}
+	want := compute.MustReference(o.Alg, orc, copts)
+	tol := compute.Tolerance(o.Alg)
+	if v := compute.DiffValues(p.Values(), want, tol); v >= 0 {
+		fails = append(fails, fmt.Sprintf("recovery at seq %d: values: vertex %d diverges (%s, tol %g)", seq, v, o.Alg, tol))
+	}
+	return fails
 }

@@ -22,7 +22,11 @@ func TestSoakShort(t *testing.T) {
 		TornWrites:      true,
 		BitFlips:        true,
 		Poison:          true,
-		Logf:            t.Logf,
+		// Transient-only disk faults ride under the kills: the retry
+		// layer must absorb them without changing the soak's outcome.
+		DiskFaults:         "slow(wal-fsync,0.4,50us);eio(ckpt-rename,1);eio(wal-append,2)",
+		VerifyEachRecovery: true,
+		Logf:               t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +45,54 @@ func TestSoakShort(t *testing.T) {
 	}
 	if len(res.PoisonFiles) == 0 {
 		t.Fatal("poison was injected but nothing was quarantined")
+	}
+	if res.RecoveryOK != res.Recoveries {
+		t.Fatalf("verified %d of %d recoveries", res.RecoveryOK, res.Recoveries)
+	}
+	if len(res.Injections) == 0 {
+		t.Fatal("disk-fault schedule never fired")
+	}
+}
+
+// TestSoakDiskFaults turns the kill schedule off and lets injected disk
+// faults be the only death source: permanent ENOSPC mid-WAL ends each
+// generation like a crash, transient EIO on the checkpoint rename must
+// be retried away, and every recovery is diffed against the oracle.
+func TestSoakDiskFaults(t *testing.T) {
+	res, err := Run(Options{
+		Seed:               11,
+		Batches:            9,
+		BatchSize:          60,
+		NumNodes:           40,
+		Directed:           true,
+		Deletes:            true,
+		Threads:            2,
+		CheckpointEvery:    2,
+		NoKills:            true,
+		DiskFaults:         "slow(wal-fsync,0.3,50us);enospc(wal-append,2);eio(ckpt-rename,1)",
+		VerifyEachRecovery: true,
+		Logf:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			t.Errorf("soak: %s", f)
+		}
+		t.Fatalf("disk-fault soak failed after %d cycles (artifact: %s)", res.Cycles, res.Dir)
+	}
+	if !res.ReplayedOK {
+		t.Fatal("final cold restart never ran")
+	}
+	if res.DiskKills == 0 {
+		t.Fatalf("ENOSPC schedule never killed a generation: %d cycles, injections %v", res.Cycles, res.Injections)
+	}
+	if len(res.Crashes) != 0 {
+		t.Fatalf("NoKills soak recorded simulated crashes: %v", res.Crashes)
+	}
+	if res.RecoveryOK == 0 || res.RecoveryOK != res.Recoveries {
+		t.Fatalf("verified %d of %d recoveries", res.RecoveryOK, res.Recoveries)
 	}
 }
 

@@ -2,6 +2,7 @@ package durable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"strings"
 
 	"sagabench/internal/compute"
+	"sagabench/internal/fault"
 	"sagabench/internal/graph"
 )
 
@@ -228,17 +230,59 @@ func loadLatestCheckpoint(dir string) (*Checkpoint, error) {
 
 // writeCheckpointFile atomically persists cp: write a .tmp sibling, fsync
 // it, fire the mid-checkpoint crash hook, rename into place, fsync the
-// directory.
-func writeCheckpointFile(dir string, cp *Checkpoint, crash CrashFunc) error {
+// directory. The temp write (idempotent: O_TRUNC recreates it) and the
+// rename are separately retried units.
+func writeCheckpointFile(dir string, cp *Checkpoint, cfg Config, retry RetryPolicy) error {
 	final := ckptPath(dir, cp.Seq)
 	tmp := final + ".tmp"
 	data := encodeCheckpoint(cp)
+	err := retry.Do("ckpt-write", func() error {
+		return writeCkptTemp(tmp, data, cfg.IO)
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.Crash != nil {
+		cfg.Crash(CrashMidCheckpoint)
+	}
+	err = retry.Do("ckpt-rename", func() error {
+		if err := fault.Inject(cfg.IO, fault.OpCkptRename); err != nil {
+			return fmt.Errorf("durable: checkpoint rename: %w", err)
+		}
+		return os.Rename(tmp, final)
+	})
+	if err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// writeCkptTemp writes and fsyncs the checkpoint temp file. O_TRUNC makes
+// a retry start from a clean file, so a torn previous attempt cannot
+// leak into the renamed checkpoint.
+func writeCkptTemp(tmp string, data []byte, inj fault.Injector) error {
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
+	if err := fault.Inject(inj, fault.OpCkptWrite); err != nil {
+		if errors.Is(err, fault.ErrShortWrite) {
+			// Tear the temp file the way a real partial write would.
+			// saga:allow errcheck-durable -- deliberately simulating a partial write; the injected error is returned.
+			f.Write(data[:len(data)/2])
+		}
+		// saga:allow errcheck-durable -- abandoning the temp file; the injected error is returned.
+		f.Close()
+		return err
+	}
 	if _, err := f.Write(data); err != nil {
 		// saga:allow errcheck-durable -- abandoning the temp file; the write error is returned.
+		f.Close()
+		return err
+	}
+	if err := fault.Inject(inj, fault.OpCkptSync); err != nil {
+		// saga:allow errcheck-durable -- abandoning the temp file; the injected error is returned.
 		f.Close()
 		return err
 	}
@@ -247,17 +291,7 @@ func writeCheckpointFile(dir string, cp *Checkpoint, crash CrashFunc) error {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if crash != nil {
-		crash(CrashMidCheckpoint)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return err
-	}
-	syncDir(dir)
-	return nil
+	return f.Close()
 }
 
 // gcCheckpoints removes all but the ckptKeep newest checkpoints. Keeping

@@ -1,0 +1,85 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Error classification: the retry layer distinguishes faults worth
+// re-attempting (a flaky controller returning EIO, an interrupted
+// syscall, a torn write the WAL can self-repair) from faults that no
+// amount of retrying fixes (a full disk, a filesystem remounted
+// read-only, revoked permissions). Transient errors are retried with
+// bounded exponential backoff; permanent errors surface immediately so
+// the pipeline can degrade instead of burning its retry budget.
+
+// permanentErrnos are the conditions retrying cannot fix.
+var permanentErrnos = []error{
+	syscall.ENOSPC, // disk full
+	syscall.EROFS,  // filesystem went read-only
+	syscall.ENODEV, // device disappeared
+	syscall.ENXIO,  // device not configured
+	syscall.EMFILE, // fd table exhausted — retry loops make it worse
+	syscall.ENFILE,
+}
+
+// Permanent reports whether err is a permanent failure: retrying the
+// operation cannot succeed until an operator intervenes. Everything not
+// recognizably permanent is treated as transient — misclassifying a
+// permanent fault as transient costs a bounded retry budget, while the
+// reverse would give up on a recoverable operation.
+func Permanent(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, errno := range permanentErrnos {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return errors.Is(err, os.ErrPermission) || errors.Is(err, os.ErrNotExist)
+}
+
+// OpError wraps the final error of a retried durability operation with
+// what the retry layer learned: which unit failed, how many attempts were
+// spent, and the classification. The supervisor keys its degrade decision
+// on this type — any OpError means the durability layer could not
+// complete an operation even with retries.
+type OpError struct {
+	// Op names the retried unit ("wal-append", "wal-fsync", "ckpt-write",
+	// "ckpt-rename", ...).
+	Op string
+	// Attempts is the number of attempts spent (1 = failed immediately on
+	// a permanent error).
+	Attempts int
+	// Permanent records the classification of Err: true means retrying
+	// was pointless, false means the retry budget ran out on a transient
+	// fault.
+	Permanent bool
+	// Err is the last underlying error.
+	Err error
+}
+
+func (e *OpError) Error() string {
+	class := "transient"
+	if e.Permanent {
+		class = "permanent"
+	}
+	return fmt.Sprintf("durable: %s failed (%s, %d attempt(s)): %v", e.Op, class, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As classification.
+func (e *OpError) Unwrap() error { return e.Err }
+
+// IsPermanent reports whether err represents a permanent durability
+// failure: an OpError carrying its classification, or a bare error that
+// classifies permanent.
+func IsPermanent(err error) bool {
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return oe.Permanent
+	}
+	return Permanent(err)
+}

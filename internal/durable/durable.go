@@ -33,6 +33,7 @@ import (
 	"math"
 	"time"
 
+	"sagabench/internal/fault"
 	"sagabench/internal/graph"
 )
 
@@ -155,6 +156,13 @@ type Config struct {
 	MaxNodeID graph.NodeID
 	// Crash is the fault-injection hook (nil in production).
 	Crash CrashFunc
+	// IO is consulted before every WAL and checkpoint I/O operation; an
+	// injected error is handled exactly like the operation failing (nil
+	// in production). See internal/fault.
+	IO fault.Injector
+	// Retry bounds the transient-error retry on WAL appends, fsyncs, and
+	// checkpoint writes (zero values select the RetryPolicy defaults).
+	Retry RetryPolicy
 	// ApplyProbe, when set, runs before each batch apply (live and during
 	// replay) and fails the apply when it returns an error — the harness
 	// uses it to simulate poison batches that pass validation but break

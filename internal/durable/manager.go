@@ -3,6 +3,7 @@ package durable
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"sagabench/internal/graph"
@@ -15,12 +16,15 @@ import (
 // sequencing invariants (append-before-apply, checkpoint-covers-prefix)
 // live in one place.
 type Manager struct {
-	cfg Config
-	rec *telemetry.Recorder
-	w   *wal
+	cfg   Config
+	rec   *telemetry.Recorder
+	w     *wal
+	retry RetryPolicy
 
 	lastSeq uint64 // highest sequence number appended or recovered
 	ckptSeq uint64 // sequence covered by the newest durable checkpoint
+
+	retries atomic.Uint64 // I/O retry count (read by health reports concurrently)
 
 	lastAppendBytes int           // record size of the most recent Append
 	lastAppendFsync time.Duration // fsync latency of the most recent Append (0 = policy skipped)
@@ -38,7 +42,17 @@ func Open(cfg Config, rec *telemetry.Recorder) (*Manager, error) {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
 	removeStaleTemps(cfg.Dir)
-	return &Manager{cfg: cfg, rec: rec, w: openWAL(cfg.Dir, cfg)}, nil
+	m := &Manager{cfg: cfg, rec: rec, w: openWAL(cfg.Dir, cfg)}
+	m.retry = cfg.Retry.withDefaults()
+	userHook := m.retry.OnRetry
+	m.retry.OnRetry = func(op string, attempt int, err error) {
+		m.retries.Add(1)
+		m.rec.RecordDurableRetry(op)
+		if userHook != nil {
+			userHook(op, attempt, err)
+		}
+	}
+	return m, nil
 }
 
 // Recover loads the newest valid checkpoint and the WAL records that
@@ -85,13 +99,32 @@ func (m *Manager) Recover() (*Checkpoint, []Record, error) {
 // Append durably logs a batch before it is applied, returning its
 // sequence number. The crash hooks bracket the write: a kill before the
 // append loses the (unacknowledged) batch, a kill after it must be
-// repaired by replay.
+// repaired by replay. The record write and the policy fsync are retried
+// as separate units — a failed fsync is re-attempted without
+// re-appending the record, and a torn partial write is truncated away
+// before the next attempt (wal.repairTail). Failure after retries
+// surfaces as an *OpError carrying the transient/permanent
+// classification the supervisor degrades on.
 func (m *Manager) Append(adds, dels graph.Batch) (uint64, error) {
 	if m.cfg.Crash != nil {
 		m.cfg.Crash(CrashBeforeAppend)
 	}
 	seq := m.lastSeq + 1
-	n, fsync, err := m.w.append(Record{Seq: seq, Adds: adds, Dels: dels})
+	var n int
+	err := m.retry.Do("wal-append", func() error {
+		var aerr error
+		n, aerr = m.w.appendRecord(Record{Seq: seq, Adds: adds, Dels: dels})
+		return aerr
+	})
+	if err != nil {
+		return 0, err
+	}
+	var fsync time.Duration
+	err = m.retry.Do("wal-fsync", func() error {
+		var serr error
+		fsync, serr = m.w.maybeSync()
+		return serr
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -115,17 +148,20 @@ func (m *Manager) LastAppendStats() (bytes int, fsync time.Duration) {
 // again. Written (and fsynced — a lost tombstone would resurrect the
 // poison batch) when a logged batch is quarantined.
 func (m *Manager) AppendSkip(seq uint64) error {
-	_, _, err := m.w.append(Record{Seq: seq, Skip: true})
+	err := m.retry.Do("wal-append", func() error {
+		_, aerr := m.w.appendRecord(Record{Seq: seq, Skip: true})
+		return aerr
+	})
 	if err != nil {
 		return err
 	}
-	return m.w.sync()
+	return m.retry.Do("wal-fsync", m.w.sync)
 }
 
 // WriteCheckpoint atomically persists cp and garbage-collects the WAL
 // segments and older checkpoints it covers.
 func (m *Manager) WriteCheckpoint(cp *Checkpoint) error {
-	if err := writeCheckpointFile(m.cfg.Dir, cp, m.cfg.Crash); err != nil {
+	if err := writeCheckpointFile(m.cfg.Dir, cp, m.cfg, m.retry); err != nil {
 		return err
 	}
 	m.ckptSeq = cp.Seq
@@ -140,6 +176,11 @@ func (m *Manager) WriteCheckpoint(cp *Checkpoint) error {
 
 // LastSeq is the highest sequence number appended or recovered.
 func (m *Manager) LastSeq() uint64 { return m.lastSeq }
+
+// Retries is the total number of I/O retries spent so far (WAL appends,
+// fsyncs, and checkpoint writes together). Safe to read concurrently —
+// health reports poll it.
+func (m *Manager) Retries() uint64 { return m.retries.Load() }
 
 // CheckpointSeq is the sequence covered by the newest durable checkpoint.
 func (m *Manager) CheckpointSeq() uint64 { return m.ckptSeq }

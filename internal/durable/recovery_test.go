@@ -67,10 +67,10 @@ func TestCheckpointCorruptFallback(t *testing.T) {
 		t.Fatalf("empty dir: cp=%v err=%v", cp, err)
 	}
 	old := &Checkpoint{Seq: 5, NumNodes: 2, Edges: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}}
-	if err := writeCheckpointFile(dir, old, nil); err != nil {
+	if err := writeCheckpointFile(dir, old, Config{}, RetryPolicy{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeCheckpointFile(dir, &Checkpoint{Seq: 9, NumNodes: 3}, nil); err != nil {
+	if err := writeCheckpointFile(dir, &Checkpoint{Seq: 9, NumNodes: 3}, Config{}, RetryPolicy{}); err != nil {
 		t.Fatal(err)
 	}
 	newest := ckptPath(dir, 9)

@@ -1,0 +1,243 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"sagabench/internal/fault"
+	"sagabench/internal/graph"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		permanent bool
+	}{
+		{"nil", nil, false},
+		{"enospc", syscall.ENOSPC, true},
+		{"erofs", syscall.EROFS, true},
+		{"enodev", syscall.ENODEV, true},
+		{"permission", os.ErrPermission, true},
+		{"not-exist", os.ErrNotExist, true},
+		{"eio", syscall.EIO, false},
+		{"eintr", syscall.EINTR, false},
+		{"short-write", fault.ErrShortWrite, false},
+		{"unknown", errors.New("controller hiccup"), false},
+		{"wrapped-enospc", fmt.Errorf("durable: WAL fsync: %w",
+			&fault.InjectedError{Op: fault.OpWALFsync, Kind: "enospc", Occurrence: 3, Err: syscall.ENOSPC}), true},
+		{"wrapped-eio", fmt.Errorf("durable: WAL append: %w",
+			&fault.InjectedError{Op: fault.OpWALAppend, Kind: "eio", Occurrence: 1, Err: syscall.EIO}), false},
+	}
+	for _, tc := range cases {
+		if got := Permanent(tc.err); got != tc.permanent {
+			t.Errorf("Permanent(%s) = %v, want %v", tc.name, got, tc.permanent)
+		}
+	}
+}
+
+func TestRetryTransientEventuallySucceeds(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := p.Do("wal-fsync", func() error {
+		calls++
+		if calls < 4 {
+			return syscall.EIO
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transient fault should succeed within budget: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("want 4 attempts, got %d", calls)
+	}
+	if len(slept) != 3 {
+		t.Fatalf("want 3 backoffs, got %v", slept)
+	}
+	// Exponential with cap: bases 1ms, 2ms, 4ms; jitter adds < delay/2.
+	for i, base := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond} {
+		if slept[i] < base || slept[i] >= base+base/2 {
+			t.Errorf("backoff %d = %v, want in [%v, %v)", i, slept[i], base, base+base/2)
+		}
+	}
+	// Cap: a 4th backoff would still be bounded by MaxDelay+jitter.
+	if d := p.withDefaults().delay("wal-fsync", 10); d >= 4*time.Millisecond+2*time.Millisecond {
+		t.Errorf("capped delay = %v, want < 6ms", d)
+	}
+}
+
+func TestRetryDeterministicJitter(t *testing.T) {
+	p := RetryPolicy{Seed: 42}.withDefaults()
+	q := RetryPolicy{Seed: 42}.withDefaults()
+	for attempt := 1; attempt <= 4; attempt++ {
+		if a, b := p.delay("wal-append", attempt), q.delay("wal-append", attempt); a != b {
+			t.Fatalf("same seed, attempt %d: %v vs %v", attempt, a, b)
+		}
+	}
+	r := RetryPolicy{Seed: 43}.withDefaults()
+	same := true
+	for attempt := 1; attempt <= 4; attempt++ {
+		if p.delay("wal-append", attempt) != r.delay("wal-append", attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter at every attempt")
+	}
+}
+
+func TestRetryPermanentAbortsImmediately(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) { t.Fatal("permanent errors must not back off") }}
+	calls := 0
+	err := p.Do("ckpt-write", func() error {
+		calls++
+		return fmt.Errorf("write: %w", syscall.ENOSPC)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || !oe.Permanent || oe.Attempts != 1 || oe.Op != "ckpt-write" {
+		t.Fatalf("want permanent OpError after 1 attempt, got %+v (%v)", oe, err)
+	}
+	if !IsPermanent(err) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("classification lost through OpError: %v", err)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do("wal-append", func() error { calls++; return syscall.EIO })
+	if calls != 3 {
+		t.Fatalf("want 3 attempts, got %d", calls)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Permanent || oe.Attempts != 3 {
+		t.Fatalf("want exhausted transient OpError, got %+v (%v)", oe, err)
+	}
+	if IsPermanent(err) {
+		t.Fatal("exhausted transient budget must not classify permanent")
+	}
+}
+
+// TestManagerRetriesInjectedFaults drives a manager through a schedule
+// that fails one append with EIO and one fsync with a short write: both
+// are transient, both retry, and the log recovers byte-perfect.
+func TestManagerRetriesInjectedFaults(t *testing.T) {
+	dir := t.TempDir()
+	sched := fault.MustParseSchedule("eio(wal-append,2);short(wal-append,4)", 1)
+	m, err := Open(Config{
+		Dir:   dir,
+		Fsync: FsyncAlways,
+		IO:    sched,
+		Retry: RetryPolicy{Sleep: func(time.Duration) {}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		seq, err := m.Append(mkBatch(i, 2), nil)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i)+1 {
+			t.Fatalf("append %d got seq %d", i, seq)
+		}
+	}
+	if m.Retries() == 0 {
+		t.Fatal("injected transient faults should have counted retries")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{Dir: dir, Fsync: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tail, err := m2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 5 {
+		t.Fatalf("recovered %d records, want 5 (torn retry bytes must not corrupt the log)", len(tail))
+	}
+	for i, r := range tail {
+		if r.Seq != uint64(i)+1 || len(r.Adds) != 2 {
+			t.Fatalf("record %d: seq %d adds %d", i, r.Seq, len(r.Adds))
+		}
+	}
+}
+
+// TestManagerPermanentFaultSurfaces checks an injected ENOSPC aborts the
+// append with a permanent OpError and no sequence consumption, and that
+// the next append (disk "freed") succeeds with the same sequence number.
+func TestManagerPermanentFaultSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	sched := fault.MustParseSchedule("enospc(wal-append,2)", 1)
+	m, err := Open(Config{
+		Dir:   dir,
+		Fsync: FsyncAlways,
+		IO:    sched,
+		Retry: RetryPolicy{Sleep: func(time.Duration) {}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Append(mkBatch(0, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Append(mkBatch(1, 1), nil)
+	if err == nil || !IsPermanent(err) {
+		t.Fatalf("want permanent failure, got %v", err)
+	}
+	if m.LastSeq() != 1 {
+		t.Fatalf("failed append consumed a sequence number: LastSeq=%d", m.LastSeq())
+	}
+	if seq, err := m.Append(mkBatch(1, 1), nil); err != nil || seq != 2 {
+		t.Fatalf("post-fault append: seq=%d err=%v", seq, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRetriesRename checks an EIO on the checkpoint's atomic
+// rename is retried and the checkpoint lands.
+func TestCheckpointRetriesRename(t *testing.T) {
+	dir := t.TempDir()
+	sched := fault.MustParseSchedule("eio(ckpt-rename,1);eio(ckpt-sync,1)", 1)
+	m, err := Open(Config{
+		Dir:   dir,
+		Fsync: FsyncAlways,
+		IO:    sched,
+		Retry: RetryPolicy{Sleep: func(time.Duration) {}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &Checkpoint{Seq: 3, NumNodes: 4, Edges: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}}
+	if err := m.WriteCheckpoint(cp); err != nil {
+		t.Fatalf("checkpoint with transient rename fault: %v", err)
+	}
+	got, err := loadLatestCheckpoint(dir)
+	if err != nil || got == nil || got.Seq != 3 {
+		t.Fatalf("checkpoint did not land: cp=%+v err=%v", got, err)
+	}
+	if ents, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(ents) != 0 {
+		t.Fatalf("stale temp files left behind: %v", ents)
+	}
+}

@@ -2,8 +2,10 @@ package durable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -12,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"sagabench/internal/fault"
 	"sagabench/internal/graph"
 )
 
@@ -140,11 +143,12 @@ type wal struct {
 	dir string
 	cfg Config
 
-	segs    []walSeg // sorted by first seq; last is the active segment
-	f       *os.File // open active segment, nil until first append
-	size    int64    // active segment size
-	pending int      // appends since last fsync (FsyncInterval)
-	buf     []byte   // encode scratch
+	segs     []walSeg // sorted by first seq; last is the active segment
+	f        *os.File // open active segment, nil until first append
+	size     int64    // active segment size, including any torn bytes
+	goodSize int64    // size up to the last fully written record
+	pending  int      // appends since last fsync (FsyncInterval)
+	buf      []byte   // encode scratch
 }
 
 func openWAL(dir string, cfg Config) *wal {
@@ -266,29 +270,100 @@ func readSegment(path string, last bool) ([]Record, error) {
 
 // append writes one record under the fsync policy, rotating segments as
 // needed. It returns the bytes written and the fsync latency (zero when
-// the policy skipped the fsync).
+// the policy skipped the fsync). The two halves are separately retryable
+// units — appendRecord and maybeSync — so a failed fsync is re-attempted
+// without re-appending the record.
 func (w *wal) append(r Record) (int, time.Duration, error) {
-	if err := w.ensureSegment(r.Seq); err != nil {
+	n, err := w.appendRecord(r)
+	if err != nil {
 		return 0, 0, err
 	}
-	w.buf = encodeRecord(w.buf, r)
-	if _, err := w.f.Write(w.buf); err != nil {
-		return 0, 0, fmt.Errorf("durable: WAL append: %w", err)
+	fsyncDur, err := w.maybeSync()
+	if err != nil {
+		return n, 0, err
 	}
-	w.size += int64(len(w.buf))
+	return n, fsyncDur, nil
+}
+
+// appendRecord writes one record to the active segment, repairing any
+// torn bytes a previously failed append left behind. After a successful
+// write goodSize advances past the record; after a failed one size may
+// exceed goodSize, and the next attempt truncates back before writing —
+// so retrying an append never leaves garbage between records.
+func (w *wal) appendRecord(r Record) (int, error) {
+	if err := w.ensureSegment(r.Seq); err != nil {
+		return 0, err
+	}
+	if err := w.repairTail(); err != nil {
+		return 0, fmt.Errorf("durable: WAL tail repair: %w", err)
+	}
+	w.buf = encodeRecord(w.buf, r)
+	if err := fault.Inject(w.cfg.IO, fault.OpWALAppend); err != nil {
+		if errors.Is(err, fault.ErrShortWrite) {
+			// Tear the record on disk the way a real partial write would,
+			// so recovery and the repair path face a genuinely torn tail.
+			if n, werr := w.f.Write(w.buf[:len(w.buf)/2]); werr == nil {
+				w.size += int64(n)
+			}
+		}
+		return 0, fmt.Errorf("durable: WAL append: %w", err)
+	}
+	n, err := w.f.Write(w.buf)
+	w.size += int64(n)
+	if err != nil {
+		return 0, fmt.Errorf("durable: WAL append: %w", err)
+	}
+	w.goodSize = w.size
 	w.pending++
-	var fsyncDur time.Duration
+	return len(w.buf), nil
+}
+
+// repairTail truncates torn bytes left by a failed append so the next
+// record starts at the last record boundary.
+func (w *wal) repairTail() error {
+	if w.f == nil || w.size == w.goodSize {
+		return nil
+	}
+	if err := w.f.Truncate(w.goodSize); err != nil {
+		return err
+	}
+	// The active segment is not opened O_APPEND when freshly created, so
+	// reposition explicitly; on O_APPEND handles the seek is harmless.
+	if _, err := w.f.Seek(w.goodSize, io.SeekStart); err != nil {
+		return err
+	}
+	w.size = w.goodSize
+	return nil
+}
+
+// maybeSync flushes per the fsync policy, returning the fsync latency
+// (zero when the policy skipped it).
+func (w *wal) maybeSync() (time.Duration, error) {
 	doSync := w.cfg.Fsync == FsyncAlways ||
 		(w.cfg.Fsync == FsyncInterval && w.pending >= w.cfg.FsyncEvery)
-	if doSync {
-		t0 := time.Now()
-		if err := w.f.Sync(); err != nil {
-			return len(w.buf), 0, fmt.Errorf("durable: WAL fsync: %w", err)
-		}
-		fsyncDur = time.Since(t0)
-		w.pending = 0
+	if !doSync {
+		return 0, nil
 	}
-	return len(w.buf), fsyncDur, nil
+	t0 := time.Now()
+	if err := w.doSync(); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}
+
+// doSync forces the active segment to stable storage (injectable).
+func (w *wal) doSync() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := fault.Inject(w.cfg.IO, fault.OpWALFsync); err != nil {
+		return fmt.Errorf("durable: WAL fsync: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: WAL fsync: %w", err)
+	}
+	w.pending = 0
+	return nil
 }
 
 // ensureSegment opens the active segment for appending, creating or
@@ -298,7 +373,7 @@ func (w *wal) ensureSegment(nextSeq uint64) error {
 		// Rotate: the closing segment's tail must be durable before the
 		// new one starts, regardless of policy (except FsyncNever).
 		if w.cfg.Fsync != FsyncNever {
-			if err := w.f.Sync(); err != nil {
+			if err := w.doSync(); err != nil {
 				return err
 			}
 		}
@@ -320,9 +395,12 @@ func (w *wal) ensureSegment(nextSeq uint64) error {
 			if err != nil {
 				return err
 			}
-			w.f, w.size = f, st.Size()
+			w.f, w.size, w.goodSize = f, st.Size(), st.Size()
 			return nil
 		}
+	}
+	if err := fault.Inject(w.cfg.IO, fault.OpWALCreate); err != nil {
+		return fmt.Errorf("durable: WAL segment create: %w", err)
 	}
 	path := segPath(w.dir, nextSeq)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
@@ -334,7 +412,7 @@ func (w *wal) ensureSegment(nextSeq uint64) error {
 		f.Close()
 		return err
 	}
-	w.f, w.size = f, int64(len(walMagic))
+	w.f, w.size, w.goodSize = f, int64(len(walMagic)), int64(len(walMagic))
 	w.segs = append(w.segs, walSeg{path: path, first: nextSeq})
 	syncDir(w.dir)
 	return nil
@@ -359,11 +437,7 @@ func (w *wal) gc(coverSeq uint64) {
 
 // sync forces the active segment to stable storage.
 func (w *wal) sync() error {
-	if w.f == nil {
-		return nil
-	}
-	w.pending = 0
-	return w.f.Sync()
+	return w.doSync()
 }
 
 // close flushes (unless FsyncNever) and closes the active segment.
@@ -373,7 +447,7 @@ func (w *wal) close() error {
 	}
 	var err error
 	if w.cfg.Fsync != FsyncNever {
-		err = w.f.Sync()
+		err = w.doSync()
 	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

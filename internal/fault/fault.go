@@ -1,0 +1,131 @@
+// Package fault is the I/O fault-injection layer of the supervised
+// pipeline runtime. Where internal/durable's CrashPoint hooks simulate the
+// process dying, this package simulates the disk misbehaving while the
+// process lives: slow fsyncs, ENOSPC mid-segment, EIO on a checkpoint
+// rename, short writes that tear a record, and stuck syscalls that stall a
+// phase long enough for a watchdog to fire. The WAL and checkpoint writers
+// consult an Injector immediately before each real operation; a returned
+// error is handled exactly as if the operation itself had failed, so the
+// retry, degraded-mode, and supervision machinery above is exercised
+// against the same code paths a real fault would take.
+//
+// The Schedule implementation is seed-deterministic: the same spec, seed,
+// and operation sequence produce the same injections, so chaos soaks are
+// replayable (see internal/crashloop and the CI chaos job).
+//
+// saga:durable — discarded errors here would hide injected faults from the
+// layer under test (enforced by sagavet's errcheck-durable).
+// saga:paniccapture — goroutines must capture panics (enforced by
+// sagavet; the package currently starts none, the marker keeps it that
+// way).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// Op identifies one injectable operation point. The durable layer consults
+// the injector with the wal-*/ckpt-* ops; the core pipeline consults it at
+// phase boundaries with update/compute/publish.
+type Op string
+
+// The registered operation points.
+const (
+	// OpWALAppend fires before a WAL record write.
+	OpWALAppend Op = "wal-append"
+	// OpWALFsync fires before a WAL fsync (policy-driven, forced, or
+	// rotation/close flushes).
+	OpWALFsync Op = "wal-fsync"
+	// OpWALCreate fires before a new WAL segment file is created.
+	OpWALCreate Op = "wal-create"
+	// OpCkptWrite fires before the checkpoint temp file is written.
+	OpCkptWrite Op = "ckpt-write"
+	// OpCkptSync fires before the checkpoint temp file is fsynced.
+	OpCkptSync Op = "ckpt-sync"
+	// OpCkptRename fires before the checkpoint's atomic rename.
+	OpCkptRename Op = "ckpt-rename"
+	// OpUpdate fires at the start of the pipeline's update phase.
+	OpUpdate Op = "update"
+	// OpCompute fires at the start of the pipeline's compute phase.
+	OpCompute Op = "compute"
+	// OpPublish fires at the start of epoch-snapshot publication.
+	OpPublish Op = "publish"
+)
+
+// Ops lists every registered operation point (the spec parser validates
+// against it).
+var Ops = []Op{
+	OpWALAppend, OpWALFsync, OpWALCreate,
+	OpCkptWrite, OpCkptSync, OpCkptRename,
+	OpUpdate, OpCompute, OpPublish,
+}
+
+// Injector is consulted immediately before an injectable operation. A nil
+// return lets the operation proceed; a non-nil error is treated by the
+// caller as the operation failing with that error. Implementations apply
+// stalls and slow-downs internally (by sleeping) before returning.
+// Implementations must be safe for concurrent use.
+type Injector interface {
+	Inject(op Op) error
+}
+
+// Inject consults inj, treating nil as the no-fault injector — the
+// convenience guard every call site uses so the disabled path costs one
+// nil check.
+func Inject(inj Injector, op Op) error {
+	if inj == nil {
+		return nil
+	}
+	return inj.Inject(op)
+}
+
+// ErrShortWrite marks an injected short write: the caller is expected to
+// write a truncated prefix of its buffer (tearing the record the way a
+// real partial write would) and then fail with this error, so recovery's
+// torn-tail handling sees a genuinely torn file.
+var ErrShortWrite = errors.New("fault: injected short write")
+
+// InjectedError is the error surfaced for an injected fault. It wraps the
+// simulated errno (or ErrShortWrite), so errors.Is against syscall.ENOSPC,
+// syscall.EIO, and friends classifies injected faults exactly like real
+// ones.
+type InjectedError struct {
+	// Op is the operation point the fault fired at.
+	Op Op
+	// Kind is the rule kind that fired ("enospc", "eio", "short").
+	Kind string
+	// Occurrence is the 1-based count of Op at fire time.
+	Occurrence uint64
+	// Err is the simulated underlying error.
+	Err error
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (occurrence %d): %v", e.Kind, e.Op, e.Occurrence, e.Err)
+}
+
+// Unwrap exposes the simulated errno for errors.Is classification.
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// IsInjected reports whether err (anywhere in its chain) was produced by
+// an Injector — the chaos harness uses it to tell injected faults from
+// real environmental failures.
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// errnoFor maps a rule kind to the errno it simulates.
+func errnoFor(kind string) error {
+	switch kind {
+	case "enospc":
+		return syscall.ENOSPC
+	case "eio":
+		return syscall.EIO
+	case "short":
+		return ErrShortWrite
+	}
+	return fmt.Errorf("fault: unknown error kind %q", kind)
+}

@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    string // round-tripped String(), "" for nil schedule
+		wantErr bool
+	}{
+		{spec: "", want: ""},
+		{spec: "  ;; ", wantErr: true},
+		{spec: "slow(wal-fsync,0.3,200us)", want: "slow(wal-fsync,0.3,200µs)"},
+		{spec: "slow(fsync,0.3,200us)", want: "slow(wal-fsync,0.3,200µs)"},
+		{spec: "enospc(append,5)", want: "enospc(wal-append,5)"},
+		{spec: "eio(ckpt-rename,2)", want: "eio(ckpt-rename,2)"},
+		{spec: "short(wal-append,3)", want: "short(wal-append,3)"},
+		{spec: "stall(compute,8,300ms)", want: "stall(compute,8,300ms)"},
+		{
+			spec: "slow(wal-fsync,0.5,1ms); enospc(wal-fsync,12) ;stall(compute,8,300ms)",
+			want: "slow(wal-fsync,0.5,1ms);enospc(wal-fsync,12);stall(compute,8,300ms)",
+		},
+		{spec: "explode(wal-append,1)", wantErr: true},
+		{spec: "enospc(no-such-op,1)", wantErr: true},
+		{spec: "enospc(wal-append,0)", wantErr: true},
+		{spec: "enospc(wal-append,-3)", wantErr: true},
+		{spec: "enospc(wal-append)", wantErr: true},
+		{spec: "slow(wal-append,1.5,1ms)", wantErr: true},
+		{spec: "slow(wal-append,0,1ms)", wantErr: true},
+		{spec: "slow(wal-append,0.5,-1ms)", wantErr: true},
+		{spec: "stall(compute,1,banana)", wantErr: true},
+		{spec: "stall compute 1 1ms", wantErr: true},
+	}
+	for _, tc := range cases {
+		s, err := ParseSchedule(tc.spec, 42)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSchedule(%q): want error, got %v", tc.spec, s)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSchedule(%q): %v", tc.spec, err)
+			continue
+		}
+		if got := s.String(); got != tc.want {
+			t.Errorf("ParseSchedule(%q).String() = %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestScheduleCountedRules(t *testing.T) {
+	s := MustParseSchedule("eio(wal-append,3);enospc(wal-fsync,2);short(wal-append,5)", 1)
+	var errs []string
+	for i := 0; i < 6; i++ {
+		if err := s.Inject(OpWALAppend); err != nil {
+			errs = append(errs, fmt.Sprintf("append#%d:%v", i+1, err))
+			if i+1 == 3 && !errors.Is(err, syscall.EIO) {
+				t.Errorf("append occurrence 3: want EIO, got %v", err)
+			}
+			if i+1 == 5 && !errors.Is(err, ErrShortWrite) {
+				t.Errorf("append occurrence 5: want ErrShortWrite, got %v", err)
+			}
+			if !IsInjected(err) {
+				t.Errorf("injected error not recognized by IsInjected: %v", err)
+			}
+		}
+	}
+	if len(errs) != 2 {
+		t.Fatalf("want 2 append faults (occurrences 3 and 5), got %v", errs)
+	}
+	if err := s.Inject(OpWALFsync); err != nil {
+		t.Fatalf("fsync occurrence 1 should pass, got %v", err)
+	}
+	err := s.Inject(OpWALFsync)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("fsync occurrence 2: want ENOSPC, got %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Op != OpWALFsync || ie.Occurrence != 2 || ie.Kind != "enospc" {
+		t.Fatalf("InjectedError fields wrong: %+v", ie)
+	}
+	// Other ops are untouched.
+	for i := 0; i < 10; i++ {
+		if err := s.Inject(OpCompute); err != nil {
+			t.Fatalf("compute should never fault, got %v", err)
+		}
+	}
+}
+
+func TestScheduleDeterministicDraws(t *testing.T) {
+	run := func(seed int64) []Injection {
+		s := MustParseSchedule("slow(wal-fsync,0.5,1us)", seed)
+		s.SetSleep(func(time.Duration) {})
+		for i := 0; i < 200; i++ {
+			if err := s.Inject(OpWALFsync); err != nil {
+				t.Fatalf("slow rule must not error: %v", err)
+			}
+		}
+		return s.Injections()
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %d vs %d injections", len(a), len(b))
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.5 over 200 draws fired %d times; draws look degenerate", len(a))
+	}
+	c := run(8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical injection logs (%d fires)", len(a))
+	}
+}
+
+func TestScheduleStallUsesSleeper(t *testing.T) {
+	s := MustParseSchedule("stall(compute,2,250ms)", 1)
+	var slept []time.Duration
+	s.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	for i := 0; i < 3; i++ {
+		if err := s.Inject(OpCompute); err != nil {
+			t.Fatalf("stall must not error: %v", err)
+		}
+	}
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Fatalf("want one 250ms sleep at occurrence 2, got %v", slept)
+	}
+	inj := s.Injections()
+	if len(inj) != 1 || inj[0].Occurrence != 2 || inj[0].Delay != 250*time.Millisecond {
+		t.Fatalf("injection log wrong: %+v", inj)
+	}
+}
+
+func TestScheduleOffset(t *testing.T) {
+	base := MustParseSchedule("enospc(wal-append,2);slow(wal-fsync,0.5,1us)", 3)
+	shifted := base.Offset(10)
+	for i := 0; i < 11; i++ {
+		if err := shifted.Inject(OpWALAppend); err != nil {
+			t.Fatalf("append occurrence %d should pass after Offset(10), got %v", i+1, err)
+		}
+	}
+	if err := shifted.Inject(OpWALAppend); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append occurrence 12: want ENOSPC, got %v", err)
+	}
+	// Offset copies: the base schedule still fires at 2.
+	if err := base.Inject(OpWALAppend); err != nil {
+		t.Fatalf("base occurrence 1 should pass, got %v", err)
+	}
+	if err := base.Inject(OpWALAppend); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("base occurrence 2: want ENOSPC, got %v", err)
+	}
+}
+
+func TestScheduleSummary(t *testing.T) {
+	s := MustParseSchedule("eio(wal-append,1);eio(wal-append,2)", 1)
+	for i := 0; i < 2; i++ {
+		if err := s.Inject(OpWALAppend); err == nil {
+			t.Fatalf("occurrence %d should fault", i+1)
+		}
+	}
+	got := s.Summary()
+	want := []string{"eio(wal-append)×2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Summary() = %v, want %v", got, want)
+	}
+}
+
+func TestNilScheduleIsNoop(t *testing.T) {
+	var s *Schedule
+	if err := s.Inject(OpWALAppend); err != nil {
+		t.Fatalf("nil schedule injected %v", err)
+	}
+	if s.Injections() != nil || s.Summary() != nil || s.Offset(3) != nil || s.String() != "" {
+		t.Fatal("nil schedule accessors must be zero-valued")
+	}
+	if err := Inject(nil, OpWALAppend); err != nil {
+		t.Fatalf("Inject(nil, op) = %v", err)
+	}
+}

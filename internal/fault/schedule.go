@@ -1,0 +1,342 @@
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A Rule is one entry of a fault schedule. Exactly one of the firing
+// modes is used per kind: occurrence-counted kinds (stall, enospc, eio,
+// short) fire on the Nth occurrence of Op; the probabilistic kind (slow)
+// fires on a seed-deterministic coin flip at every occurrence.
+type Rule struct {
+	// Kind is "slow", "stall", "enospc", "eio", or "short".
+	Kind string
+	// Op is the operation point the rule watches.
+	Op Op
+	// Nth is the 1-based occurrence of Op the rule fires on (counted
+	// kinds). 0 on probabilistic kinds.
+	Nth uint64
+	// Prob is the per-occurrence firing probability of a slow rule.
+	Prob float64
+	// Delay is the injected latency of slow and stall rules.
+	Delay time.Duration
+}
+
+func (r Rule) String() string {
+	switch r.Kind {
+	case "slow":
+		return fmt.Sprintf("slow(%s,%g,%s)", r.Op, r.Prob, r.Delay)
+	case "stall":
+		return fmt.Sprintf("stall(%s,%d,%s)", r.Op, r.Nth, r.Delay)
+	default:
+		return fmt.Sprintf("%s(%s,%d)", r.Kind, r.Op, r.Nth)
+	}
+}
+
+// An Injection records one fired rule, for health reports and soak logs.
+type Injection struct {
+	Op         Op            `json:"op"`
+	Kind       string        `json:"kind"`
+	Occurrence uint64        `json:"occurrence"`
+	Delay      time.Duration `json:"delay_ns,omitempty"`
+}
+
+// Schedule is a deterministic Injector driven by a parsed rule list and a
+// seed: the same spec, seed, and per-op call sequence always produce the
+// same injections, regardless of wall-clock time or goroutine
+// interleaving within one op's call order.
+type Schedule struct {
+	rules []Rule
+	seed  uint64
+
+	// sleep is the stall/slow implementation (overridable in tests so
+	// schedules with long stalls parse-and-fire without waiting).
+	sleep func(time.Duration)
+
+	mu     sync.Mutex
+	counts map[Op]uint64
+	log    []Injection
+}
+
+// ParseSchedule parses a fault-schedule spec: semicolon-separated rules
+//
+//	slow(op,prob,delay)   delay each matching op with probability prob
+//	stall(op,nth,delay)   the nth op stalls for delay, then succeeds
+//	enospc(op,nth)        the nth op fails with ENOSPC (permanent class)
+//	eio(op,nth)           the nth op fails with EIO (transient class)
+//	short(op,nth)         the nth op tears a short write, then fails
+//
+// where op is one of the fault.Ops constants (wal-append, wal-fsync,
+// wal-create, ckpt-write, ckpt-sync, ckpt-rename, update, compute,
+// publish), with the aliases append, fsync, create, and rename accepted
+// for the four most common. Example:
+//
+//	slow(wal-fsync,0.3,2ms);enospc(wal-fsync,12);stall(compute,8,300ms)
+//
+// Seed drives the probabilistic draws. An empty spec yields a nil
+// schedule (no faults).
+func ParseSchedule(spec string, seed int64) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: schedule %q contains no rules", spec)
+	}
+	return &Schedule{
+		rules:  rules,
+		seed:   uint64(seed),
+		sleep:  time.Sleep,
+		counts: make(map[Op]uint64),
+	}, nil
+}
+
+// MustParseSchedule is ParseSchedule for specs known valid at compile
+// time (tests, built-in soak schedules).
+func MustParseSchedule(spec string, seed int64) *Schedule {
+	s, err := ParseSchedule(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+var opAliases = map[string]Op{
+	"append": OpWALAppend,
+	"fsync":  OpWALFsync,
+	"create": OpWALCreate,
+	"rename": OpCkptRename,
+}
+
+func parseOp(s string) (Op, error) {
+	if op, ok := opAliases[s]; ok {
+		return op, nil
+	}
+	for _, op := range Ops {
+		if s == string(op) {
+			return op, nil
+		}
+	}
+	return "", fmt.Errorf("fault: unknown op %q (have %v plus aliases append/fsync/create/rename)", s, Ops)
+}
+
+func parseRule(s string) (Rule, error) {
+	var r Rule
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return r, fmt.Errorf("fault: rule %q: want kind(op,args...)", s)
+	}
+	r.Kind = strings.TrimSpace(s[:open])
+	args := strings.Split(s[open+1:len(s)-1], ",")
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+	if len(args) == 0 || args[0] == "" {
+		return r, fmt.Errorf("fault: rule %q: missing op", s)
+	}
+	op, err := parseOp(args[0])
+	if err != nil {
+		return r, err
+	}
+	r.Op = op
+	nth := func(a string) (uint64, error) {
+		n, err := strconv.ParseUint(a, 10, 64)
+		if err != nil || n == 0 {
+			return 0, fmt.Errorf("fault: rule %q: occurrence %q must be a positive integer", s, a)
+		}
+		return n, nil
+	}
+	switch r.Kind {
+	case "slow":
+		if len(args) != 3 {
+			return r, fmt.Errorf("fault: rule %q: want slow(op,prob,delay)", s)
+		}
+		p, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return r, fmt.Errorf("fault: rule %q: probability %q must be in (0,1]", s, args[1])
+		}
+		d, err := time.ParseDuration(args[2])
+		if err != nil || d <= 0 {
+			return r, fmt.Errorf("fault: rule %q: bad delay %q", s, args[2])
+		}
+		r.Prob, r.Delay = p, d
+	case "stall":
+		if len(args) != 3 {
+			return r, fmt.Errorf("fault: rule %q: want stall(op,nth,delay)", s)
+		}
+		if r.Nth, err = nth(args[1]); err != nil {
+			return r, err
+		}
+		d, err := time.ParseDuration(args[2])
+		if err != nil || d <= 0 {
+			return r, fmt.Errorf("fault: rule %q: bad delay %q", s, args[2])
+		}
+		r.Delay = d
+	case "enospc", "eio", "short":
+		if len(args) != 2 {
+			return r, fmt.Errorf("fault: rule %q: want %s(op,nth)", s, r.Kind)
+		}
+		if r.Nth, err = nth(args[1]); err != nil {
+			return r, err
+		}
+	default:
+		return r, fmt.Errorf("fault: rule %q: unknown kind %q (have slow, stall, enospc, eio, short)", s, r.Kind)
+	}
+	return r, nil
+}
+
+// Offset shifts every occurrence-counted rule nth batches later. The
+// crash-loop soak offsets a fresh copy of the schedule by the cycle index
+// so each kill/recover generation's faults land further into the stream —
+// the same guaranteed-progress trick as its rotating crash schedule.
+func (s *Schedule) Offset(n uint64) *Schedule {
+	if s == nil {
+		return nil
+	}
+	rules := make([]Rule, len(s.rules))
+	copy(rules, s.rules)
+	for i := range rules {
+		if rules[i].Nth > 0 {
+			rules[i].Nth += n
+		}
+	}
+	return &Schedule{rules: rules, seed: s.seed, sleep: s.sleep, counts: make(map[Op]uint64)}
+}
+
+// SetSleep replaces the stall/slow sleeper (tests use a recording fake so
+// hour-long stalls don't wait).
+func (s *Schedule) SetSleep(f func(time.Duration)) { s.sleep = f }
+
+// Inject implements Injector: count the occurrence, apply every matching
+// delay, and fail with the first matching error rule.
+func (s *Schedule) Inject(op Op) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.counts[op]++
+	n := s.counts[op]
+	var delay time.Duration
+	var fired *Rule
+	for i := range s.rules {
+		r := &s.rules[i]
+		if r.Op != op {
+			continue
+		}
+		switch r.Kind {
+		case "slow":
+			if s.draw(op, n, uint64(i)) < r.Prob {
+				delay += r.Delay
+			}
+		case "stall":
+			if r.Nth == n {
+				delay += r.Delay
+			}
+		default:
+			if r.Nth == n && fired == nil {
+				fired = r
+			}
+		}
+	}
+	var inj Injection
+	record := delay > 0 || fired != nil
+	if record {
+		inj = Injection{Op: op, Occurrence: n, Delay: delay}
+		if fired != nil {
+			inj.Kind = fired.Kind
+		} else {
+			inj.Kind = "slow"
+		}
+		s.log = append(s.log, inj)
+	}
+	sleep := s.sleep
+	s.mu.Unlock()
+	if delay > 0 {
+		sleep(delay)
+	}
+	if fired != nil {
+		return &InjectedError{Op: op, Kind: fired.Kind, Occurrence: n, Err: errnoFor(fired.Kind)}
+	}
+	return nil
+}
+
+// Injections returns a copy of every fault injected so far, in firing
+// order.
+func (s *Schedule) Injections() []Injection {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Injection(nil), s.log...)
+}
+
+// Summary counts injections by "kind(op)", sorted — the health report's
+// compact view of what the schedule actually did.
+func (s *Schedule) Summary() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	byKey := make(map[string]int)
+	for _, inj := range s.log {
+		byKey[fmt.Sprintf("%s(%s)", inj.Kind, inj.Op)]++
+	}
+	s.mu.Unlock()
+	out := make([]string, 0, len(byKey))
+	for k, c := range byKey {
+		out = append(out, fmt.Sprintf("%s×%d", k, c))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the schedule's rule list in spec syntax.
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	parts := make([]string, len(s.rules))
+	for i, r := range s.rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// draw is the deterministic coin flip for probabilistic rules: a hash of
+// (seed, op, occurrence, rule index) mapped into [0,1). No shared PRNG
+// state means the draw for occurrence n is independent of how many other
+// ops interleaved before it.
+func (s *Schedule) draw(op Op, n, rule uint64) float64 {
+	h := fnv.New64a()
+	// saga:allow errcheck-durable -- fnv.Write cannot fail.
+	fmt.Fprintf(h, "%d|%s|%d|%d", s.seed, op, n, rule)
+	x := splitmix64(h.Sum64())
+	return float64(x>>11) / float64(1<<53)
+}
+
+// splitmix64 finalizes the hash into well-distributed bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

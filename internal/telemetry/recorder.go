@@ -75,6 +75,18 @@ type Recorder struct {
 	replayed     *Counter
 	quarantines  *Counter
 	applyRetries *Counter
+
+	// Supervised-runtime health: the state machine's current state (by
+	// ordinal) and transition count, durable I/O retries, watchdog fires,
+	// supervised phase restarts, and the ingest queue's shed/refusal/depth.
+	healthState       *Gauge
+	healthTransitions *Counter
+	durableRetries    *Counter
+	watchdogFires     *Counter
+	phaseRestarts     *Counter
+	shedBatches       *Counter
+	refusedIngest     *Counter
+	queueDepth        *Gauge
 }
 
 // NewRecorder builds a recorder over reg (required) and sink (optional:
@@ -123,7 +135,76 @@ func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
 	r.replayed = reg.Counter("saga_replayed_batches_total", "WAL batches replayed during recovery")
 	r.quarantines = reg.Counter("saga_quarantined_batches_total", "Poison batches quarantined to .poison files")
 	r.applyRetries = reg.Counter("saga_apply_retries_total", "Batch apply retries after a recovered failure")
+	r.healthState = reg.Gauge("saga_health_state", "Pipeline health state ordinal (0 healthy, 1 degraded-durability, 2 read-only, 3 failed)")
+	r.healthTransitions = reg.Counter("saga_health_transitions_total", "Health state machine transitions")
+	r.durableRetries = reg.Counter("saga_durable_io_retries_total", "Durable I/O retries (WAL appends/fsyncs and checkpoint writes)")
+	r.watchdogFires = reg.Counter("saga_watchdog_fires_total", "Phase watchdog deadline expirations")
+	r.phaseRestarts = reg.Counter("saga_phase_restarts_total", "Supervised pipeline rebuilds after a watchdog fire or phase panic")
+	r.shedBatches = reg.Counter("saga_shed_batches_total", "Batches dropped by the bounded ingest queue's shed policy")
+	r.refusedIngest = reg.Counter("saga_refused_batches_total", "Batches refused because the pipeline was read-only or failed")
+	r.queueDepth = reg.Gauge("saga_ingest_queue_depth", "Batches waiting in the bounded ingest queue")
 	return r
+}
+
+// RecordHealthState folds a health transition into the metrics: the new
+// state's ordinal and one transition count.
+func (r *Recorder) RecordHealthState(ordinal int) {
+	if r == nil {
+		return
+	}
+	r.healthState.Set(float64(ordinal))
+	r.healthTransitions.Inc()
+}
+
+// RecordDurableRetry counts one durable I/O retry (op identifies the
+// retried unit; the aggregate counter keeps cardinality flat and the
+// health report carries the per-op detail).
+func (r *Recorder) RecordDurableRetry(op string) {
+	if r == nil {
+		return
+	}
+	_ = op
+	r.durableRetries.Inc()
+}
+
+// RecordWatchdogFire counts a phase watchdog expiration.
+func (r *Recorder) RecordWatchdogFire() {
+	if r == nil {
+		return
+	}
+	r.watchdogFires.Inc()
+}
+
+// RecordPhaseRestart counts a supervised pipeline rebuild.
+func (r *Recorder) RecordPhaseRestart() {
+	if r == nil {
+		return
+	}
+	r.phaseRestarts.Inc()
+}
+
+// RecordShedBatch counts a batch dropped by the shed policy.
+func (r *Recorder) RecordShedBatch() {
+	if r == nil {
+		return
+	}
+	r.shedBatches.Inc()
+}
+
+// RecordRefusedIngest counts a batch refused in read-only/failed state.
+func (r *Recorder) RecordRefusedIngest() {
+	if r == nil {
+		return
+	}
+	r.refusedIngest.Inc()
+}
+
+// RecordQueueDepth tracks the bounded ingest queue's occupancy.
+func (r *Recorder) RecordQueueDepth(n int) {
+	if r == nil {
+		return
+	}
+	r.queueDepth.Set(float64(n))
 }
 
 // RecordViewRefresh folds one compute-view mirror refresh into the
