@@ -1,0 +1,72 @@
+package sagabench_test
+
+import (
+	"testing"
+
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
+	"sagabench/internal/gen"
+	"sagabench/internal/graph"
+)
+
+// The update-rate race: per-structure ingest throughput isolated from the
+// compute phase, the metric GraphTango's degree-adaptive format is built
+// to win. Every registered structure runs on both degree regimes (lj's
+// mild power law vs wiki's single 45%-share hub) and both stream shapes
+// (insert-only and a mixed stream that deletes a quarter of the previous
+// batch); BENCH_update.json checks in one measured run and cmd/benchgate
+// gates changes against it.
+//
+// Each iteration builds the graph from scratch — update cost is dominated
+// by the steady-state degree distribution the stream converges to, and a
+// fresh build per iteration keeps iterations identical (no unbounded
+// growth across b.N).
+func benchUpdateRate(b *testing.B, dsName, dataset string, mixed bool) {
+	spec := gen.MustDataset(dataset, gen.ProfileDefault)
+	edges := spec.Generate(7)
+	batches := graph.Batches(edges, spec.BatchSize)
+	// Deterministic mixed schedule: batch i deletes every 4th edge of
+	// batch i-1, so the structure sees interleaved growth and trimming at
+	// the same hot vertices the inserts target.
+	var dels []graph.Batch
+	if mixed {
+		dels = make([]graph.Batch, len(batches))
+		for i := 1; i < len(batches); i++ {
+			prev := batches[i-1]
+			d := make(graph.Batch, 0, (len(prev)+3)/4)
+			for j := 0; j < len(prev); j += 4 {
+				d = append(d, prev[j])
+			}
+			dels[i] = d
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := ds.MustNew(dsName, ds.Config{
+			Directed:     spec.Directed,
+			Threads:      2,
+			MaxNodesHint: spec.NumNodes,
+		})
+		for bi, batch := range batches {
+			g.Update(batch)
+			if mixed && len(dels[bi]) > 0 {
+				if err := g.(ds.Deleter).Delete(dels[bi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.SetBytes(int64(len(edges)) * 12)
+}
+
+func benchUpdateRateAll(b *testing.B, dataset string, mixed bool) {
+	for _, name := range ds.Names() {
+		b.Run(name, func(b *testing.B) { benchUpdateRate(b, name, dataset, mixed) })
+	}
+}
+
+func BenchmarkUpdateRateUniformInsert(b *testing.B)  { benchUpdateRateAll(b, "lj", false) }
+func BenchmarkUpdateRateUniformMixed(b *testing.B)   { benchUpdateRateAll(b, "lj", true) }
+func BenchmarkUpdateRateHubHeavyInsert(b *testing.B) { benchUpdateRateAll(b, "wiki", false) }
+func BenchmarkUpdateRateHubHeavyMixed(b *testing.B)  { benchUpdateRateAll(b, "wiki", true) }

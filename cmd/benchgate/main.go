@@ -1,16 +1,20 @@
 // Command benchgate compares a fresh `go test -bench` run against the
-// checked-in baseline (BENCH_compute.json) and fails on regressions.
+// checked-in baselines (BENCH_compute.json, BENCH_update.json) and fails
+// on regressions. -baseline takes a comma-separated list; the files are
+// merged (duplicate benchmark names across files are an error) so one run
+// covering both suites gates against both.
 //
-// Typical use, locally before landing a compute/view change:
+// Typical use, locally before landing a compute/view or data-structure
+// change:
 //
-//	go test -run=NONE -bench='ViewO|ComputePR|ComputeCC|ComputeBFS' -benchtime=20x . | \
-//	    go run ./cmd/benchgate -baseline BENCH_compute.json
+//	go test -run=NONE -bench='ViewO|ComputePR|ComputeCC|ComputeBFS|UpdateRate' -benchtime=20x . | \
+//	    go run ./cmd/benchgate -baseline BENCH_compute.json,BENCH_update.json
 //
 // and in CI (shared runners are too noisy to gate on wall time, so only
 // the deterministic allocation counts are enforced there):
 //
-//	go test -run=NONE -bench='Compute|View' -benchtime=1x . | \
-//	    go run ./cmd/benchgate -baseline BENCH_compute.json -time-advisory
+//	go test -run=NONE -bench='Compute|View|UpdateRate' -benchtime=1x . | \
+//	    go run ./cmd/benchgate -baseline BENCH_compute.json,BENCH_update.json -time-advisory
 //
 // The gate fails (exit 1) when a benchmark regresses by more than
 // -threshold percent on ns/op or allocs/op. Allocation counts are
@@ -43,11 +47,46 @@ type BaselineEntry struct {
 	AllocsOp float64 `json:"allocs_per_op"`
 }
 
-// Baseline mirrors BENCH_compute.json.
+// Baseline mirrors one baseline file (BENCH_compute.json, BENCH_update.json).
 type Baseline struct {
 	Description string          `json:"description"`
 	Command     string          `json:"command"`
 	Benchmarks  []BaselineEntry `json:"benchmarks"`
+}
+
+// loadBaselines reads and merges the comma-separated baseline files. A
+// benchmark name appearing in two files is an error — the gate could not
+// tell which regeneration command to point at.
+func loadBaselines(paths string) ([]Baseline, []BaselineEntry, error) {
+	var bases []Baseline
+	var merged []BaselineEntry
+	seen := make(map[string]string)
+	for _, p := range strings.Split(paths, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		var b Baseline
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return nil, nil, fmt.Errorf("parse %s: %w", p, err)
+		}
+		for _, e := range b.Benchmarks {
+			if prev, dup := seen[e.Name]; dup {
+				return nil, nil, fmt.Errorf("benchmark %q in both %s and %s", e.Name, prev, p)
+			}
+			seen[e.Name] = p
+			merged = append(merged, e)
+		}
+		bases = append(bases, b)
+	}
+	if len(bases) == 0 {
+		return nil, nil, fmt.Errorf("no baseline files in %q", paths)
+	}
+	return bases, merged, nil
 }
 
 // benchLine matches the result line `go test -bench` prints:
@@ -145,20 +184,16 @@ func gate(base []BaselineEntry, fresh map[string]BaselineEntry, threshold float6
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_compute.json", "checked-in baseline JSON")
+		baselinePath = flag.String("baseline", "BENCH_compute.json", "checked-in baseline JSON (comma-separated list merges several)")
 		inputPath    = flag.String("input", "-", "fresh `go test -bench` output ('-' reads stdin)")
 		threshold    = flag.Float64("threshold", 10, "regression threshold in percent")
 		timeAdvisory = flag.Bool("time-advisory", false, "report ns/op regressions as warnings instead of failures (for noisy shared runners; allocs/op stays gated)")
 	)
 	flag.Parse()
 
-	raw, err := os.ReadFile(*baselinePath)
+	bases, baseEntries, err := loadBaselines(*baselinePath)
 	if err != nil {
 		fatal(err)
-	}
-	var base Baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
 	}
 
 	in := io.Reader(os.Stdin)
@@ -178,10 +213,10 @@ func main() {
 		fatal(fmt.Errorf("no benchmark result lines in input (expected `go test -bench` output)"))
 	}
 
-	failures, warnings, missing := gate(base.Benchmarks, fresh, *threshold, *timeAdvisory)
+	failures, warnings, missing := gate(baseEntries, fresh, *threshold, *timeAdvisory)
 
-	inBaseline := make(map[string]bool, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
+	inBaseline := make(map[string]bool, len(baseEntries))
+	for _, b := range baseEntries {
 		inBaseline[b.Name] = true
 	}
 	var extra []string
@@ -193,7 +228,7 @@ func main() {
 	sort.Strings(extra)
 
 	fmt.Printf("benchgate: %d baseline benchmarks, %d fresh results, threshold %.0f%%\n",
-		len(base.Benchmarks), len(fresh), *threshold)
+		len(baseEntries), len(fresh), *threshold)
 	for _, v := range warnings {
 		fmt.Printf("  WARN  %-32s %-10s %12.0f -> %12.0f  (%+.1f%%, advisory)\n",
 			v.name, v.metric, v.base, v.fresh, v.pct)
@@ -211,8 +246,11 @@ func main() {
 			len(extra), strings.Join(extra, ", "))
 	}
 	if len(failures) > 0 {
-		fmt.Printf("benchgate: FAIL (%d regressions; regenerate the baseline with:\n  %s\nif the change is intentional)\n",
-			len(failures), base.Command)
+		fmt.Printf("benchgate: FAIL (%d regressions; if the change is intentional, regenerate the affected baseline with:\n", len(failures))
+		for _, b := range bases {
+			fmt.Printf("  %s\n", b.Command)
+		}
+		fmt.Println(")")
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: PASS")

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -89,6 +91,40 @@ func TestGateImprovementPasses(t *testing.T) {
 	failures, warnings, _ := gate(base, fresh, 10, false)
 	if len(failures) != 0 || len(warnings) != 0 {
 		t.Fatalf("improvement flagged: failures=%v warnings=%v", failures, warnings)
+	}
+}
+
+func TestLoadBaselinesMerges(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("a.json", `{"command":"regen-a","benchmarks":[{"name":"BenchmarkA","ns_per_op":1}]}`)
+	b := write("b.json", `{"command":"regen-b","benchmarks":[{"name":"BenchmarkB","ns_per_op":2}]}`)
+	bases, entries, err := loadBaselines(a + "," + b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) != 2 || len(entries) != 2 {
+		t.Fatalf("bases=%d entries=%d, want 2 and 2", len(bases), len(entries))
+	}
+	if bases[0].Command != "regen-a" || bases[1].Command != "regen-b" {
+		t.Fatalf("commands %q, %q", bases[0].Command, bases[1].Command)
+	}
+	if entries[0].Name != "BenchmarkA" || entries[1].Name != "BenchmarkB" {
+		t.Fatalf("entries %+v", entries)
+	}
+
+	dup := write("dup.json", `{"command":"regen-dup","benchmarks":[{"name":"BenchmarkA","ns_per_op":3}]}`)
+	if _, _, err := loadBaselines(a + "," + dup); err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("duplicate across files not rejected: %v", err)
+	}
+	if _, _, err := loadBaselines(""); err == nil {
+		t.Fatal("empty baseline list not rejected")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sagabench/internal/archsim"
 	"sagabench/internal/compute"
 	"sagabench/internal/core"
+	"sagabench/internal/ds"
 	_ "sagabench/internal/ds/all"
 	"sagabench/internal/gen"
 	"sagabench/internal/perfmon"
@@ -26,7 +27,7 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "lj", fmt.Sprintf("dataset %v", gen.DatasetNames()))
 		profile = flag.String("profile", "default", "dataset scale: tiny, default, large")
-		dsName  = flag.String("ds", "adjshared", "data structure to model")
+		dsName  = flag.String("ds", "adjshared", fmt.Sprintf("data structure to model %v", ds.Names()))
 		alg     = flag.String("alg", "cc", fmt.Sprintf("algorithm %v", compute.AlgNames()))
 		model   = flag.String("model", "inc", "compute model: fs or inc")
 		threads = flag.Int("threads", 4, "worker threads for the measured run")

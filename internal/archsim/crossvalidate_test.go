@@ -99,6 +99,64 @@ func TestShadowDAHHighDegreeMatchesReal(t *testing.T) {
 	}
 }
 
+// TestShadowHybridTiersMatchReal: the hybrid's traffic shape is decided by
+// each vertex's tier and by the backing spans' sizes, so the shadow must
+// reproduce the real store's tier assignment, array capacity, and index
+// slot count vertex for vertex under the same insert stream.
+func TestShadowHybridTiersMatchReal(t *testing.T) {
+	const chunks, hashAt = 4, 8
+	real := ds.MustNew("hybrid", ds.Config{Directed: true, Threads: 1, Chunks: chunks, FlushThreshold: hashAt})
+	r, err := NewReplayer(ReplayConfig{
+		Machine:        PaperMachine(),
+		Threads:        1,
+		Chunks:         chunks,
+		DataStructure:  "hybrid",
+		Directed:       true,
+		FlushThreshold: hashAt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	for b := 0; b < 4; b++ {
+		batch := make(graph.Batch, 900)
+		for i := range batch {
+			src := graph.NodeID(rng.Intn(70))
+			if rng.Intn(4) == 0 {
+				src = 3 // force one hub over the threshold
+			}
+			batch[i] = graph.Edge{Src: src, Dst: graph.NodeID(rng.Intn(300)), Weight: 1}
+		}
+		real.Update(batch)
+		r.ReplayUpdate(batch)
+	}
+	shadow := r.out.(*shadowHybrid)
+	type layout interface {
+		LayoutOf(graph.NodeID) (arrCap, idxSlots int)
+	}
+	realStore := real.(*ds.TwoCopy).OutStore().(layout)
+	hashed := 0
+	for v := 0; v < real.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		wantArr, wantIdx := realStore.LayoutOf(id)
+		if got := len(shadow.neigh[v]); got != real.OutDegree(id) {
+			t.Fatalf("vertex %d: shadow degree %d real %d", v, got, real.OutDegree(id))
+		}
+		if shadow.arrCap[v] != wantArr {
+			t.Fatalf("vertex %d: shadow array cap %d real %d", v, shadow.arrCap[v], wantArr)
+		}
+		if shadow.idxCap[v] != wantIdx {
+			t.Fatalf("vertex %d: shadow index slots %d real %d", v, shadow.idxCap[v], wantIdx)
+		}
+		if wantIdx > 0 {
+			hashed++
+		}
+	}
+	if hashed == 0 {
+		t.Fatal("test graph produced no hash-tier vertices — threshold too high to exercise the path")
+	}
+}
+
 // TestShadowAdjDegreesMatchReal: vector lengths drive AS/AC scan traffic;
 // they must track the real structure exactly.
 func TestShadowAdjDegreesMatchReal(t *testing.T) {

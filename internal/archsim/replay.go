@@ -77,6 +77,8 @@ func NewReplayer(cfg ReplayConfig) (*Replayer, error) {
 			return newShadowDAH(r.alloc, chunks, cfg.FlushThreshold), nil
 		case "graphone":
 			return newShadowGraphOne(r.alloc, chunks), nil
+		case "hybrid":
+			return newShadowHybrid(r.alloc, chunks, cfg.FlushThreshold), nil
 		}
 		return nil, fmt.Errorf("archsim: no shadow model for data structure %q", cfg.DataStructure)
 	}
@@ -96,6 +98,13 @@ func NewReplayer(cfg ReplayConfig) (*Replayer, error) {
 
 // Machine exposes the simulated memory system.
 func (r *Replayer) Machine() *Machine { return r.m }
+
+// ChunkedStyle reports whether the modeled structure uses chunk-owned
+// multithreading (AC/DAH/GraphOne/hybrid) rather than shared-style
+// sharding. Callers picking a PhaseKind should ask this instead of
+// hand-matching structure names, so new registrations cannot be
+// misclassified silently.
+func (r *Replayer) ChunkedStyle() bool { return r.out.threadOf(0) >= 0 }
 
 func (r *Replayer) ensureNodes(batch graph.Batch) {
 	max, ok := batch.MaxNode()

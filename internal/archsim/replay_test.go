@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"sagabench/internal/ds"
+	_ "sagabench/internal/ds/all"
 	"sagabench/internal/graph"
 )
 
@@ -21,7 +23,10 @@ func testReplayer(t *testing.T, dsName string) *Replayer {
 	return r
 }
 
-var shadowNames = []string{"adjshared", "adjchunked", "stinger", "dah", "graphone"}
+// shadowNames derives from the ds registry, so registering a structure
+// without a shadow model fails these batteries instead of being silently
+// skipped (NewReplayer errors on a missing shadow).
+var shadowNames = ds.Names()
 
 func randomBatch(seed int64, size, nodes int) graph.Batch {
 	rng := rand.New(rand.NewSource(seed))

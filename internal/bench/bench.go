@@ -17,6 +17,7 @@ import (
 	"sagabench/internal/archsim"
 	"sagabench/internal/compute"
 	"sagabench/internal/core"
+	"sagabench/internal/ds"
 	"sagabench/internal/gen"
 	"sagabench/internal/perfmon"
 	"sagabench/internal/stats"
@@ -105,6 +106,12 @@ var DSNames = []struct{ Key, Label string }{
 	{"dah", "DAH"},
 }
 
+// dsExtraLabels labels registered structures beyond the paper's four.
+var dsExtraLabels = map[string]string{
+	"graphone": "GraphOne",
+	"hybrid":   "Hybrid",
+}
+
 // DSLabel maps a registry key to its paper label.
 func DSLabel(key string) string {
 	for _, d := range DSNames {
@@ -112,7 +119,31 @@ func DSLabel(key string) string {
 			return d.Label
 		}
 	}
+	if l, ok := dsExtraLabels[key]; ok {
+		return l
+	}
 	return key
+}
+
+// AllDS lists every registered data structure (paper four plus the
+// beyond-the-paper ones) with labels, derived from the ds registry so a
+// new registration shows up here without a hand-edit. Paper structures
+// keep DSNames order and come first; extras follow in registry order.
+func AllDS() []struct{ Key, Label string } {
+	out := append([]struct{ Key, Label string }{}, DSNames...)
+	for _, key := range ds.Names() {
+		known := false
+		for _, d := range DSNames {
+			if d.Key == key {
+				known = true
+				break
+			}
+		}
+		if !known {
+			out = append(out, struct{ Key, Label string }{key, DSLabel(key)})
+		}
+	}
+	return out
 }
 
 // Models lists the two compute models with paper labels.

@@ -22,10 +22,9 @@ import (
 func (h *Harness) Extensions() error {
 	h.printf("\n== Extensions: log-structured ingest and sliding-window deletion ==\n")
 
-	// (a) P3 update latency, all five structures, both tails.
+	// (a) P3 update latency, every registered structure, both tails.
 	h.printf("(a) P3 update latency by structure (incremental CC)\n")
-	structures := append(append([]struct{ Key, Label string }{}, DSNames...),
-		struct{ Key, Label string }{"graphone", "GraphOne"})
+	structures := AllDS()
 	h.printf("%-10s %12s %12s\n", "structure", "lj", "wiki")
 	for _, d := range structures {
 		var cells [2]string

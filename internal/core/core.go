@@ -96,8 +96,10 @@ type Pipeline struct {
 
 // PipelineConfig selects the pipeline's components.
 type PipelineConfig struct {
-	// DataStructure is a ds registry name: "adjshared", "adjchunked",
-	// "stinger", "dah", or the log-structured extension "graphone".
+	// DataStructure is a ds registry name (ds.Names() lists them): the
+	// paper's "adjshared", "adjchunked", "stinger", "dah", or the
+	// extensions "graphone" (log-structured) and "hybrid"
+	// (degree-adaptive three-tier).
 	DataStructure string
 	// Algorithm is a compute algorithm name: "bfs", "cc", "mc", "pr",
 	// "sssp", or "sswp".
@@ -388,6 +390,8 @@ func (p *Pipeline) record(edges, deletes, affected int, lat BatchLatency) {
 		ev.DSLockConflicts = d.LockConflicts
 		ev.DSMetaOps = d.MetaOps
 		ev.DSImbalance = d.Imbalance()
+		ev.DSTierPromotions = d.TierPromotions
+		ev.DSTierDemotions = d.TierDemotions
 	}
 	p.rec.RecordBatch(&ev)
 }

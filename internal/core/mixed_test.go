@@ -7,6 +7,7 @@ import (
 
 	"sagabench/internal/compute"
 	"sagabench/internal/core"
+	"sagabench/internal/ds"
 	_ "sagabench/internal/ds/all"
 	"sagabench/internal/graph"
 )
@@ -15,7 +16,7 @@ import (
 // deletes with the FS model and checks BFS depths against a reference on
 // the mutated oracle.
 func TestProcessMixedFSMatchesReference(t *testing.T) {
-	for _, dsName := range []string{"adjshared", "stinger", "dah", "graphone"} {
+	for _, dsName := range ds.Names() {
 		p, err := core.NewPipeline(core.PipelineConfig{
 			DataStructure: dsName,
 			Algorithm:     "bfs",

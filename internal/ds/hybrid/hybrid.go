@@ -1,0 +1,504 @@
+// Package hybrid implements the degree-adaptive hybrid structure
+// (GraphTango-style; ROADMAP item 3): each vertex's adjacency lives in one
+// of three tiers chosen by its degree. Small degrees sit inline in the
+// vertex record (one cache line, zero pointer chases); medium degrees use
+// a dense pooled edge array (linear scan, contiguous traversal); high
+// degrees keep the same dense array plus a per-vertex Robin Hood index
+// from destination to array position, making lookup, insert, overwrite and
+// delete O(1) expected at any degree. Traversal always walks the dense
+// storage, so neighbor order is insertion order, transitions never reorder
+// a run, and flattening is zero-copy — bystander updates cannot perturb
+// another vertex's run, which is why the structure needs no DirtyExpander.
+//
+// Tier changes apply hysteresis: promotion at deg > hashAt but demotion
+// only at deg ≤ hashAt/2 (and likewise inline at inlineAt vs inlineAt/2),
+// so delete-heavy streams straddling a boundary do not thrash between
+// representations. Multithreading is chunked-style like AC/DAH (vertex v
+// belongs to chunk v mod chunks); per-chunk pools recycle arrays and
+// index tables so steady-state batch application does not allocate.
+//
+// saga:lockless — chunk workers may only touch chunk-owned state
+// (enforced by sagavet; see internal/analysis).
+package hybrid
+
+import (
+	"sync"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// Name is the registry key.
+const Name = "hybrid"
+
+// DefaultHashThreshold is the default array→hash promotion boundary
+// (ds.Config.FlushThreshold overrides it, sharing DAH's low→high knob).
+const DefaultHashThreshold = 32
+
+// inlineSlots is the inline-tier capacity baked into the vertex record.
+const inlineSlots = 4
+
+func init() {
+	ds.Register(Name, func(cfg ds.Config) ds.Graph {
+		chunks := cfg.Chunks
+		if chunks <= 0 {
+			if cfg.Threads > 0 {
+				chunks = cfg.Threads
+			} else {
+				chunks = 1
+			}
+		}
+		ht := cfg.FlushThreshold
+		if ht <= 0 {
+			ht = DefaultHashThreshold
+		}
+		hint := cfg.MaxNodesHint
+		return ds.NewTwoCopy(cfg.Directed, func() ds.OneDir {
+			return newStore(chunks, ht, hint)
+		})
+	})
+}
+
+// Tier identifies a vertex's current representation.
+type Tier uint8
+
+// The three representations, cheapest first.
+const (
+	TierInline Tier = iota
+	TierArray
+	TierHash
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierInline:
+		return "inline"
+	case TierArray:
+		return "array"
+	case TierHash:
+		return "hash"
+	}
+	return "?"
+}
+
+// vertex is one per-vertex record. Invariants, maintained by the owning
+// chunk's worker:
+//   - deg == the number of stored neighbors
+//   - arr == nil (inline tier): neighbors are inline[:deg], deg ≤ inlineAt
+//   - arr != nil: neighbors are arr (len(arr) == deg), inline is unused
+//   - idx != nil (hash tier): arr != nil and idx maps every arr[i].ID → i
+type vertex struct {
+	deg    int32
+	inline [inlineSlots]graph.Neighbor
+	arr    []graph.Neighbor
+	idx    *dstIndex
+}
+
+// run returns the dense neighbor storage (valid until the next update).
+func (v *vertex) run() []graph.Neighbor {
+	if v.arr != nil {
+		return v.arr
+	}
+	return v.inline[:v.deg]
+}
+
+type store struct {
+	chunks int
+
+	// Tier boundaries. Promotion happens above the high-water marks
+	// (inlineAt, hashAt); demotion below the low-water marks (uninlineAt,
+	// unhashAt); the gap between each pair is the hysteresis band.
+	inlineAt   int // inline-tier capacity: deg ≤ inlineAt stays inline
+	uninlineAt int // array→inline demotion at deg ≤ uninlineAt
+	hashAt     int // array→hash promotion at deg > hashAt
+	unhashAt   int // hash→array demotion at deg ≤ unhashAt
+
+	// verts is indexed by global vertex ID; vertex v is owned by chunk
+	// v mod chunks during ingestion (the AC ownership discipline), and
+	// EnsureNodes grows it only between batches.
+	verts []vertex
+	pools []*chunkPools // saga:chunked
+
+	numEdges int // saga:guardedby profMu
+
+	profMu sync.Mutex
+	prof   ds.UpdateProfile // saga:guardedby profMu
+}
+
+func newStore(chunks, hashAt, hint int) *store {
+	inlineAt := inlineSlots
+	if hashAt <= inlineAt {
+		// Keep the tier order strict (inline < array ≤ hash) even under
+		// tiny test thresholds like FlushThreshold: 2.
+		inlineAt = hashAt - 1
+	}
+	s := &store{
+		chunks:     chunks,
+		inlineAt:   inlineAt,
+		uninlineAt: inlineAt / 2,
+		hashAt:     hashAt,
+		unhashAt:   hashAt / 2,
+	}
+	s.pools = make([]*chunkPools, chunks)
+	for i := range s.pools {
+		s.pools[i] = &chunkPools{}
+	}
+	// saga:allow lockheld -- constructor: s is not shared yet.
+	s.prof.ChunkLoads = make([]uint64, chunks)
+	if hint > 0 {
+		s.verts = make([]vertex, 0, hint)
+	}
+	return s
+}
+
+// chunkCounters is one worker's batch-local tally, merged into the profile
+// under profMu after the workers join (so the hot path touches no shared
+// counters, atomic or otherwise).
+type chunkCounters struct {
+	loads    uint64
+	scans    uint64
+	inserted uint64
+	removed  uint64
+	promos   uint64
+	demos    uint64
+	moved    uint64 // entries copied by tier transitions (charged as MetaOps)
+}
+
+// EnsureNodes implements ds.OneDir.
+func (s *store) EnsureNodes(n int) {
+	if n <= len(s.verts) {
+		return
+	}
+	if n <= cap(s.verts) {
+		s.verts = s.verts[:n]
+		return
+	}
+	grow := 2 * cap(s.verts)
+	if grow < n {
+		grow = n
+	}
+	nv := make([]vertex, n, grow)
+	copy(nv, s.verts)
+	s.verts = nv
+}
+
+// UpdateEdges implements ds.OneDir: chunked-style multithreading; each
+// chunk's bucket is ingested by one worker with no locks.
+func (s *store) UpdateEdges(edges []graph.Edge) {
+	stats := make([]chunkCounters, s.chunks)
+	ds.GroupByChunk(edges, s.chunks, func(chunk int, bucket []graph.Edge) {
+		var st chunkCounters
+		pool := s.pools[chunk]
+		for _, e := range bucket {
+			s.insertOne(pool, &st, e.Src, e.Dst, e.Weight)
+		}
+		st.loads = uint64(len(bucket))
+		stats[chunk] = st
+	})
+	s.profMu.Lock()
+	s.prof.EdgesIngested += uint64(len(edges))
+	s.mergeStats(stats)
+	s.profMu.Unlock()
+}
+
+// mergeStats folds the per-chunk tallies into the profile.
+//
+// saga:locked s.profMu
+func (s *store) mergeStats(stats []chunkCounters) {
+	for c := range stats {
+		st := &stats[c]
+		s.prof.Inserted += st.inserted
+		s.prof.ScanSteps += st.scans
+		s.prof.ChunkLoads[c] += st.loads
+		s.prof.MetaOps += st.moved
+		s.prof.TierPromotions += st.promos
+		s.prof.TierDemotions += st.demos
+		s.numEdges += int(st.inserted) - int(st.removed)
+	}
+}
+
+// insertOne performs one degree-adaptive unique insertion. It mutates only
+// state owned by src's chunk, so chunk workers may call it on their own
+// bucket.
+//
+// saga:chunksafe
+func (s *store) insertOne(pool *chunkPools, st *chunkCounters, src, dst graph.NodeID, w graph.Weight) {
+	v := &s.verts[src]
+	deg := int(v.deg)
+	switch {
+	case v.idx != nil:
+		// Hash tier: O(1) duplicate check against the per-vertex index.
+		if pos, ok := v.idx.get(dst, &st.scans); ok {
+			v.arr[pos].Weight = w
+			return
+		}
+		v.arr = appendGrow(pool, v.arr, graph.Neighbor{ID: dst, Weight: w})
+		v.idx.put(dst, int32(deg), &st.scans)
+		v.deg++
+		st.inserted++
+	case v.arr != nil:
+		// Array tier: short linear scan (bounded by hashAt). The scan
+		// tally stays out of the loop so the hot path is pure compares.
+		for i := range v.arr {
+			if v.arr[i].ID == dst {
+				st.scans += uint64(i + 1)
+				v.arr[i].Weight = w
+				return
+			}
+		}
+		st.scans += uint64(deg)
+		v.arr = appendGrow(pool, v.arr, graph.Neighbor{ID: dst, Weight: w})
+		v.deg++
+		st.inserted++
+		if deg+1 > s.hashAt {
+			s.promoteToHash(pool, v, st)
+		}
+	default:
+		// Inline tier: the scan never leaves the vertex record.
+		for i := 0; i < deg; i++ {
+			if v.inline[i].ID == dst {
+				st.scans += uint64(i + 1)
+				v.inline[i].Weight = w
+				return
+			}
+		}
+		st.scans += uint64(deg)
+		if deg < s.inlineAt {
+			v.inline[deg] = graph.Neighbor{ID: dst, Weight: w}
+			v.deg++
+			st.inserted++
+			return
+		}
+		// Inline full: promote to the array tier, preserving order.
+		arr := pool.getArr(deg + 1)
+		arr = append(arr, v.inline[:deg]...)
+		arr = append(arr, graph.Neighbor{ID: dst, Weight: w})
+		v.arr = arr
+		v.deg++
+		st.inserted++
+		st.promos++
+		st.moved += uint64(deg)
+		if deg+1 > s.hashAt {
+			s.promoteToHash(pool, v, st)
+		}
+	}
+}
+
+// appendGrow appends through the pool: a full array swaps for the next
+// size class and the old one is recycled.
+func appendGrow(pool *chunkPools, a []graph.Neighbor, nb graph.Neighbor) []graph.Neighbor {
+	if len(a) == cap(a) {
+		na := pool.getArr(2 * cap(a))
+		na = na[:len(a)]
+		copy(na, a)
+		pool.putArr(a)
+		a = na
+	}
+	return append(a, nb)
+}
+
+// promoteToHash builds the per-vertex index over the existing array. The
+// array (and hence traversal order) is untouched.
+//
+// saga:chunksafe
+func (s *store) promoteToHash(pool *chunkPools, v *vertex, st *chunkCounters) {
+	idx := pool.getIdx(len(v.arr) + 1)
+	for i := range v.arr {
+		idx.put(v.arr[i].ID, int32(i), &st.scans)
+	}
+	v.idx = idx
+	st.promos++
+	st.moved += uint64(len(v.arr))
+}
+
+// DeleteEdges implements ds.OneDirDeleter with the same chunked ownership
+// as UpdateEdges; absent edges are no-ops.
+func (s *store) DeleteEdges(edges []graph.Edge) {
+	stats := make([]chunkCounters, s.chunks)
+	ds.GroupByChunk(edges, s.chunks, func(chunk int, bucket []graph.Edge) {
+		var st chunkCounters
+		pool := s.pools[chunk]
+		for _, e := range bucket {
+			s.deleteOne(pool, &st, e.Src, e.Dst)
+		}
+		stats[chunk] = st
+	})
+	s.profMu.Lock()
+	s.mergeStats(stats)
+	s.profMu.Unlock()
+}
+
+// deleteOne removes (src,dst) if present: swap-with-last in the dense
+// storage, index fix-up in the hash tier, then demotion checks against the
+// low-water marks.
+//
+// saga:chunksafe
+func (s *store) deleteOne(pool *chunkPools, st *chunkCounters, src, dst graph.NodeID) {
+	if int(src) >= len(s.verts) {
+		return
+	}
+	v := &s.verts[src]
+	switch {
+	case v.idx != nil:
+		pos, ok := v.idx.get(dst, &st.scans)
+		if !ok {
+			return
+		}
+		last := len(v.arr) - 1
+		if int(pos) != last {
+			moved := v.arr[last]
+			v.arr[pos] = moved
+			v.idx.set(moved.ID, pos, &st.scans)
+		}
+		v.arr = v.arr[:last]
+		v.idx.del(dst, &st.scans)
+		v.deg--
+		st.removed++
+		if int(v.deg) <= s.unhashAt {
+			pool.putIdx(v.idx)
+			v.idx = nil
+			st.demos++
+			s.maybeInline(pool, v, st)
+		}
+	case v.arr != nil:
+		for i := range v.arr {
+			if v.arr[i].ID == dst {
+				st.scans += uint64(i + 1)
+				last := len(v.arr) - 1
+				v.arr[i] = v.arr[last]
+				v.arr = v.arr[:last]
+				v.deg--
+				st.removed++
+				s.maybeInline(pool, v, st)
+				return
+			}
+		}
+		st.scans += uint64(len(v.arr))
+	default:
+		deg := int(v.deg)
+		for i := 0; i < deg; i++ {
+			if v.inline[i].ID == dst {
+				st.scans += uint64(i + 1)
+				v.inline[i] = v.inline[deg-1]
+				v.inline[deg-1] = graph.Neighbor{}
+				v.deg--
+				st.removed++
+				return
+			}
+		}
+		st.scans += uint64(deg)
+	}
+}
+
+// maybeInline demotes array→inline once the degree falls to the low-water
+// mark, recycling the array.
+//
+// saga:chunksafe
+func (s *store) maybeInline(pool *chunkPools, v *vertex, st *chunkCounters) {
+	if v.idx != nil || v.arr == nil || int(v.deg) > s.uninlineAt {
+		return
+	}
+	n := copy(v.inline[:], v.arr)
+	for i := n; i < inlineSlots; i++ {
+		v.inline[i] = graph.Neighbor{}
+	}
+	pool.putArr(v.arr)
+	v.arr = nil
+	st.demos++
+	st.moved += uint64(n)
+}
+
+// Degree implements ds.OneDir.
+func (s *store) Degree(v graph.NodeID) int {
+	if int(v) >= len(s.verts) {
+		return 0
+	}
+	return int(s.verts[v].deg)
+}
+
+// Neighbors implements ds.OneDir: always one contiguous copy, whatever the
+// tier.
+func (s *store) Neighbors(v graph.NodeID, buf []graph.Neighbor) []graph.Neighbor {
+	if int(v) >= len(s.verts) {
+		return buf
+	}
+	return append(buf, s.verts[v].run()...)
+}
+
+// NumEdges implements ds.OneDir.
+func (s *store) NumEdges() int {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	return s.numEdges
+}
+
+// NumNodes implements ds.OneDir.
+func (s *store) NumNodes() int { return len(s.verts) }
+
+// UpdateProfile implements ds.Profiler. Hash probes and linear-scan steps
+// are both charged as ScanSteps; entries copied by tier transitions as
+// MetaOps; transitions themselves as TierPromotions/TierDemotions.
+func (s *store) UpdateProfile() ds.UpdateProfile {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	p := s.prof
+	p.ChunkLoads = append([]uint64(nil), s.prof.ChunkLoads...)
+	return p
+}
+
+// ResetProfile implements ds.Profiler.
+func (s *store) ResetProfile() {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	s.prof = ds.UpdateProfile{ChunkLoads: make([]uint64, s.chunks)}
+}
+
+// Chunks reports the chunk count (for the architecture replayer).
+func (s *store) Chunks() int { return s.chunks }
+
+// TierOf reports v's current representation (for layout tests and the
+// architecture replayer).
+func (s *store) TierOf(v graph.NodeID) Tier {
+	if int(v) >= len(s.verts) {
+		return TierInline
+	}
+	switch vx := &s.verts[v]; {
+	case vx.idx != nil:
+		return TierHash
+	case vx.arr != nil:
+		return TierArray
+	default:
+		return TierInline
+	}
+}
+
+// LayoutOf reports the dense-array capacity and index slot count backing
+// v (zero for tiers that do not use them); layout tests and the
+// architecture shadow crossvalidate against it.
+func (s *store) LayoutOf(v graph.NodeID) (arrCap, idxSlots int) {
+	if int(v) >= len(s.verts) {
+		return 0, 0
+	}
+	vx := &s.verts[v]
+	arrCap = cap(vx.arr)
+	if vx.idx != nil {
+		idxSlots = len(vx.idx.slots)
+	}
+	return arrCap, idxSlots
+}
+
+// Thresholds reports the tier boundaries (promotion high-water marks and
+// demotion low-water marks) for tests and the shadow model.
+func (s *store) Thresholds() (inlineAt, uninlineAt, hashAt, unhashAt int) {
+	return s.inlineAt, s.uninlineAt, s.hashAt, s.unhashAt
+}
+
+// PoolRecycled reports cumulative pool hits across chunks (for the
+// steady-state allocation tests).
+func (s *store) PoolRecycled() uint64 {
+	var n uint64
+	for _, p := range s.pools {
+		n += p.recycled
+	}
+	return n
+}

@@ -1,0 +1,413 @@
+package hybrid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// mustGraph builds a registry-constructed hybrid graph (the TwoCopy
+// wrapper the pipeline uses).
+func mustGraph(t *testing.T, directed bool, threads int) *ds.TwoCopy {
+	t.Helper()
+	g, err := ds.New(Name, ds.Config{Directed: directed, Threads: threads})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g.(*ds.TwoCopy)
+}
+
+// apply pushes one insert batch through the raw store, growing the vertex
+// space the way TwoCopy would.
+func apply(s *store, edges ...graph.Edge) {
+	max := 0
+	for _, e := range edges {
+		if int(e.Src) > max {
+			max = int(e.Src)
+		}
+		if int(e.Dst) > max {
+			max = int(e.Dst)
+		}
+	}
+	s.EnsureNodes(max + 1)
+	s.UpdateEdges(edges)
+}
+
+func neighborIDs(s *store, v graph.NodeID) []graph.NodeID {
+	var ids []graph.NodeID
+	for _, nb := range s.Neighbors(v, nil) {
+		ids = append(ids, nb.ID)
+	}
+	return ids
+}
+
+// op is one scripted step: insert or delete (src,dst), then assert the
+// source's tier and degree.
+type op struct {
+	del      bool
+	src, dst graph.NodeID
+	tier     Tier
+	deg      int
+}
+
+func ins(src, dst graph.NodeID, tier Tier, deg int) op {
+	return op{src: src, dst: dst, tier: tier, deg: deg}
+}
+func del(src, dst graph.NodeID, tier Tier, deg int) op {
+	return op{del: true, src: src, dst: dst, tier: tier, deg: deg}
+}
+
+// TestTierTransitions scripts insertion/deletion sequences against a
+// single-chunk store with hashAt=6 (so inlineAt=4, uninlineAt=2,
+// unhashAt=3) and checks the representation after every step.
+func TestTierTransitions(t *testing.T) {
+	mkGrow := func(n int) []op {
+		// Insert dsts 1..n from vertex 0, asserting the promotion points.
+		var ops []op
+		for i := 1; i <= n; i++ {
+			tier := TierInline
+			if i > 6 {
+				tier = TierHash
+			} else if i > 4 {
+				tier = TierArray
+			}
+			ops = append(ops, ins(0, graph.NodeID(i), tier, i))
+		}
+		return ops
+	}
+	cases := []struct {
+		name string
+		ops  []op
+	}{
+		{
+			name: "inline-array-hash promotion ladder",
+			ops:  mkGrow(10),
+		},
+		{
+			name: "overwrite at inline boundary does not promote",
+			ops: append(mkGrow(4),
+				ins(0, 4, TierInline, 4), // duplicate of the last inline dst
+				ins(0, 1, TierInline, 4), // duplicate of the first
+			),
+		},
+		{
+			name: "overwrite at hash boundary does not promote",
+			ops: append(mkGrow(6),
+				ins(0, 6, TierArray, 6),
+				ins(0, 3, TierArray, 6),
+			),
+		},
+		{
+			name: "mass deletes demote hash to array to inline",
+			ops: append(mkGrow(10),
+				del(0, 1, TierHash, 9),
+				del(0, 2, TierHash, 8),
+				del(0, 3, TierHash, 7),
+				del(0, 4, TierHash, 6),
+				del(0, 5, TierHash, 5),
+				del(0, 6, TierHash, 4),
+				del(0, 7, TierArray, 3),  // deg 3 = unhashAt: index dropped
+				del(0, 8, TierInline, 2), // deg 2 = uninlineAt: array dropped
+				del(0, 9, TierInline, 1),
+				del(0, 10, TierInline, 0),
+			),
+		},
+		{
+			name: "hysteresis holds the hash tier across boundary flapping",
+			ops: append(mkGrow(7),
+				del(0, 7, TierHash, 6), // back to hashAt: no demotion
+				ins(0, 7, TierHash, 7),
+				del(0, 7, TierHash, 6),
+				ins(0, 7, TierHash, 7),
+				del(0, 7, TierHash, 6),
+				del(0, 6, TierHash, 5),
+				del(0, 5, TierHash, 4),
+				ins(0, 5, TierHash, 5), // refill inside the band: still hash
+			),
+		},
+		{
+			name: "deleting absent edges never changes the tier",
+			ops: append(mkGrow(5),
+				del(0, 99, TierArray, 5),
+				del(1, 99, TierInline, 0),
+			),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newStore(1, 6, 0)
+			oracle := map[graph.NodeID]bool{}
+			for i, o := range tc.ops {
+				if o.del {
+					s.EnsureNodes(int(o.src) + 1)
+					s.DeleteEdges([]graph.Edge{{Src: o.src, Dst: o.dst}})
+					if o.src == 0 {
+						delete(oracle, o.dst)
+					}
+				} else {
+					apply(s, graph.Edge{Src: o.src, Dst: o.dst, Weight: 1})
+					if o.src == 0 {
+						oracle[o.dst] = true
+					}
+				}
+				if got := s.TierOf(o.src); got != o.tier {
+					t.Fatalf("op %d (%+v): tier = %v, want %v", i, o, got, o.tier)
+				}
+				if got := s.Degree(o.src); got != o.deg {
+					t.Fatalf("op %d (%+v): degree = %d, want %d", i, o, got, o.deg)
+				}
+			}
+			// Vertex 0's surviving neighbor set must match the oracle.
+			got := map[graph.NodeID]bool{}
+			for _, id := range neighborIDs(s, 0) {
+				if got[id] {
+					t.Fatalf("duplicate neighbor %d", id)
+				}
+				got[id] = true
+			}
+			if len(got) != len(oracle) {
+				t.Fatalf("neighbor set %v, want %v", got, oracle)
+			}
+			for id := range oracle {
+				if !got[id] {
+					t.Fatalf("missing neighbor %d (have %v)", id, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPromotionPreservesOrder checks that tier transitions never reorder a
+// run: after the inline→array and array→hash promotions the neighbor
+// order is still pure insertion order.
+func TestPromotionPreservesOrder(t *testing.T) {
+	s := newStore(1, 6, 0)
+	var want []graph.NodeID
+	for i := 1; i <= 20; i++ {
+		apply(s, graph.Edge{Src: 0, Dst: graph.NodeID(i * 3), Weight: 1})
+		want = append(want, graph.NodeID(i*3))
+	}
+	if s.TierOf(0) != TierHash {
+		t.Fatalf("tier = %v, want hash", s.TierOf(0))
+	}
+	got := neighborIDs(s, 0)
+	if len(got) != len(want) {
+		t.Fatalf("degree %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d, want %d (promotion reordered the run)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHashTierWeightOverwrite checks duplicate ingestion in the hash tier
+// rewrites the weight in place without growing the degree.
+func TestHashTierWeightOverwrite(t *testing.T) {
+	s := newStore(1, 4, 0)
+	for i := 1; i <= 12; i++ {
+		apply(s, graph.Edge{Src: 0, Dst: graph.NodeID(i), Weight: 1})
+	}
+	apply(s, graph.Edge{Src: 0, Dst: 7, Weight: 42})
+	if got := s.Degree(0); got != 12 {
+		t.Fatalf("degree = %d, want 12", got)
+	}
+	for _, nb := range s.Neighbors(0, nil) {
+		if nb.ID == 7 && nb.Weight != 42 {
+			t.Fatalf("weight = %v, want 42", nb.Weight)
+		}
+	}
+	if s.NumEdges() != 12 {
+		t.Fatalf("NumEdges = %d, want 12", s.NumEdges())
+	}
+}
+
+// TestProfileCounters checks the tier-transition counters and the scan
+// accounting surface through ds.Profiler.
+func TestProfileCounters(t *testing.T) {
+	s := newStore(1, 6, 0)
+	var batch []graph.Edge
+	for i := 1; i <= 10; i++ {
+		batch = append(batch, graph.Edge{Src: 0, Dst: graph.NodeID(i), Weight: 1})
+	}
+	apply(s, batch...)
+	p := s.UpdateProfile()
+	if p.EdgesIngested != 10 || p.Inserted != 10 {
+		t.Fatalf("ingested/inserted = %d/%d, want 10/10", p.EdgesIngested, p.Inserted)
+	}
+	if p.TierPromotions != 2 {
+		t.Fatalf("promotions = %d, want 2 (inline→array, array→hash)", p.TierPromotions)
+	}
+	if p.TierDemotions != 0 {
+		t.Fatalf("demotions = %d, want 0", p.TierDemotions)
+	}
+	if p.ScanSteps == 0 {
+		t.Fatal("scan steps not counted")
+	}
+	// MetaOps charges transition copies: 4 inline→array + 7 index builds.
+	if p.MetaOps == 0 {
+		t.Fatal("transition copy work not charged to MetaOps")
+	}
+
+	// Drain to empty: hash→array and array→inline demotions.
+	for i := 1; i <= 10; i++ {
+		s.DeleteEdges([]graph.Edge{{Src: 0, Dst: graph.NodeID(i)}})
+	}
+	p2 := s.UpdateProfile()
+	if p2.TierDemotions != 2 {
+		t.Fatalf("demotions = %d, want 2", p2.TierDemotions)
+	}
+	d := p2.Delta(&p)
+	if d.TierPromotions != 0 || d.TierDemotions != 2 {
+		t.Fatalf("delta promotions/demotions = %d/%d, want 0/2", d.TierPromotions, d.TierDemotions)
+	}
+
+	s.ResetProfile()
+	if p3 := s.UpdateProfile(); p3.TierPromotions != 0 || p3.ScanSteps != 0 {
+		t.Fatalf("profile not reset: %+v", p3)
+	}
+}
+
+// TestPoolsMakeSteadyStateAllocationFree drives a vertex through a full
+// promote/demote cycle repeatedly: after the first cycle has stocked the
+// chunk pools, further cycles must not allocate on the insert/delete path.
+func TestPoolsMakeSteadyStateAllocationFree(t *testing.T) {
+	s := newStore(1, 6, 0)
+	s.EnsureNodes(32)
+	pool := s.pools[0]
+	var st chunkCounters
+	cycle := func() {
+		for i := 1; i <= 8; i++ {
+			s.insertOne(pool, &st, 0, graph.NodeID(i), 1)
+		}
+		for i := 1; i <= 8; i++ {
+			s.deleteOne(pool, &st, 0, graph.NodeID(i))
+		}
+	}
+	cycle() // stock the pools
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Fatalf("steady-state promote/demote cycle allocates %.1f times per cycle", allocs)
+	}
+	if s.PoolRecycled() == 0 {
+		t.Fatal("pools never recycled anything")
+	}
+}
+
+// TestUndirectedMirrorTrims deletes through the Graph API on an undirected
+// hybrid and checks both orientations disappear, across a degree mix that
+// puts the hub in the hash tier and the leaves inline.
+func TestUndirectedMirrorTrims(t *testing.T) {
+	g := mustGraph(t, false, 2)
+	hub := graph.NodeID(0)
+	var batch graph.Batch
+	for i := 1; i <= 40; i++ {
+		batch = append(batch, graph.Edge{Src: hub, Dst: graph.NodeID(i), Weight: 1})
+	}
+	g.Update(batch)
+	if got := g.OutDegree(hub); got != 40 {
+		t.Fatalf("hub degree = %d, want 40", got)
+	}
+	for i := 1; i <= 40; i += 2 {
+		if err := g.Delete(graph.Batch{{Src: graph.NodeID(i), Dst: hub}}); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	if got := g.OutDegree(hub); got != 20 {
+		t.Fatalf("hub degree after trims = %d, want 20", got)
+	}
+	for i := 1; i <= 40; i++ {
+		want := 1
+		if i%2 == 1 {
+			want = 0
+		}
+		if got := g.OutDegree(graph.NodeID(i)); got != want {
+			t.Fatalf("leaf %d degree = %d, want %d", i, got, want)
+		}
+		if got := g.InDegree(graph.NodeID(i)); got != want {
+			t.Fatalf("leaf %d in-degree = %d, want %d", i, got, want)
+		}
+	}
+	// The hub's surviving neighbors are exactly the even leaves.
+	for _, nb := range g.OutNeigh(hub, nil) {
+		if nb.ID%2 == 1 {
+			t.Fatalf("deleted mirror (hub,%d) still present", nb.ID)
+		}
+	}
+}
+
+// TestDstIndexAgainstMap fuzzes the Robin Hood index against a plain map,
+// including the backward-shift deletes and position rewrites the hash
+// tier's swap-with-last depends on.
+func TestDstIndexAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	idx := newDstIndex(0)
+	oracle := map[graph.NodeID]int32{}
+	var probes uint64
+	for step := 0; step < 20000; step++ {
+		dst := graph.NodeID(rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0, 1: // insert or reposition
+			pos := int32(rng.Intn(1 << 20))
+			if _, ok := oracle[dst]; ok {
+				idx.set(dst, pos, &probes)
+			} else {
+				idx.put(dst, pos, &probes)
+			}
+			oracle[dst] = pos
+		case 2: // delete
+			if _, ok := oracle[dst]; ok {
+				idx.del(dst, &probes)
+				delete(oracle, dst)
+			}
+		case 3: // lookup
+			pos, ok := idx.get(dst, &probes)
+			wantPos, wantOK := oracle[dst]
+			if ok != wantOK || (ok && pos != wantPos) {
+				t.Fatalf("step %d: get(%d) = (%d,%v), want (%d,%v)", step, dst, pos, ok, wantPos, wantOK)
+			}
+		}
+		if idx.count != len(oracle) {
+			t.Fatalf("step %d: count %d, want %d", step, idx.count, len(oracle))
+		}
+	}
+	for dst, want := range oracle {
+		if got, ok := idx.get(dst, &probes); !ok || got != want {
+			t.Fatalf("final: get(%d) = (%d,%v), want (%d,true)", dst, got, ok, want)
+		}
+	}
+	if probes == 0 {
+		t.Fatal("probe accounting is dead")
+	}
+}
+
+// TestTinyThresholds pins the degenerate configurations used by the shared
+// delete-sequence battery: FlushThreshold 2 (inlineAt 1) and 1 (inline
+// tier disabled) must still honor the tier order and stay correct.
+func TestTinyThresholds(t *testing.T) {
+	for _, ht := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("hashAt=%d", ht), func(t *testing.T) {
+			s := newStore(1, ht, 0)
+			for i := 1; i <= 6; i++ {
+				apply(s, graph.Edge{Src: 0, Dst: graph.NodeID(i), Weight: 1})
+				if got := s.Degree(0); got != i {
+					t.Fatalf("degree = %d, want %d", got, i)
+				}
+			}
+			if s.TierOf(0) != TierHash {
+				t.Fatalf("tier = %v, want hash at degree 6", s.TierOf(0))
+			}
+			for i := 1; i <= 6; i++ {
+				s.DeleteEdges([]graph.Edge{{Src: 0, Dst: graph.NodeID(i)}})
+			}
+			if got := s.Degree(0); got != 0 {
+				t.Fatalf("degree = %d, want 0 after drain", got)
+			}
+			if s.TierOf(0) != TierInline {
+				t.Fatalf("tier = %v, want inline after drain", s.TierOf(0))
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package hybrid
+
+import "sagabench/internal/graph"
+
+// dstIndex is a Robin Hood open-addressing map from destination vertex to
+// the neighbor's position in the owning vertex's dense edge array. It is
+// the high-degree tier's lookup accelerator: the edge payload stays in the
+// array (so traversal and flattening remain a contiguous walk), and the
+// index only answers "where is dst?" in O(1) expected probes. Unlike DAH's
+// shared per-chunk tables, one dstIndex serves exactly one vertex, so its
+// probe clusters never interleave with other vertices' edges and deletes
+// never reorder a bystander's run.
+type dstIndex struct {
+	slots []idxSlot
+	count int
+}
+
+type idxSlot struct {
+	used bool
+	dst  graph.NodeID
+	pos  int32
+}
+
+const idxMinSize = 16 // power of two
+const idxMaxLoad = 0.7
+
+func hashNode(v graph.NodeID) uint64 {
+	x := uint64(v) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x
+}
+
+// idxSizeFor returns the power-of-two slot count that keeps n entries
+// under the load factor.
+func idxSizeFor(n int) int {
+	size := idxMinSize
+	for float64(n) > idxMaxLoad*float64(size) {
+		size *= 2
+	}
+	return size
+}
+
+func newDstIndex(n int) *dstIndex {
+	return &dstIndex{slots: make([]idxSlot, idxSizeFor(n))}
+}
+
+// reset clears the index for reuse with capacity for at least n entries.
+// Oversized tables (>4x the need) are reallocated so a pool slot drained
+// from a one-off mega-hub doesn't pin its memory forever.
+func (t *dstIndex) reset(n int) {
+	size := idxSizeFor(n)
+	if len(t.slots) < size || len(t.slots) > 4*size {
+		t.slots = make([]idxSlot, size)
+	} else {
+		for i := range t.slots {
+			t.slots[i] = idxSlot{}
+		}
+	}
+	t.count = 0
+}
+
+func (t *dstIndex) mask() uint64 { return uint64(len(t.slots) - 1) }
+
+func (t *dstIndex) home(dst graph.NodeID) uint64 { return hashNode(dst) & t.mask() }
+
+func (t *dstIndex) dist(slot uint64, dst graph.NodeID) uint64 {
+	return (slot - t.home(dst)) & t.mask()
+}
+
+// get returns the array position of dst. Probes are charged to *probes so
+// the profiler reports hash scan work like the other structures do.
+func (t *dstIndex) get(dst graph.NodeID, probes *uint64) (int32, bool) {
+	i := t.home(dst)
+	var d uint64
+	for {
+		*probes++
+		s := &t.slots[i]
+		if !s.used || t.dist(i, s.dst) < d {
+			return 0, false
+		}
+		if s.dst == dst {
+			return s.pos, true
+		}
+		i = (i + 1) & t.mask()
+		d++
+	}
+}
+
+// put inserts dst→pos; the caller has established dst is absent. Grows at
+// the load factor.
+func (t *dstIndex) put(dst graph.NodeID, pos int32, probes *uint64) {
+	if float64(t.count+1) > idxMaxLoad*float64(len(t.slots)) {
+		t.grow(probes)
+	}
+	cur := idxSlot{used: true, dst: dst, pos: pos}
+	i := t.home(cur.dst)
+	var d uint64
+	for {
+		*probes++
+		s := &t.slots[i]
+		if !s.used {
+			*s = cur
+			t.count++
+			return
+		}
+		if ed := t.dist(i, s.dst); ed < d {
+			// Robin Hood: the resident is closer to home than the probe;
+			// steal its slot and relocate it.
+			cur, *s = *s, cur
+			d = ed
+		}
+		i = (i + 1) & t.mask()
+		d++
+	}
+}
+
+func (t *dstIndex) grow(probes *uint64) {
+	old := t.slots
+	t.slots = make([]idxSlot, len(old)*2)
+	t.count = 0
+	for _, s := range old {
+		if s.used {
+			t.put(s.dst, s.pos, probes)
+		}
+	}
+}
+
+// set rewrites the position of an existing dst (a swap-with-last delete
+// moved its array entry).
+func (t *dstIndex) set(dst graph.NodeID, pos int32, probes *uint64) {
+	i := t.home(dst)
+	var d uint64
+	for {
+		*probes++
+		s := &t.slots[i]
+		if !s.used || t.dist(i, s.dst) < d {
+			return
+		}
+		if s.dst == dst {
+			s.pos = pos
+			return
+		}
+		i = (i + 1) & t.mask()
+		d++
+	}
+}
+
+// del removes dst with backward shifting, preserving the Robin Hood
+// invariant.
+func (t *dstIndex) del(dst graph.NodeID, probes *uint64) {
+	i := t.home(dst)
+	var d uint64
+	for {
+		*probes++
+		s := &t.slots[i]
+		if !s.used || t.dist(i, s.dst) < d {
+			return
+		}
+		if s.dst == dst {
+			break
+		}
+		i = (i + 1) & t.mask()
+		d++
+	}
+	for {
+		j := (i + 1) & t.mask()
+		if !t.slots[j].used || t.dist(j, t.slots[j].dst) == 0 {
+			t.slots[i] = idxSlot{}
+			break
+		}
+		t.slots[i] = t.slots[j]
+		i = j
+	}
+	t.count--
+}

@@ -62,24 +62,41 @@ func GroupByChunk(edges []graph.Edge, chunks int, fn func(chunk int, edges []gra
 		fn(0, edges)
 		return
 	}
-	buckets := make([][]graph.Edge, chunks)
-	sizes := make([]int, chunks)
+	if len(edges) == 0 {
+		return
+	}
+	// Counting-sort the batch into one backing array: bucket c occupies
+	// backing[start[c]:start[c+1]], filled in batch order.
+	start := make([]int, chunks+1)
 	for _, e := range edges {
-		sizes[int(e.Src)%chunks]++
+		start[int(e.Src)%chunks+1]++
 	}
-	for c, n := range sizes {
-		if n > 0 {
-			buckets[c] = make([]graph.Edge, 0, n)
-		}
+	for c := 0; c < chunks; c++ {
+		start[c+1] += start[c]
 	}
+	backing := make([]graph.Edge, len(edges))
+	cursor := make([]int, chunks)
+	copy(cursor, start[:chunks])
 	for _, e := range edges {
 		c := int(e.Src) % chunks
-		buckets[c] = append(buckets[c], e)
+		backing[cursor[c]] = e
+		cursor[c]++
 	}
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
 	var panicVal any
-	for c, b := range buckets {
+	// Spawn workers for all non-empty buckets but the last, which runs on
+	// the caller's goroutine — for the common two-chunk case that halves
+	// the spawn/schedule cost per batch.
+	last := -1
+	for c := chunks - 1; c >= 0; c-- {
+		if start[c+1] > start[c] {
+			last = c
+			break
+		}
+	}
+	for c := 0; c < last; c++ {
+		b := backing[start[c]:start[c+1]]
 		if len(b) == 0 {
 			continue
 		}
@@ -93,6 +110,16 @@ func GroupByChunk(edges []graph.Edge, chunks int, fn func(chunk int, edges []gra
 			}()
 			fn(c, b)
 		}(c, b)
+	}
+	if last >= 0 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn(last, backing[start[last]:start[last+1]])
+		}()
 	}
 	wg.Wait()
 	if panicVal != nil {

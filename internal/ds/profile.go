@@ -20,8 +20,16 @@ type UpdateProfile struct {
 	// ChunkLoads is the cumulative per-chunk edge count (chunked-style
 	// structures only); its spread measures workload imbalance.
 	ChunkLoads []uint64
-	// MetaOps counts degree-query and flush meta-operations (DAH only).
+	// MetaOps counts degree-query and flush meta-operations (DAH only)
+	// or tier-transition copy work (hybrid).
 	MetaOps uint64
+	// TierPromotions counts per-vertex representation upgrades
+	// (inline→array, array→hash) in degree-adaptive structures.
+	TierPromotions uint64
+	// TierDemotions counts representation downgrades under deletions
+	// (hash→array, array→inline); with hysteresis working, promotions and
+	// demotions should both stay rare on a steady mixed stream.
+	TierDemotions uint64
 }
 
 // Add merges o into p (chunk loads are summed index-wise).
@@ -31,6 +39,8 @@ func (p *UpdateProfile) Add(o UpdateProfile) {
 	p.ScanSteps += o.ScanSteps
 	p.LockConflicts += o.LockConflicts
 	p.MetaOps += o.MetaOps
+	p.TierPromotions += o.TierPromotions
+	p.TierDemotions += o.TierDemotions
 	for len(p.ChunkLoads) < len(o.ChunkLoads) {
 		p.ChunkLoads = append(p.ChunkLoads, 0)
 	}
@@ -46,11 +56,13 @@ func (p *UpdateProfile) Add(o UpdateProfile) {
 // cumulative value; ChunkLoads missing from prev count as zero.
 func (p *UpdateProfile) Delta(prev *UpdateProfile) UpdateProfile {
 	d := UpdateProfile{
-		EdgesIngested: sub(p.EdgesIngested, prev.EdgesIngested),
-		Inserted:      sub(p.Inserted, prev.Inserted),
-		ScanSteps:     sub(p.ScanSteps, prev.ScanSteps),
-		LockConflicts: sub(p.LockConflicts, prev.LockConflicts),
-		MetaOps:       sub(p.MetaOps, prev.MetaOps),
+		EdgesIngested:  sub(p.EdgesIngested, prev.EdgesIngested),
+		Inserted:       sub(p.Inserted, prev.Inserted),
+		ScanSteps:      sub(p.ScanSteps, prev.ScanSteps),
+		LockConflicts:  sub(p.LockConflicts, prev.LockConflicts),
+		MetaOps:        sub(p.MetaOps, prev.MetaOps),
+		TierPromotions: sub(p.TierPromotions, prev.TierPromotions),
+		TierDemotions:  sub(p.TierDemotions, prev.TierDemotions),
 	}
 	if len(p.ChunkLoads) > 0 {
 		d.ChunkLoads = make([]uint64, len(p.ChunkLoads))

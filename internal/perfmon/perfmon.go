@@ -76,7 +76,7 @@ func Profile(cfg Config) (*Report, error) {
 	}
 
 	kind := archsim.PhaseUpdateShared
-	if cfg.Run.DataStructure == "adjchunked" || cfg.Run.DataStructure == "dah" {
+	if rep.ChunkedStyle() {
 		kind = archsim.PhaseUpdateChunked
 	}
 

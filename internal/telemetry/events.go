@@ -71,6 +71,10 @@ type BatchEvent struct {
 	DSLockConflicts uint64  `json:"ds_lock_conflicts,omitempty"`
 	DSMetaOps       uint64  `json:"ds_meta_ops,omitempty"`
 	DSImbalance     float64 `json:"ds_imbalance,omitempty"`
+	// Tier transitions of degree-adaptive structures (hybrid): vertex
+	// representation upgrades and downgrades this batch triggered.
+	DSTierPromotions uint64 `json:"ds_tier_promotions,omitempty"`
+	DSTierDemotions  uint64 `json:"ds_tier_demotions,omitempty"`
 }
 
 // Total is the batch processing latency in nanoseconds (Equation 1).

@@ -38,6 +38,8 @@ type Recorder struct {
 	dsScan      *Counter
 	dsConflicts *Counter
 	dsMetaOps   *Counter
+	dsPromos    *Counter
+	dsDemos     *Counter
 	dsImbalance *Gauge
 
 	viewRefreshLat *Histogram
@@ -111,6 +113,8 @@ func NewRecorder(reg *Registry, sink *EventSink) *Recorder {
 	r.dsScan = reg.Counter("saga_ds_scan_steps_total", "UpdateProfile: elements examined by pre-insert searches")
 	r.dsConflicts = reg.Counter("saga_ds_lock_conflicts_total", "UpdateProfile: lock acquisitions that found the lock held")
 	r.dsMetaOps = reg.Counter("saga_ds_meta_ops_total", "UpdateProfile: degree-query and flush meta-operations")
+	r.dsPromos = reg.Counter("saga_ds_tier_promotions_total", "UpdateProfile: per-vertex representation upgrades in degree-adaptive structures")
+	r.dsDemos = reg.Counter("saga_ds_tier_demotions_total", "UpdateProfile: per-vertex representation downgrades under deletions")
 	r.dsImbalance = reg.Gauge("saga_ds_chunk_imbalance", "UpdateProfile: max/mean chunk load of the latest batch")
 	r.straggler = reg.Gauge("saga_compute_straggler_ratio", "Max/mean worker busy time of the latest batch's compute phase (1.0 = balanced)")
 	r.stragglerHist = reg.Histogram("saga_compute_straggler", "Per-batch compute-phase straggler ratio (max/mean worker busy time)", StragglerBuckets)
@@ -340,6 +344,8 @@ func (r *Recorder) RecordBatch(ev *BatchEvent) {
 	r.dsScan.Add(ev.DSScanSteps)
 	r.dsConflicts.Add(ev.DSLockConflicts)
 	r.dsMetaOps.Add(ev.DSMetaOps)
+	r.dsPromos.Add(ev.DSTierPromotions)
+	r.dsDemos.Add(ev.DSTierDemotions)
 	if ev.DSImbalance > 0 {
 		r.dsImbalance.Set(ev.DSImbalance)
 	}
