@@ -1,7 +1,8 @@
 // Command sagavet runs SAGA-Bench's repo-specific static analyzers (see
 // internal/analysis): lock discipline, chunk ownership, atomic/plain
-// mixing, replay determinism, goroutine panic capture, and durable error
-// hygiene.
+// mixing, replay determinism, goroutine panic capture, durable error
+// hygiene, pin lifecycle balance, frozen-snapshot immutability, hot-path
+// allocation discipline, and retry/fault error classification.
 //
 // Standalone:
 //

@@ -43,7 +43,7 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list: code %d", code)
 	}
-	for _, name := range []string{"atomicmix", "lockheld", "chunkowner", "determinism", "paniccapture", "errcheck-durable"} {
+	for _, name := range []string{"atomicmix", "lockheld", "chunkowner", "determinism", "paniccapture", "errcheck-durable", "pinrelease", "frozenwrite", "hotalloc", "retryclass"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSARIFGolden runs a multi-analyzer pass over the fixture package and
+// compares the SARIF output, with the machine-specific path prefix
+// normalized away, against a checked-in golden file. Set UPDATE_GOLDEN=1
+// to regenerate.
+func TestSARIFGolden(t *testing.T) {
+	sarifPath := filepath.Join(t.TempDir(), "out.sarif")
+	code, _ := capture(t, "-analyzers", "frozenwrite,hotalloc", "-sarif", sarifPath, "testdata/sarif_fx")
+	if code != 1 {
+		t.Fatalf("run: code %d, want 1 (fixture has live findings)", code)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(string(data), abs, "TESTDATA")
+
+	goldenPath := filepath.Join("testdata", "golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("SARIF output differs from golden (run with UPDATE_GOLDEN=1 to regenerate):\n%s", got)
+	}
+}
+
+// TestSARIFRoundTrip re-reads the emitted SARIF as JSON and checks the
+// structural invariants CI's upload step depends on: schema version,
+// one rule per selected analyzer, and a suppression record that carries
+// the saga:allow audit reason.
+func TestSARIFRoundTrip(t *testing.T) {
+	sarifPath := filepath.Join(t.TempDir(), "out.sarif")
+	if code, _ := capture(t, "-analyzers", "frozenwrite,hotalloc", "-sarif", sarifPath, "testdata/sarif_fx"); code != 1 {
+		t.Fatalf("run: code %d, want 1", code)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Errorf("%d rules, want 2 (one per selected analyzer)", len(run.Tool.Driver.Rules))
+	}
+	var live, suppressed int
+	for _, r := range run.Results {
+		if r.RuleID == "" || r.Message.Text == "" || len(r.Locations) != 1 {
+			t.Errorf("malformed result: %+v", r)
+		}
+		if loc := r.Locations[0].PhysicalLocation; loc.Region.StartLine == 0 || loc.ArtifactLocation.URI == "" {
+			t.Errorf("result missing location info: %+v", r)
+		}
+		if len(r.Suppressions) > 0 {
+			suppressed++
+			if r.Suppressions[0].Kind != "inSource" || !strings.Contains(r.Suppressions[0].Justification, "caller reserves capacity") {
+				t.Errorf("suppression lost its audit reason: %+v", r.Suppressions)
+			}
+		} else {
+			live++
+		}
+	}
+	if live != 2 || suppressed != 1 {
+		t.Errorf("%d live + %d suppressed results, want 2 + 1", live, suppressed)
+	}
+}
+
+// TestOverlappingPatternsDedup passes the same package through two
+// overlapping pattern spellings and checks each diagnostic is printed
+// exactly once, in deterministic sorted order.
+func TestOverlappingPatternsDedup(t *testing.T) {
+	code, out := capture(t, "-analyzers", "frozenwrite,hotalloc", "testdata/sarif_fx", "testdata/sarif_fx/", "testdata/...")
+	if code != 1 {
+		t.Fatalf("run: code %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d findings, want 2 (duplicates must collapse):\n%s", len(lines), out)
+	}
+	seen := map[string]bool{}
+	for _, l := range lines {
+		if seen[l] {
+			t.Errorf("duplicate diagnostic: %s", l)
+		}
+		seen[l] = true
+	}
+	if !(lines[0] < lines[1]) {
+		t.Errorf("diagnostics not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,27 @@
+// Package sarif_fx is a sagavet fixture for the SARIF writer: two live
+// findings from different analyzers plus one audited suppression, so the
+// golden file exercises rules, results, and suppression records.
+package sarif_fx
+
+// CSR is a published snapshot; writers must copy-on-write.
+// saga:frozen
+type CSR struct {
+	Offsets []int
+}
+
+// stamp mutates a published snapshot in place.
+func stamp(c *CSR) {
+	c.Offsets[0] = 1
+}
+
+// hot allocates a fresh buffer per call.
+// saga:hotpath
+func hot(n int) []int {
+	return make([]int, n)
+}
+
+// pooled appends into a caller-reserved buffer.
+// saga:hotpath
+func pooled(dst []int) []int {
+	return append(dst, 1) // saga:allow hotalloc -- fixture: caller reserves capacity, append cannot grow
+}

@@ -13,12 +13,21 @@
 //	// saga:durable           package marker: no discarded error returns
 //	// saga:guardedby <lock>  field annotation: only touch under <lock>
 //	// saga:chunked           field annotation: slice is indexed by chunk id
+//	// saga:frozen            type/field annotation: immutable once published
 //	// saga:chunksafe         func annotation: mutates only chunk-owned args
 //	// saga:acquires <n>      func annotation: locks the mutex passed as arg n
+//	// saga:pin               func annotation: result is a pin that must be released
+//	// saga:pinrelease        func annotation: releases a pin (receiver or arg)
+//	// saga:hotpath           func annotation: body must not allocate
+//	// saga:classifier        func annotation: classifies an error transient/permanent
+//	// saga:classifies        func annotation: entry point whose results are classified
+//	// saga:classified        func annotation: returned errors must be classified
 //	// saga:allow <analyzer> -- <reason>   audited suppression for one line
 //
 // Every suppression requires the "-- reason" trailer; an allow comment
-// without a reason is itself reported.
+// without a reason is itself reported. The flow-sensitive analyzers
+// (lockheld, pinrelease, frozenwrite, retryclass) share the CFG +
+// worklist dataflow engine in cfg.go/dataflow.go/defuse.go.
 package analysis
 
 import (
@@ -92,6 +101,10 @@ func All() []*Analyzer {
 		Determinism,
 		PanicCapture,
 		ErrcheckDurable,
+		PinRelease,
+		FrozenWrite,
+		HotAlloc,
+		RetryClass,
 	}
 }
 
@@ -146,7 +159,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	// One source line can yield the same finding twice (e.g. the guarded
 	// field on both sides of `x.f = append(x.f, v)`); keep one.

@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file builds the control-flow graphs the dataflow engine
+// (dataflow.go) solves over. A CFG is a set of basic blocks — maximal
+// straight-line runs of statement/condition nodes — connected by edges
+// that remember which branch of a condition they represent, so transfer
+// functions can refine facts along a branch (`if !mu.TryLock()`,
+// `if err != nil`). Return statements edge to Exit; explicit panic
+// statements terminate their block with no successor and are recorded in
+// Panics so path-sensitive analyzers (pinrelease) can inspect the state
+// at the abnormal exit. Defer statements stay in their block as ordinary
+// nodes and are additionally listed in Defers, because deferred calls run
+// on every exit — normal or panicking — which is exactly the property a
+// lifecycle analyzer needs to credit `defer h.Release()`.
+
+// EdgeKind classifies a CFG edge.
+type EdgeKind uint8
+
+// The edge kinds.
+const (
+	// EdgeNext is an unconditional fallthrough/jump.
+	EdgeNext EdgeKind = iota
+	// EdgeTrue is taken when the source block's condition evaluated true.
+	EdgeTrue
+	// EdgeFalse is taken when the source block's condition evaluated false.
+	EdgeFalse
+)
+
+// Edge connects two blocks. Cond is the branch condition for
+// EdgeTrue/EdgeFalse edges (nil for EdgeNext), letting edge transfer
+// functions sharpen facts branch-sensitively.
+type Edge struct {
+	From, To *Block
+	Kind     EdgeKind
+	Cond     ast.Expr
+}
+
+// Block is one basic block: nodes execute in order, then control follows
+// one of Succs. Nodes are statements (simple statements only — compound
+// statements are decomposed into blocks) and bare condition/tag
+// expressions.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit collects every normal return and the final fallthrough.
+	Exit *Block
+	// Panics lists blocks that end in an explicit panic(...) statement.
+	Panics []*Block
+	// Defers lists every defer statement in syntactic order.
+	Defers []*ast.DeferStmt
+}
+
+// loopCtx is one enclosing breakable/continuable construct.
+type loopCtx struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select (not continuable)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil while the current point is unreachable
+	loops  []loopCtx
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// fallthroughTo is the body block of the next case clause while a
+	// switch case body is being built.
+	fallthroughTo *Block
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	b.jump(b.cfg.Exit)
+	for _, g := range b.gotos {
+		if to := b.labels[g.label]; to != nil {
+			b.edge(g.from, to, EdgeNext, nil)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, kind EdgeKind, cond ast.Expr) {
+	e := &Edge{From: from, To: to, Kind: kind, Cond: cond}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// jump connects the current block to `to` (if reachable) and leaves the
+// builder with no current block.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to, EdgeNext, nil)
+	}
+	b.cur = nil
+}
+
+// add appends a node to the current block, opening a fresh unreachable
+// block when control cannot reach here (so the node still exists for
+// position-based tooling, but the solver never visits it).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// findLoop resolves a break/continue target; label "" means innermost.
+func (b *cfgBuilder) findLoop(label string, needContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if needContinue && lc.continueTo == nil {
+			continue
+		}
+		if label == "" || lc.label == label {
+			return lc
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(x.List)
+
+	case *ast.LabeledStmt:
+		// The label is both a goto target and the name of the loop/switch
+		// it prefixes for labeled break/continue.
+		target := b.newBlock()
+		b.jump(target)
+		b.cur = target
+		b.labels[x.Label.Name] = target
+		b.stmt(x.Stmt, x.Label.Name)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		b.add(x.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then, EdgeTrue, x.Cond)
+		var elseEntry *Block
+		if x.Else != nil {
+			elseEntry = b.newBlock()
+			b.edge(cond, elseEntry, EdgeFalse, x.Cond)
+		} else {
+			b.edge(cond, after, EdgeFalse, x.Cond)
+		}
+		b.cur = then
+		b.stmts(x.Body.List)
+		b.jump(after)
+		if x.Else != nil {
+			b.cur = elseEntry
+			b.stmt(x.Else, "")
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if x.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.cur = head
+		var body *Block
+		if x.Cond != nil {
+			b.add(x.Cond)
+			body = b.newBlock()
+			b.edge(b.cur, body, EdgeTrue, x.Cond)
+			b.edge(b.cur, after, EdgeFalse, x.Cond)
+		} else {
+			body = b.newBlock()
+			b.edge(b.cur, body, EdgeNext, nil)
+		}
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmts(x.Body.List)
+		b.jump(post)
+		if x.Post != nil {
+			b.cur = post
+			b.stmt(x.Post, "")
+			b.jump(head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		head.Nodes = append(head.Nodes, x) // the range header: X plus key/value defs
+		body := b.newBlock()
+		b.edge(head, body, EdgeTrue, nil)
+		b.edge(head, after, EdgeFalse, nil)
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmts(x.Body.List)
+		b.jump(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		if x.Tag != nil {
+			b.add(x.Tag)
+		}
+		b.switchBody(x.Body.List, label, func(c *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, len(c.List))
+			for i, e := range c.List {
+				nodes[i] = e
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.stmt(x.Init, "")
+		}
+		b.add(x.Assign)
+		b.switchBody(x.Body.List, label, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk, EdgeNext, nil)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			b.stmts(cc.Body)
+			b.jump(after)
+		}
+		if len(x.Body.List) == 0 {
+			b.edge(head, after, EdgeNext, nil)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if x.Label != nil {
+			lbl = x.Label.Name
+		}
+		switch x.Tok.String() {
+		case "break":
+			if lc := b.findLoop(lbl, false); lc != nil {
+				b.jump(lc.breakTo)
+			} else {
+				b.cur = nil
+			}
+		case "continue":
+			if lc := b.findLoop(lbl, true); lc != nil {
+				b.jump(lc.continueTo)
+			} else {
+				b.cur = nil
+			}
+		case "goto":
+			if b.cur != nil {
+				if to := b.labels[lbl]; to != nil {
+					b.jump(to)
+				} else {
+					b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: lbl})
+					b.cur = nil
+				}
+			}
+		case "fallthrough":
+			if b.fallthroughTo != nil {
+				b.jump(b.fallthroughTo)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.DeferStmt:
+		b.add(x)
+		b.cfg.Defers = append(b.cfg.Defers, x)
+
+	case *ast.ExprStmt:
+		b.add(x)
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if b.cur != nil {
+					b.cfg.Panics = append(b.cfg.Panics, b.cur)
+				}
+				b.cur = nil // control never falls past an explicit panic
+			}
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, IncDecStmt, SendStmt, GoStmt, DeclStmt, ...
+		b.add(s)
+	}
+}
+
+// switchBody builds the clause blocks of a (type) switch: every clause
+// entry is reachable from the head, a missing default adds a direct edge
+// to after, and `fallthrough` jumps into the next clause's body.
+func (b *cfgBuilder) switchBody(clauses []ast.Stmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(head, after, EdgeNext, nil)
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		blk := blocks[i]
+		b.edge(head, blk, EdgeNext, nil)
+		blk.Nodes = append(blk.Nodes, caseNodes(cc)...)
+		saved := b.fallthroughTo
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = blk
+		b.stmts(cc.Body)
+		b.jump(after)
+		b.fallthroughTo = saved
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one file of test source.
+func typecheckSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("t", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info
+}
+
+func funcBody(t *testing.T, f *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+func TestCFGBranchesLoopsAndPanics(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package t
+func f(n int) int {
+	if n < 0 {
+		panic("neg")
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	switch n {
+	case 1:
+		return 1
+	default:
+		total++
+	}
+	return total
+}`)
+	cfg := buildCFG(funcBody(t, f, "f"))
+
+	if len(cfg.Panics) != 1 {
+		t.Fatalf("got %d panic blocks, want 1", len(cfg.Panics))
+	}
+	if len(cfg.Panics[0].Succs) != 0 {
+		t.Errorf("panic block has %d successors, want 0", len(cfg.Panics[0].Succs))
+	}
+	if len(cfg.Exit.Preds) < 2 {
+		t.Errorf("exit has %d preds, want >= 2 (two returns)", len(cfg.Exit.Preds))
+	}
+
+	// Every condition block must branch with True/False edges carrying
+	// the condition expression.
+	condEdges := 0
+	for _, blk := range cfg.Blocks {
+		for _, e := range blk.Succs {
+			if e.Kind == EdgeTrue || e.Kind == EdgeFalse {
+				condEdges++
+				if e.Cond == nil {
+					t.Errorf("branch edge from block %d has no condition", blk.Index)
+				}
+			}
+		}
+	}
+	if condEdges < 4 {
+		t.Errorf("got %d branch edges, want >= 4 (if + for cond, both polarities)", condEdges)
+	}
+}
+
+func TestCFGDefersAndGoto(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package t
+func g(n int) {
+	defer println("done")
+retry:
+	if n > 0 {
+		n--
+		goto retry
+	}
+}`)
+	cfg := buildCFG(funcBody(t, f, "g"))
+	if len(cfg.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(cfg.Defers))
+	}
+	// The goto must produce a back edge: some block other than Entry has
+	// more than one predecessor (label target reached from fallthrough
+	// and from goto).
+	back := false
+	for _, blk := range cfg.Blocks {
+		if blk != cfg.Entry && len(blk.Preds) >= 2 {
+			back = true
+		}
+	}
+	if !back {
+		t.Error("no join block found for the goto back edge")
+	}
+}
+
+// TestForwardUnreachable checks that statements after a return get no
+// dataflow fact (the solver never visits unreachable blocks).
+func TestForwardUnreachable(t *testing.T) {
+	_, f, _ := typecheckSrc(t, `package t
+func h() int {
+	goto end
+	println("dead")
+end:
+	return 1
+}`)
+	cfg := buildCFG(funcBody(t, f, "h"))
+	spec := flowSpec[map[string]bool]{
+		init: func() map[string]bool { return map[string]bool{} },
+		clone: func(m map[string]bool) map[string]bool {
+			c := map[string]bool{}
+			for k := range m {
+				c[k] = true
+			}
+			return c
+		},
+		merge:    func(acc, in map[string]bool) bool { return false },
+		transfer: func(map[string]bool, ast.Node) {},
+	}
+	in := forward(cfg, spec)
+	for _, blk := range cfg.Blocks {
+		dead := false
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "println" {
+						dead = true
+					}
+				}
+			}
+		}
+		if _, reached := in[blk]; dead && reached {
+			t.Error("unreachable block received a dataflow fact")
+		}
+	}
+	if _, ok := in[cfg.Exit]; !ok {
+		t.Error("exit block unreachable despite a return")
+	}
+}
+
+// TestLiveOut exercises the backward solver: the accumulator is live at
+// the loop head (read after the loop), the loop variable is not live at
+// function exit.
+func TestLiveOut(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package t
+func k(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`)
+	body := funcBody(t, f, "k")
+	cfg := buildCFG(body)
+	live := liveOut(cfg, info, body)
+
+	var sObj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "s" && info.Defs[id] != nil {
+			sObj = info.Defs[id]
+		}
+		return true
+	})
+	if sObj == nil {
+		t.Fatal("no def of s")
+	}
+
+	// Find the range-head block and check s is live leaving it.
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				if out, ok := live[blk]; !ok || !out[sObj] {
+					t.Errorf("s not live at the range head (got %v)", out)
+				}
+			}
+		}
+	}
+	if out, ok := live[cfg.Exit]; ok && out[sObj] {
+		t.Error("s live at function exit")
+	}
+}
+
+// TestDefUseClassification checks the escape-relevant use kinds the
+// lifecycle analyzers depend on.
+func TestDefUseClassification(t *testing.T) {
+	_, f, info := typecheckSrc(t, `package t
+func use(interface{}) {}
+var sinkP *int
+func m() *int {
+	a := 1
+	b := 2
+	c := 3
+	d := 4
+	use(a)
+	sinkP = &b
+	go func() { println(c) }()
+	return &d
+}`)
+	body := funcBody(t, f, "m")
+	du := buildDefUse(info, body)
+
+	find := func(name string) types.Object {
+		var obj types.Object
+		ast.Inspect(body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name && info.Defs[id] != nil {
+				obj = info.Defs[id]
+			}
+			return true
+		})
+		if obj == nil {
+			t.Fatalf("no def of %s", name)
+		}
+		return obj
+	}
+	has := func(obj types.Object, kind useKind) bool {
+		for _, u := range du.uses[obj] {
+			if u.kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(find("a"), useCallArg) {
+		t.Error("a: expected a call-arg use")
+	}
+	if !has(find("b"), useAddr) {
+		t.Error("b: expected an address-taken use")
+	}
+	if !has(find("c"), useCapture) {
+		t.Error("c: expected a closure-capture use")
+	}
+	// d is used as &d inside a return: either classification (addr or
+	// return) marks it escaping, addr is what the walker sees first.
+	dObj := find("d")
+	if !has(dObj, useAddr) && !has(dObj, useReturn) {
+		t.Error("d: expected an addr/return use")
+	}
+}

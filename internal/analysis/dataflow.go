@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Generic worklist dataflow solver over the CFGs built in cfg.go.
+// Analyzers describe their lattice with a flowSpec: how to create, copy,
+// merge, and compare facts, plus a node transfer function and an optional
+// branch-sensitive edge transfer. The solver iterates to a fixed point;
+// termination follows from the usual monotone-framework argument (each
+// analyzer's fact domain is finite — sets over the identifiers of one
+// function — and merge only moves facts monotonically through it).
+
+// flowSpec describes one dataflow problem over facts of type F.
+type flowSpec[F any] struct {
+	// init produces the fact at function entry (forward) or exit (backward).
+	init func() F
+	// clone deep-copies a fact so transfer can mutate freely.
+	clone func(F) F
+	// merge combines the fact arriving along an edge into acc, reporting
+	// whether acc changed. Must analyses intersect, may analyses union.
+	merge func(acc, in F) bool
+	// transfer applies one CFG node to a fact, in place.
+	transfer func(F, ast.Node)
+	// edge optionally refines the fact flowing along a branch edge
+	// (e.g. "TryLock returned true", "err != nil"), in place. May be nil.
+	edge func(F, *Edge)
+}
+
+// forward solves a forward dataflow problem and returns the fact at the
+// entry of every reachable block. Unreachable blocks have no map entry.
+func forward[F any](cfg *CFG, spec flowSpec[F]) map[*Block]F {
+	in := make(map[*Block]F, len(cfg.Blocks))
+	in[cfg.Entry] = spec.init()
+
+	work := []*Block{cfg.Entry}
+	queued := map[*Block]bool{cfg.Entry: true}
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := spec.clone(in[blk])
+		for _, n := range blk.Nodes {
+			spec.transfer(out, n)
+		}
+
+		for _, e := range blk.Succs {
+			fact := out
+			if spec.edge != nil {
+				fact = spec.clone(out)
+				spec.edge(fact, e)
+			}
+			cur, seen := in[e.To]
+			changed := false
+			if !seen {
+				in[e.To] = spec.clone(fact)
+				changed = true
+			} else {
+				changed = spec.merge(cur, fact)
+			}
+			if changed && !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}
+
+// backward solves a backward dataflow problem (e.g. liveness) and returns
+// the fact at the *exit* of every block that reaches Exit. Nodes are
+// transferred in reverse order; edge refinement sees the same Edge but
+// facts flow To→From.
+func backward[F any](cfg *CFG, spec flowSpec[F]) map[*Block]F {
+	out := make(map[*Block]F, len(cfg.Blocks))
+	out[cfg.Exit] = spec.init()
+
+	work := []*Block{cfg.Exit}
+	queued := map[*Block]bool{cfg.Exit: true}
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		entry := spec.clone(out[blk])
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			spec.transfer(entry, blk.Nodes[i])
+		}
+
+		for _, e := range blk.Preds {
+			fact := entry
+			if spec.edge != nil {
+				fact = spec.clone(entry)
+				spec.edge(fact, e)
+			}
+			cur, seen := out[e.From]
+			changed := false
+			if !seen {
+				out[e.From] = spec.clone(fact)
+				changed = true
+			} else {
+				changed = spec.merge(cur, fact)
+			}
+			if changed && !queued[e.From] {
+				queued[e.From] = true
+				work = append(work, e.From)
+			}
+		}
+	}
+	return out
+}
+
+// forEachNodeFact replays a solved forward problem, invoking visit with
+// the fact holding *before* each node executes, in block order. Check
+// passes use this to report against the converged facts. The fact passed
+// to visit is scratch (mutated by subsequent transfers) — clone to keep.
+func forEachNodeFact[F any](cfg *CFG, spec flowSpec[F], in map[*Block]F, visit func(F, ast.Node)) {
+	for _, blk := range cfg.Blocks {
+		fact, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		cur := spec.clone(fact)
+		for _, n := range blk.Nodes {
+			visit(cur, n)
+			spec.transfer(cur, n)
+		}
+	}
+}

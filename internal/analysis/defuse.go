@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Def-use chains over function bodies. The lifecycle analyzers
+// (pinrelease, frozenwrite) need to know not just *that* a local is used
+// but *how* — returned, address-taken, stored into non-local memory,
+// captured by a closure, handed to a call — because each of those either
+// releases the analyzer from tracking responsibility or transfers it.
+// buildDefUse classifies every occurrence of every function-local
+// variable; liveOut is the classic backward may-analysis over the same
+// CFGs, exercised by the engine tests to pin down the backward solver.
+
+// useKind classifies how one identifier occurrence consumes its value.
+type useKind uint8
+
+const (
+	useRead        useKind = iota // plain rvalue read (includes local-to-local copy)
+	useWrite                      // assignment target (plain `=`)
+	useDef                        // `:=` definition or var-decl binding
+	useCallArg                    // passed as a call argument
+	useCallRecv                   // method-call receiver
+	useReturn                     // returned from the function
+	useAddr                       // address taken
+	useEscapeStore                // stored into non-local memory (field, element, global, channel)
+	useComposite                  // placed in a composite literal
+	useCapture                    // referenced from a nested function literal
+)
+
+// use is one classified occurrence of a local variable.
+type use struct {
+	kind useKind
+	id   *ast.Ident
+	call *ast.CallExpr // the enclosing call for useCallArg/useCallRecv
+	// fn is the capturing literal for useCapture.
+	fn *ast.FuncLit
+	// inDefer marks occurrences that execute at defer time — directly in a
+	// defer statement or inside a directly-deferred closure.
+	inDefer bool
+}
+
+// defUse holds the classified occurrences of each local variable of one
+// function body, in source order.
+type defUse struct {
+	uses map[types.Object][]use
+}
+
+// parentsOf records each node's syntactic parent under root.
+func parentsOf(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// localVar resolves an identifier to the function-local variable it
+// names, or nil (fields, globals, and functions are not locals).
+func localVar(info *types.Info, body ast.Node, id *ast.Ident) *types.Var {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || !declaredIn(v, body) {
+		return nil
+	}
+	return v
+}
+
+// buildDefUse walks body and classifies every occurrence of every local
+// variable.
+func buildDefUse(info *types.Info, body ast.Node) *defUse {
+	du := &defUse{uses: map[types.Object][]use{}}
+	parents := parentsOf(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := localVar(info, body, id)
+		if v == nil {
+			return true
+		}
+		du.uses[v] = append(du.uses[v], classifyUse(info, parents, body, id, v))
+		return true
+	})
+	return du
+}
+
+// classifyUse determines how one identifier occurrence consumes its value
+// by examining its ancestors.
+func classifyUse(info *types.Info, parents map[ast.Node]ast.Node, body ast.Node, id *ast.Ident, v *types.Var) use {
+	u := use{kind: useRead, id: id}
+
+	// Capture: the occurrence sits inside a function literal the variable
+	// was not declared in.
+	for n := parents[id]; n != nil; n = parents[n] {
+		if lit, ok := n.(*ast.FuncLit); ok && !declaredIn(v, lit) {
+			u.kind = useCapture
+			u.fn = lit
+			if d, ok := parents[parents[lit]].(*ast.DeferStmt); ok {
+				if call, ok2 := parents[lit].(*ast.CallExpr); ok2 && d.Call == call && call.Fun == lit {
+					u.inDefer = true
+				}
+			}
+			return u
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			u.inDefer = true
+		}
+	}
+
+	// Skip intermediate parens when reading the immediate context.
+	child := ast.Node(id)
+	p := parents[id]
+	for {
+		if pe, ok := p.(*ast.ParenExpr); ok {
+			child = p
+			p = parents[pe]
+			continue
+		}
+		break
+	}
+
+	switch x := p.(type) {
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			u.kind = useAddr
+		}
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if ast.Unparen(a) == child || a == child {
+				u.kind = useCallArg
+				u.call = x
+			}
+		}
+	case *ast.SelectorExpr:
+		// Receiver of a method call: h.Release().
+		if x.X == child {
+			if call, ok := parents[x].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == x {
+				if _, isMethod := info.Selections[x]; isMethod {
+					u.kind = useCallRecv
+					u.call = call
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		u.kind = useReturn
+	case *ast.CompositeLit:
+		u.kind = useComposite
+	case *ast.KeyValueExpr:
+		if x.Value == child {
+			u.kind = useComposite
+		}
+	case *ast.SendStmt:
+		if x.Value == child {
+			u.kind = useEscapeStore
+		}
+	case *ast.AssignStmt:
+		for _, l := range x.Lhs {
+			if l == child {
+				if info.Defs[id] != nil {
+					u.kind = useDef
+				} else {
+					u.kind = useWrite
+				}
+				return u
+			}
+		}
+		// Appearing on the right-hand side: a copy into pure local idents
+		// stays a read (the analyzer decides what aliasing means); anything
+		// else stores the value into memory we cannot see.
+		for _, l := range x.Lhs {
+			if lid, ok := ast.Unparen(l).(*ast.Ident); ok {
+				if lid.Name == "_" || localVar(info, body, lid) != nil || info.Defs[lid] != nil {
+					continue
+				}
+			}
+			u.kind = useEscapeStore
+			return u
+		}
+	case *ast.ValueSpec:
+		for _, name := range x.Names {
+			if name == child {
+				u.kind = useDef
+				return u
+			}
+		}
+	}
+	return u
+}
+
+// objset is a set of variables, the fact type of the liveness analysis.
+type objset map[types.Object]bool
+
+// livenessSpec builds the backward live-variables problem for one body:
+// live = (live − defs(n)) ∪ reads(n), union merge at joins.
+func livenessSpec(info *types.Info, body ast.Node) flowSpec[objset] {
+	addReads := func(live objset, n ast.Node, skip map[*ast.Ident]bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && !skip[id] {
+				if v := localVar(info, body, id); v != nil && info.Uses[id] != nil {
+					live[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return flowSpec[objset]{
+		init: func() objset { return objset{} },
+		clone: func(s objset) objset {
+			out := make(objset, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+		merge: func(acc, in objset) bool {
+			changed := false
+			for k := range in {
+				if !acc[k] {
+					acc[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		transfer: func(live objset, n ast.Node) {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				skip := map[*ast.Ident]bool{}
+				for _, l := range x.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						if v := localVar(info, body, id); v != nil {
+							delete(live, v)
+							skip[id] = true
+						}
+					}
+				}
+				addReads(live, x, skip)
+			case *ast.RangeStmt:
+				skip := map[*ast.Ident]bool{}
+				for _, l := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := l.(*ast.Ident); ok {
+						if v := localVar(info, body, id); v != nil {
+							delete(live, v)
+							skip[id] = true
+						}
+					}
+				}
+				addReads(live, x.X, skip)
+			default:
+				addReads(live, n, nil)
+			}
+		},
+	}
+}
+
+// liveOut solves live variables for one body and returns, per block, the
+// set of locals live at the block's exit.
+func liveOut(cfg *CFG, info *types.Info, body ast.Node) map[*Block]objset {
+	return backward(cfg, livenessSpec(info, body))
+}

@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrozenWrite enforces `saga:frozen` annotations: a type or struct field
+// declared frozen is immutable once published — epoch snapshots are read
+// concurrently by unsynchronized queries and their arrays are recycled
+// into the next epoch's build, so one stray store is a cross-epoch data
+// corruption. The analyzer reports every store through frozen memory:
+// element/field/pointer assignments, append and copy into frozen slices,
+// and increment/decrement — tracking aliases through locals (`out :=
+// s.CSR.Out; out[0] = x` is still a frozen write) and through calls that
+// return slices or pointers carved out of a frozen value. Construction
+// is exempt: locals freshly built in the same function (composite
+// literal, new) may be initialized freely; freezing takes effect at the
+// function boundary, i.e. as soon as the value is received from
+// somewhere else.
+var FrozenWrite = &Analyzer{
+	Name: "frozenwrite",
+	Doc: "check that saga:frozen types and fields are never written " +
+		"after publication, tracking aliases through locals and returns",
+	Run: runFrozenWrite,
+}
+
+func runFrozenWrite(pass *Pass) {
+	fw := &frozenChecker{pass: pass}
+	forEachFunc(pass.Files, func(decl *ast.FuncDecl) {
+		fw.analyzeBody(decl.Body)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fw.analyzeBody(lit.Body)
+			}
+			return true
+		})
+	})
+}
+
+type frozenChecker struct {
+	pass *Pass
+}
+
+// frozenFact is the set of locals currently aliasing frozen memory.
+type frozenFact map[types.Object]bool
+
+// analyzeBody runs the alias-tracking taint analysis over one body.
+func (fw *frozenChecker) analyzeBody(body *ast.BlockStmt) {
+	if fw.pass.pkg.annot == nil ||
+		(len(fw.pass.pkg.annot.frozenTypes) == 0 && len(fw.pass.pkg.annot.frozenFields) == 0) {
+		return
+	}
+	fresh := fw.freshLocals(body)
+	cfg := fw.pass.pkg.cfgOf(body)
+	spec := fw.spec(body, fresh)
+	in := forward(cfg, spec)
+	forEachNodeFact(cfg, spec, in, func(f frozenFact, n ast.Node) {
+		fw.checkNode(f, fresh, n)
+	})
+}
+
+// freshLocals finds locals initialized by constructing a frozen value in
+// this function (composite literal, new); writes during construction are
+// legitimate — the value is not published yet.
+func (fw *frozenChecker) freshLocals(body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := identObj(fw.pass.TypesInfo, id)
+			if obj == nil || !fw.pass.frozenType(obj.Type()) {
+				continue
+			}
+			switch rhs := unwrapAddr(as.Rhs[i]).(type) {
+			case *ast.CompositeLit:
+				fresh[obj] = true
+			case *ast.CallExpr:
+				if fid, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && fid.Name == "new" {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// frozen reports whether e denotes (or aliases) frozen memory under fact
+// f. Fresh locals under construction are exempt.
+func (fw *frozenChecker) frozen(f frozenFact, fresh map[types.Object]bool, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := fw.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return false
+		}
+		if f[obj] {
+			return true
+		}
+		if fresh[obj] {
+			return false
+		}
+		return fw.pass.frozenType(obj.Type())
+	case *ast.SelectorExpr:
+		if v := fieldOf(fw.pass.TypesInfo, x); v != nil && fw.pass.frozenField(v) {
+			// A frozen field of a value still under construction is not
+			// frozen yet.
+			if root := rootIdent(x.X); root != nil {
+				if obj := fw.pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
+					return false
+				}
+			}
+			return true
+		}
+		return fw.frozen(f, fresh, x.X)
+	case *ast.IndexExpr:
+		return fw.frozen(f, fresh, x.X)
+	case *ast.SliceExpr:
+		return fw.frozen(f, fresh, x.X)
+	case *ast.StarExpr:
+		return fw.frozen(f, fresh, x.X)
+	case *ast.UnaryExpr:
+		return fw.frozen(f, fresh, x.X)
+	case *ast.CallExpr:
+		// A call that carves an aliasing view (slice, pointer) out of a
+		// frozen receiver or argument returns frozen memory.
+		if !aliasingType(fw.pass.TypesInfo.TypeOf(e)) {
+			return false
+		}
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if _, isMethod := fw.pass.TypesInfo.Selections[sel]; isMethod && fw.frozen(f, fresh, sel.X) {
+				return true
+			}
+		}
+		for _, a := range x.Args {
+			if fw.frozen(f, fresh, a) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// aliasingType reports whether values of t share underlying memory when
+// copied: slices, pointers, maps, and structs/arrays containing them.
+func aliasingType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasingType(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return aliasingType(u.Elem())
+	}
+	return false
+}
+
+func (fw *frozenChecker) spec(body *ast.BlockStmt, fresh map[types.Object]bool) flowSpec[frozenFact] {
+	return flowSpec[frozenFact]{
+		init: func() frozenFact { return frozenFact{} },
+		clone: func(f frozenFact) frozenFact {
+			c := make(frozenFact, len(f))
+			for k := range f {
+				c[k] = true
+			}
+			return c
+		},
+		// May-analysis: aliasing frozen memory on any path taints the join.
+		merge: func(acc, in frozenFact) bool {
+			changed := false
+			for k := range in {
+				if !acc[k] {
+					acc[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		transfer: func(f frozenFact, n ast.Node) {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return
+				}
+				for i, lhs := range x.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := identObj(fw.pass.TypesInfo, id)
+					if obj == nil || !declaredIn(obj, body) {
+						continue
+					}
+					if aliasingType(fw.pass.TypesInfo.TypeOf(x.Rhs[i])) && fw.frozen(f, fresh, x.Rhs[i]) {
+						f[obj] = true
+					} else {
+						delete(f, obj) // rebound to something unfrozen
+					}
+				}
+			case *ast.RangeStmt:
+				// `for i, v := range frozenSlice`: an aliasing-typed value
+				// binding (e.g. ranging over [][]T) taints v.
+				if x.Value != nil {
+					if id, ok := x.Value.(*ast.Ident); ok && id.Name != "_" {
+						obj := identObj(fw.pass.TypesInfo, id)
+						if obj != nil && aliasingType(obj.Type()) && fw.frozen(f, fresh, x.X) {
+							f[obj] = true
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// checkNode reports stores through frozen memory in one CFG node.
+func (fw *frozenChecker) checkNode(f frozenFact, fresh map[types.Object]bool, n ast.Node) {
+	report := func(e ast.Expr, what string) {
+		fw.pass.Reportf(e.Pos(), "%s saga:frozen memory (%s)", what, exprText(fw.pass.Fset, e))
+	}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			fw.checkStoreTarget(f, fresh, lhs, report)
+		}
+		for _, rhs := range x.Rhs {
+			fw.checkBuiltins(f, fresh, rhs, report)
+		}
+	case *ast.IncDecStmt:
+		fw.checkStoreTarget(f, fresh, x.X, report)
+	case *ast.RangeStmt:
+		// Only the range header lives in this block; the body has its own.
+		fw.checkBuiltins(f, fresh, x.X, report)
+	case *ast.ExprStmt:
+		fw.checkBuiltins(f, fresh, x.X, report)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			fw.checkBuiltins(f, fresh, r, report)
+		}
+	case *ast.DeferStmt:
+		fw.checkBuiltins(f, fresh, x.Call, report)
+	case *ast.GoStmt:
+		fw.checkBuiltins(f, fresh, x.Call, report)
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			fw.checkBuiltins(f, fresh, e, report)
+		}
+	}
+}
+
+// checkStoreTarget reports when an assignment target writes through
+// frozen memory: x[i] = v, *p = v, s.F = v, with any frozen base.
+func (fw *frozenChecker) checkStoreTarget(f frozenFact, fresh map[types.Object]bool, lhs ast.Expr, report func(ast.Expr, string)) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if fw.frozen(f, fresh, x.X) {
+			report(lhs, "write into")
+		}
+	case *ast.StarExpr:
+		if fw.frozen(f, fresh, x.X) {
+			report(lhs, "write through")
+		}
+	case *ast.SelectorExpr:
+		if v := fieldOf(fw.pass.TypesInfo, x); v != nil && fw.pass.frozenField(v) {
+			if root := rootIdent(x.X); root != nil {
+				if obj := fw.pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
+					return
+				}
+			}
+			report(lhs, "write to")
+			return
+		}
+		if fw.frozen(f, fresh, x.X) {
+			report(lhs, "write into")
+		}
+	}
+}
+
+// checkBuiltins reports append/copy into frozen slices anywhere in e
+// (both may write through the shared backing array).
+func (fw *frozenChecker) checkBuiltins(f frozenFact, fresh map[types.Object]bool, e ast.Expr, report func(ast.Expr, string)) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if _, isBuiltin := fw.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		switch id.Name {
+		case "append":
+			if fw.frozen(f, fresh, call.Args[0]) {
+				report(call.Args[0], "append may write into")
+			}
+		case "copy":
+			if fw.frozen(f, fresh, call.Args[0]) {
+				report(call.Args[0], "copy writes into")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces `saga:hotpath` annotations: functions on documented
+// 0-alloc paths (flat kernel inner loops, the disabled-telemetry fast
+// path, the hybrid pool steady state) must not contain operations that
+// can hit the allocator — make/new, slice or map composite literals,
+// append, any map operation, closures, go statements, string
+// concatenation or string<->byte conversions, and implicit boxing of
+// non-pointer concrete values into interface parameters. Amortized-free
+// sites (append into a pooled buffer with reserved capacity) carry an
+// audited saga:allow and are cross-validated by testing.AllocsPerRun
+// assertions next to the annotations.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "check that saga:hotpath functions contain no allocations, map " +
+		"operations, closures, or interface conversions",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	forEachFunc(pass.Files, func(decl *ast.FuncDecl) {
+		obj := declObj(pass, decl)
+		if _, hot := pass.funcAnnotation(obj, "hotpath"); !hot {
+			return
+		}
+		checkHotBody(pass, decl.Name.Name, decl.Body)
+	})
+}
+
+func checkHotBody(pass *Pass, fname string, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in saga:hotpath function %s", what, fname)
+	}
+	isMap := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "closure allocation")
+			return false // the closure body is its own (cold) context
+		case *ast.GoStmt:
+			report(x.Pos(), "goroutine launch")
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(x.Pos(), "slice/map literal allocation")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "heap allocation (&composite literal)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := info.TypeOf(x); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(x.Pos(), "string concatenation")
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if isMap(x.X) {
+				report(x.Pos(), "map access")
+			}
+		case *ast.RangeStmt:
+			if isMap(x.X) {
+				report(x.X.Pos(), "map iteration")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, x, report)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, allocating conversions, and
+// implicit interface boxing at one call site.
+func checkHotCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make allocation")
+				return
+			case "new":
+				report(call.Pos(), "new allocation")
+				return
+			case "append":
+				report(call.Pos(), "append (may grow)")
+				return
+			case "delete":
+				report(call.Pos(), "map delete")
+				return
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) where the call "callee" is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		if isStringByteConv(dst, src) {
+			report(call.Pos(), "string conversion allocation")
+		} else if types.IsInterface(dst) && !types.IsInterface(src) && !boxingFree(src) {
+			report(call.Pos(), "interface conversion (boxes "+src.String()+")")
+		}
+		return
+	}
+
+	// Implicit boxing: concrete non-pointer argument passed to an
+	// interface-typed parameter (including ...any variadics).
+	sig, ok := typeAsSignature(info.TypeOf(call.Fun))
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || boxingFree(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "interface boxing of "+at.String()+" argument")
+	}
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// boxingFree reports whether converting a value of t to an interface
+// never allocates: pointers, channels, maps, funcs, and unsafe pointers
+// store directly in the interface word.
+func boxingFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// isStringByteConv matches string([]byte), []byte(string), []rune and
+// back — conversions that copy.
+func isStringByteConv(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isBytes(src)) || (isBytes(dst) && isStr(src))
+}

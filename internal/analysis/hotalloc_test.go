@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sagabench/internal/analysis"
+	"sagabench/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, ".", analysis.HotAlloc, "hotalloc_fx")
+}

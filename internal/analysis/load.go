@@ -26,6 +26,8 @@ type Package struct {
 
 	allows      map[string]map[int]allowSite
 	allowErrors []Diagnostic
+	annot       *annotations
+	cfgs        map[*ast.BlockStmt]*CFG
 }
 
 // allowed reports whether an audited saga:allow comment suppresses
@@ -72,6 +74,7 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		modPath:     modPath,
 		fixtureRoot: cfg.FixtureRoot,
 		cache:       map[string]*Package{},
+		annot:       newAnnotations(),
 	}
 	ld.std = importer.ForCompiler(ld.fset, "source", nil)
 
@@ -183,6 +186,10 @@ type loader struct {
 	std         types.Importer
 	cache       map[string]*Package
 	loading     []string // in-flight import paths, for cycle reporting
+	// annot accumulates saga: declaration annotations across every package
+	// of this load, so analyzers resolve cross-package acquire/release and
+	// frozen-type annotations.
+	annot *annotations
 }
 
 // pathForDir maps a package directory to its import path.
@@ -294,7 +301,9 @@ func (ld *loader) loadDir(dir string) (*Package, error) {
 		Types:     tpkg,
 		TypesInfo: info,
 		Markers:   collectMarkers(files),
+		annot:     ld.annot,
 	}
+	ld.annot.collect(files, info)
 	pkg.allows, pkg.allowErrors = collectAllows(ld.fset, files)
 	ld.cache[path] = pkg
 	return pkg, nil

@@ -13,12 +13,15 @@ import (
 // (the printed base expression), with local aliases like
 // `mu := &s.locks[e.Src]` resolved, so per-vertex (`saga:guardedby
 // locks[$i]`, matching element accesses against the same index
-// expression) and per-block disciplines are both expressible. The
-// analysis is flow-insensitive across calls and conservative across
-// branches; functions that run with a lock already held declare it with
-// `// saga:locked <expr>`, helpers that acquire a mutex passed by
-// pointer declare `// saga:acquires <argN>`, and audited lock-free sites
-// carry a saga:allow.
+// expression) and per-block disciplines are both expressible.
+//
+// The check runs on the shared CFG + dataflow engine as a forward must-
+// analysis: the held-lock set intersects at joins, TryLock results refine
+// the set branch-sensitively along CFG edges, and `defer mu.Unlock()`
+// keeps the lock held to function end. Functions that run with a lock
+// already held declare it with `// saga:locked <expr>`, helpers that
+// acquire a mutex passed by pointer declare `// saga:acquires <argN>`,
+// and audited lock-free sites carry a saga:allow.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
 	Doc: "check that fields annotated saga:guardedby are only accessed " +
@@ -37,18 +40,13 @@ func runLockHeld(pass *Pass) {
 		return
 	}
 	acquires, locked := collectLockFuncAnnotations(pass)
+	lc := &lockChecker{pass: pass, guards: guards, acquires: acquires}
 	forEachFunc(pass.Files, func(decl *ast.FuncDecl) {
-		st := &lockState{
-			pass:     pass,
-			guards:   guards,
-			acquires: acquires,
-			held:     map[string]bool{},
-			aliases:  map[types.Object]string{},
-		}
+		held := map[string]bool{}
 		for _, k := range locked[declObj(pass, decl)] {
-			st.held[k] = true
+			held[k] = true
 		}
-		st.walkStmts(decl.Body.List)
+		lc.analyzeBody(decl.Body, held)
 	})
 }
 
@@ -110,54 +108,143 @@ func declObj(pass *Pass, decl *ast.FuncDecl) types.Object {
 	return pass.TypesInfo.Defs[decl.Name]
 }
 
-type lockState struct {
+// lockFact is the dataflow fact: the set of lexically-keyed locks known
+// to be held at a program point, plus local aliases of lock expressions.
+type lockFact struct {
+	held    map[string]bool
+	aliases map[types.Object]string
+}
+
+// lockChecker ties the lockheld transfer and check passes to one package.
+type lockChecker struct {
 	pass     *Pass
 	guards   map[*types.Var]guardSpec
 	acquires map[*types.Func]int
-	held     map[string]bool
-	aliases  map[types.Object]string
 }
 
-func (st *lockState) clone() *lockState {
-	c := &lockState{pass: st.pass, guards: st.guards, acquires: st.acquires,
-		held: map[string]bool{}, aliases: map[types.Object]string{}}
-	for k := range st.held {
-		c.held[k] = true
+// analyzeBody solves the held-lock dataflow over one function body and
+// reports unguarded accesses against the converged facts. Function
+// literals recurse with an empty held set (a closure may run on another
+// goroutine, so it cannot inherit the enclosing locks).
+func (lc *lockChecker) analyzeBody(body *ast.BlockStmt, initHeld map[string]bool) {
+	cfg := lc.pass.pkg.cfgOf(body)
+	spec := lc.spec(initHeld)
+	in := forward(cfg, spec)
+	forEachNodeFact(cfg, spec, in, func(f *lockFact, n ast.Node) {
+		lc.checkNode(f, n)
+	})
+}
+
+func (lc *lockChecker) spec(initHeld map[string]bool) flowSpec[*lockFact] {
+	return flowSpec[*lockFact]{
+		init: func() *lockFact {
+			f := &lockFact{held: map[string]bool{}, aliases: map[types.Object]string{}}
+			for k := range initHeld {
+				f.held[k] = true
+			}
+			return f
+		},
+		clone: func(f *lockFact) *lockFact {
+			c := &lockFact{held: make(map[string]bool, len(f.held)),
+				aliases: make(map[types.Object]string, len(f.aliases))}
+			for k := range f.held {
+				c.held[k] = true
+			}
+			for k, v := range f.aliases {
+				c.aliases[k] = v
+			}
+			return c
+		},
+		// Must-analysis: a lock counts as held after a join only if every
+		// inbound path holds it; aliases must agree.
+		merge: func(acc, in *lockFact) bool {
+			changed := false
+			for k := range acc.held {
+				if !in.held[k] {
+					delete(acc.held, k)
+					changed = true
+				}
+			}
+			for k, v := range acc.aliases {
+				if in.aliases[k] != v {
+					delete(acc.aliases, k)
+					changed = true
+				}
+			}
+			return changed
+		},
+		transfer: func(f *lockFact, n ast.Node) {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+					switch key, op := lc.lockCall(f, call); op {
+					case "lock":
+						f.held[key] = true
+					case "unlock":
+						delete(f.held, key)
+					}
+				}
+			case *ast.DeferStmt:
+				// `defer mu.Unlock()` keeps the lock held to function end:
+				// deliberately no state change.
+			case *ast.AssignStmt:
+				if x.Tok == token.DEFINE && len(x.Lhs) == len(x.Rhs) {
+					for i, lhs := range x.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						if obj := lc.pass.TypesInfo.Defs[id]; obj != nil && aliasable(x.Rhs[i]) {
+							f.aliases[obj] = lc.canon(f, x.Rhs[i])
+						}
+					}
+				}
+			}
+		},
+		// Branch sensitivity: a TryLock condition holds the lock on its
+		// success edge — the true edge of `if mu.TryLock()`, the false edge
+		// of `if !mu.TryLock()`.
+		edge: func(f *lockFact, e *Edge) {
+			if e.Cond == nil {
+				return
+			}
+			if key, negated := lc.tryLockCond(f, e.Cond); key != "" {
+				if (e.Kind == EdgeTrue && !negated) || (e.Kind == EdgeFalse && negated) {
+					f.held[key] = true
+				}
+			}
+		},
 	}
-	for k, v := range st.aliases {
-		c.aliases[k] = v
-	}
-	return c
 }
 
 // canon renders an expression with local lock aliases substituted, so
 // `mu.Lock()` after `mu := &s.locks[e.Src]` yields "s.locks[e.Src]".
-func (st *lockState) canon(e ast.Expr) string {
+func (lc *lockChecker) canon(f *lockFact, e ast.Expr) string {
 	switch x := ast.Unparen(e).(type) {
 	case *ast.Ident:
-		if obj := st.pass.TypesInfo.Uses[x]; obj != nil {
-			if a, ok := st.aliases[obj]; ok {
+		if obj := lc.pass.TypesInfo.Uses[x]; obj != nil {
+			if a, ok := f.aliases[obj]; ok {
 				return a
 			}
 		}
 		return x.Name
 	case *ast.SelectorExpr:
-		return st.canon(x.X) + "." + x.Sel.Name
+		return lc.canon(f, x.X) + "." + x.Sel.Name
 	case *ast.IndexExpr:
-		return st.canon(x.X) + "[" + st.canon(x.Index) + "]"
+		return lc.canon(f, x.X) + "[" + lc.canon(f, x.Index) + "]"
 	case *ast.StarExpr:
-		return st.canon(x.X)
+		return lc.canon(f, x.X)
 	case *ast.UnaryExpr:
 		if x.Op == token.AND {
-			return st.canon(x.X)
+			return lc.canon(f, x.X)
 		}
 	case *ast.CallExpr:
 		// Conversions like int(e.Src) appear inside index expressions.
 		if len(x.Args) == 1 {
-			return exprCallName(x) + "(" + st.canon(x.Args[0]) + ")"
+			return exprCallName(x) + "(" + lc.canon(f, x.Args[0]) + ")"
 		}
 	}
-	return exprText(st.pass.Fset, e)
+	return exprText(lc.pass.Fset, e)
 }
 
 func exprCallName(call *ast.CallExpr) string {
@@ -173,184 +260,38 @@ func exprCallName(call *ast.CallExpr) string {
 }
 
 // lockCall classifies a call as Lock/TryLock/Unlock on a canonical key.
-func (st *lockState) lockCall(call *ast.CallExpr) (key, op string) {
+func (lc *lockChecker) lockCall(f *lockFact, call *ast.CallExpr) (key, op string) {
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		switch sel.Sel.Name {
 		case "Lock", "RLock":
-			return st.canon(sel.X), "lock"
+			return lc.canon(f, sel.X), "lock"
 		case "TryLock", "TryRLock":
-			return st.canon(sel.X), "trylock"
+			return lc.canon(f, sel.X), "trylock"
 		case "Unlock", "RUnlock":
-			return st.canon(sel.X), "unlock"
+			return lc.canon(f, sel.X), "unlock"
 		}
 	}
-	if f := calleeFunc(st.pass.TypesInfo, call); f != nil {
-		if n := st.acquires[f]; n > 0 && n <= len(call.Args) {
-			return st.canon(unwrapAddr(call.Args[n-1])), "lock"
+	if fn := calleeFunc(lc.pass.TypesInfo, call); fn != nil {
+		if n := lc.acquires[fn]; n > 0 && n <= len(call.Args) {
+			return lc.canon(f, unwrapAddr(call.Args[n-1])), "lock"
 		}
 	}
 	return "", ""
 }
 
-// walkStmts processes a statement list linearly, updating the held set
-// and checking guarded accesses in order.
-func (st *lockState) walkStmts(stmts []ast.Stmt) {
-	for _, s := range stmts {
-		st.walkStmt(s)
-	}
-}
-
-func (st *lockState) walkStmt(s ast.Stmt) {
-	switch x := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
-			if key, op := st.lockCall(call); op != "" {
-				st.checkExprList(call.Args)
-				switch op {
-				case "lock":
-					st.held[key] = true
-				case "unlock":
-					delete(st.held, key)
-				}
-				return
-			}
-		}
-		st.checkExpr(x.X)
-	case *ast.AssignStmt:
-		st.checkExprList(x.Rhs)
-		st.checkExprList(x.Lhs)
-		if x.Tok == token.DEFINE && len(x.Lhs) == len(x.Rhs) {
-			for i, lhs := range x.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok || id.Name == "_" {
-					continue
-				}
-				if obj := st.pass.TypesInfo.Defs[id]; obj != nil {
-					if aliasable(x.Rhs[i]) {
-						st.aliases[obj] = st.canon(x.Rhs[i])
-					}
-				}
-			}
-		}
-	case *ast.DeferStmt:
-		// `defer mu.Unlock()` keeps the lock held to function end.
-		if key, op := st.lockCall(x.Call); op == "unlock" && key != "" {
-			return
-		}
-		st.checkExpr(x.Call)
-	case *ast.GoStmt:
-		st.checkExpr(x.Call)
-	case *ast.IfStmt:
-		if x.Init != nil {
-			st.walkStmt(x.Init)
-		}
-		if key, neg := st.tryLockCond(x.Cond); key != "" {
-			if neg {
-				// if !mu.TryLock() { ...; mu.Lock() } — held after.
-				st.clone().walkStmts(x.Body.List)
-				st.held[key] = true
-			} else {
-				// if mu.TryLock() { ... } — held inside only.
-				inner := st.clone()
-				inner.held[key] = true
-				inner.walkStmts(x.Body.List)
-			}
-			return
-		}
-		st.checkExpr(x.Cond)
-		st.walkBranch(x.Body.List)
-		switch e := x.Else.(type) {
-		case *ast.BlockStmt:
-			st.walkBranch(e.List)
-		case *ast.IfStmt:
-			st.walkBranch([]ast.Stmt{e})
-		}
-	case *ast.ForStmt:
-		if x.Init != nil {
-			st.walkStmt(x.Init)
-		}
-		if x.Cond != nil {
-			st.checkExpr(x.Cond)
-		}
-		body := x.Body.List
-		if x.Post != nil {
-			body = append(append([]ast.Stmt{}, body...), x.Post)
-		}
-		st.walkBranch(body)
-	case *ast.RangeStmt:
-		st.checkExpr(x.X)
-		st.walkBranch(x.Body.List)
-	case *ast.BlockStmt:
-		st.walkStmts(x.List)
-	case *ast.SwitchStmt:
-		if x.Init != nil {
-			st.walkStmt(x.Init)
-		}
-		if x.Tag != nil {
-			st.checkExpr(x.Tag)
-		}
-		for _, c := range x.Body.List {
-			cc := c.(*ast.CaseClause)
-			st.checkExprList(cc.List)
-			st.walkBranch(cc.Body)
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range x.Body.List {
-			st.walkBranch(c.(*ast.CaseClause).Body)
-		}
-	case *ast.SelectStmt:
-		for _, c := range x.Body.List {
-			st.walkBranch(c.(*ast.CommClause).Body)
-		}
-	case *ast.ReturnStmt:
-		st.checkExprList(x.Results)
-	case *ast.IncDecStmt:
-		st.checkExpr(x.X)
-	case *ast.SendStmt:
-		st.checkExpr(x.Chan)
-		st.checkExpr(x.Value)
-	case *ast.DeclStmt:
-		if gd, ok := x.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					st.checkExprList(vs.Values)
-				}
-			}
-		}
-	case *ast.LabeledStmt:
-		st.walkStmt(x.Stmt)
-	}
-}
-
-// walkBranch processes a conditional branch: accesses inside are checked
-// against a copy of the held set, and locks released in a branch that
-// can fall through are treated as released afterwards.
-func (st *lockState) walkBranch(stmts []ast.Stmt) {
-	inner := st.clone()
-	inner.walkStmts(stmts)
-	if terminates(stmts) {
-		return // a return/continue/break path doesn't affect the fall-through state
-	}
-	for key := range st.held {
-		if !inner.held[key] {
-			delete(st.held, key)
-		}
-	}
-}
-
 // tryLockCond matches `mu.TryLock()` and `!mu.TryLock()` conditions.
-func (st *lockState) tryLockCond(cond ast.Expr) (key string, negated bool) {
+func (lc *lockChecker) tryLockCond(f *lockFact, cond ast.Expr) (key string, negated bool) {
 	e := ast.Unparen(cond)
 	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
 		if call, ok := ast.Unparen(u.X).(*ast.CallExpr); ok {
-			if k, op := st.lockCall(call); op == "trylock" {
+			if k, op := lc.lockCall(f, call); op == "trylock" {
 				return k, true
 			}
 		}
 		return "", false
 	}
 	if call, ok := e.(*ast.CallExpr); ok {
-		if k, op := st.lockCall(call); op == "trylock" {
+		if k, op := lc.lockCall(f, call); op == "trylock" {
 			return k, false
 		}
 	}
@@ -368,10 +309,59 @@ func aliasable(e ast.Expr) bool {
 	return false
 }
 
+// checkNode reports guarded accesses in one CFG node against the fact
+// holding before the node executes.
+func (lc *lockChecker) checkNode(f *lockFact, n ast.Node) {
+	switch x := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if _, op := lc.lockCall(f, call); op != "" {
+				lc.checkExprList(f, call.Args)
+				return
+			}
+		}
+		lc.checkExpr(f, x.X)
+	case *ast.AssignStmt:
+		lc.checkExprList(f, x.Rhs)
+		lc.checkExprList(f, x.Lhs)
+	case *ast.DeferStmt:
+		if key, op := lc.lockCall(f, x.Call); op == "unlock" && key != "" {
+			return
+		}
+		lc.checkExpr(f, x.Call)
+	case *ast.GoStmt:
+		lc.checkExpr(f, x.Call)
+	case *ast.ReturnStmt:
+		lc.checkExprList(f, x.Results)
+	case *ast.IncDecStmt:
+		lc.checkExpr(f, x.X)
+	case *ast.SendStmt:
+		lc.checkExpr(f, x.Chan)
+		lc.checkExpr(f, x.Value)
+	case *ast.RangeStmt:
+		lc.checkExpr(f, x.X)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lc.checkExprList(f, vs.Values)
+				}
+			}
+		}
+	case ast.Expr:
+		// Bare condition/tag/case expressions lifted into blocks by the
+		// CFG builder. TryLock conditions are lock operations, not reads.
+		if key, _ := lc.tryLockCond(f, x); key != "" {
+			return
+		}
+		lc.checkExpr(f, x)
+	}
+}
+
 // checkExpr reports guarded-field accesses in e that lack their lock.
 // Function literals are analyzed with a fresh (empty) held set: a
 // closure may run on another goroutine, so it cannot inherit locks.
-func (st *lockState) checkExpr(e ast.Expr) {
+func (lc *lockChecker) checkExpr(f *lockFact, e ast.Expr) {
 	if e == nil {
 		return
 	}
@@ -384,32 +374,31 @@ func (st *lockState) checkExpr(e ast.Expr) {
 		stack = append(stack, n)
 		switch x := n.(type) {
 		case *ast.FuncLit:
-			fresh := &lockState{pass: st.pass, guards: st.guards, acquires: st.acquires,
-				held: map[string]bool{}, aliases: map[types.Object]string{}}
-			fresh.walkStmts(x.Body.List)
+			lc.analyzeBody(x.Body, nil)
+			stack = stack[:len(stack)-1] // Inspect skips the nil pop when we prune
 			return false
 		case *ast.SelectorExpr:
-			fv := fieldOf(st.pass.TypesInfo, x)
+			fv := fieldOf(lc.pass.TypesInfo, x)
 			if fv == nil {
 				return true
 			}
-			spec, ok := st.guards[fv]
+			spec, ok := lc.guards[fv]
 			if !ok {
 				return true
 			}
-			base := st.canon(x.X)
+			base := lc.canon(f, x.X)
 			var required string
 			if spec.indexed {
 				idx, ok := parentOf(stack).(*ast.IndexExpr)
 				if !ok || ast.Unparen(idx.X) != x {
 					return true // whole-slice access (len/append/resize) is structural
 				}
-				required = base + "." + spec.lockField + "[" + st.canon(idx.Index) + "]"
+				required = base + "." + spec.lockField + "[" + lc.canon(f, idx.Index) + "]"
 			} else {
 				required = base + "." + spec.lockField
 			}
-			if !st.held[required] {
-				st.pass.Reportf(x.Sel.Pos(),
+			if !f.held[required] {
+				lc.pass.Reportf(x.Sel.Pos(),
 					"access to %s.%s (saga:guardedby %s) without holding %s",
 					base, fv.Name(), spec.lockField, required)
 			}
@@ -418,8 +407,8 @@ func (st *lockState) checkExpr(e ast.Expr) {
 	})
 }
 
-func (st *lockState) checkExprList(list []ast.Expr) {
+func (lc *lockChecker) checkExprList(f *lockFact, list []ast.Expr) {
 	for _, e := range list {
-		st.checkExpr(e)
+		lc.checkExpr(f, e)
 	}
 }

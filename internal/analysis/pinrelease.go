@@ -1,0 +1,417 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinRelease enforces pin lifecycles: the result of a function annotated
+// `saga:pin` (an epoch snapshot pin, a core.QueryHandle) must reach a
+// `saga:pinrelease` call on every path out of the acquiring function —
+// early error returns, branch exits, and explicit panics included. A
+// leaked pin permanently blocks epoch.Manager's double-buffer reuse, so
+// the analyzer is a forward may-analysis over the shared CFG engine: the
+// outstanding-pin set unions at joins, `h.Release()` (statement, defer,
+// or deferred closure) removes a pin, and the standard nil/error checks
+// after an acquire (`if err != nil`, `if h == nil`) kill the pin along
+// the failure edge. Pins that escape the function — returned, stored
+// into a struct or global, or captured by a non-deferred closure —
+// transfer ownership and stop being tracked.
+var PinRelease = &Analyzer{
+	Name: "pinrelease",
+	Doc: "check that every saga:pin acquisition reaches a saga:pinrelease " +
+		"call on all paths, including error and panic exits",
+	Run: runPinRelease,
+}
+
+func runPinRelease(pass *Pass) {
+	pr := &pinChecker{pass: pass}
+	forEachFunc(pass.Files, func(decl *ast.FuncDecl) {
+		pr.analyzeBody(decl.Body)
+		// Function literals get their own lifecycle analysis: a pin
+		// acquired inside a closure must be released inside it.
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				pr.analyzeBody(lit.Body)
+			}
+			return true
+		})
+	})
+}
+
+type pinChecker struct {
+	pass *Pass
+}
+
+// acquireSite is one tracked `h, err := acquire()` (or `h := acquire()`)
+// statement.
+type acquireSite struct {
+	pos    token.Pos
+	callee string
+	pinObj types.Object
+	errObj types.Object // the tuple's error result, if bound
+}
+
+// pinFact maps each local currently holding a live pin to the acquire
+// site position it came from. Aliases (`h2 := h`) map to the same site;
+// releasing through any alias releases the site.
+type pinFact map[types.Object]token.Pos
+
+func (pr *pinChecker) isPinCall(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pr.pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if _, ok := pr.pass.funcAnnotation(fn, "pin"); ok {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func (pr *pinChecker) isReleaseCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(pr.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	_, ok := pr.pass.funcAnnotation(fn, "pinrelease")
+	return ok
+}
+
+// releasedObjs returns the objects a release call releases: the method
+// receiver and every plain-identifier argument.
+func (pr *pinChecker) releasedObjs(call *ast.CallExpr) []types.Object {
+	var objs []types.Object
+	add := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pr.pass.TypesInfo.Uses[id]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		add(sel.X)
+	}
+	for _, a := range call.Args {
+		add(a)
+	}
+	return objs
+}
+
+// analyzeBody runs the pin lifecycle analysis over one function body.
+func (pr *pinChecker) analyzeBody(body *ast.BlockStmt) {
+	info := pr.pass.TypesInfo
+
+	// Pre-pass 1: find acquire sites (top-level statements binding a
+	// saga:pin result to a local).
+	sites := map[ast.Node]*acquireSite{} // acquire statement -> site
+	byErr := map[types.Object][]*acquireSite{}
+	var discarded []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+				if _, ok := pr.isPinCall(call); ok {
+					discarded = append(discarded, call)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := pr.isPinCall(call)
+			if !ok {
+				return true
+			}
+			site := &acquireSite{pos: call.Pos(), callee: callee}
+			if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				site.pinObj = identObj(info, id)
+			}
+			if len(x.Lhs) > 1 {
+				if id, ok := x.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+					if obj := identObj(info, id); obj != nil && isErrorObj(obj) {
+						site.errObj = obj
+					}
+				}
+			}
+			if site.pinObj == nil {
+				discarded = append(discarded, call)
+				return true
+			}
+			sites[ast.Node(x)] = site
+			if site.errObj != nil {
+				byErr[site.errObj] = append(byErr[site.errObj], site)
+			}
+		}
+		return true
+	})
+
+	for _, call := range discarded {
+		name := "acquire"
+		if n, ok := pr.isPinCall(call); ok {
+			name = n
+		}
+		pr.pass.Reportf(call.Pos(), "pin returned by %s is discarded and can never be released", name)
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	// Pre-pass 2: pins whose value escapes local dataflow transfer
+	// ownership — stop tracking them.
+	du := buildDefUse(info, body)
+	escaped := map[types.Object]bool{}
+	for _, site := range sites {
+		for _, u := range du.uses[site.pinObj] {
+			switch u.kind {
+			case useAddr, useEscapeStore, useComposite, useReturn:
+				escaped[site.pinObj] = true
+			case useCallArg:
+				if !pr.isReleaseCall(u.call) {
+					escaped[site.pinObj] = true
+				}
+			case useCapture:
+				if !(u.inDefer && pr.litReleases(u.fn, site.pinObj)) {
+					escaped[site.pinObj] = true
+				}
+			}
+		}
+	}
+
+	cfg := pr.pass.pkg.cfgOf(body)
+	spec := pr.spec(sites, byErr, escaped)
+	in := forward(cfg, spec)
+
+	// Overwrite check: acquiring into a local that still holds a live pin
+	// loses the old pin.
+	forEachNodeFact(cfg, spec, in, func(f pinFact, n ast.Node) {
+		site, ok := sites[n]
+		if !ok || escaped[site.pinObj] {
+			return
+		}
+		if old, live := f[site.pinObj]; live && old != site.pos {
+			pr.pass.Reportf(site.pos,
+				"pin from %s overwrites a pin that was never released", site.callee)
+		}
+	})
+
+	// Leak check: anything outstanding at the function exit, or at an
+	// explicit panic, escaped every release path.
+	leak := map[token.Pos]string{}
+	if exit, ok := in[cfg.Exit]; ok {
+		for _, pos := range exit {
+			leak[pos] = "is not released on all paths"
+		}
+	}
+	for _, blk := range cfg.Panics {
+		f, ok := in[blk]
+		if !ok {
+			continue
+		}
+		out := spec.clone(f)
+		for _, n := range blk.Nodes {
+			spec.transfer(out, n)
+		}
+		for _, pos := range out {
+			if _, already := leak[pos]; !already {
+				leak[pos] = "is still pinned when this function panics (release it with defer)"
+			}
+		}
+	}
+	for _, site := range sites {
+		if msg, ok := leak[site.pos]; ok {
+			pr.pass.Reportf(site.pos, "pin from %s %s", site.callee, msg)
+		}
+	}
+}
+
+// litReleases reports whether a (deferred) closure body releases obj.
+func (pr *pinChecker) litReleases(lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && pr.isReleaseCall(call) {
+			for _, o := range pr.releasedObjs(call) {
+				if o == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (pr *pinChecker) spec(sites map[ast.Node]*acquireSite, byErr map[types.Object][]*acquireSite, escaped map[types.Object]bool) flowSpec[pinFact] {
+	release := func(f pinFact, objs []types.Object) {
+		for _, obj := range objs {
+			pos, ok := f[obj]
+			if !ok {
+				continue
+			}
+			for o, p := range f {
+				if p == pos {
+					delete(f, o)
+				}
+			}
+		}
+	}
+	killSite := func(f pinFact, pos token.Pos) {
+		for o, p := range f {
+			if p == pos {
+				delete(f, o)
+			}
+		}
+	}
+	return flowSpec[pinFact]{
+		init: func() pinFact { return pinFact{} },
+		clone: func(f pinFact) pinFact {
+			c := make(pinFact, len(f))
+			for k, v := range f {
+				c[k] = v
+			}
+			return c
+		},
+		// May-analysis: a pin outstanding on any inbound path is
+		// outstanding after the join.
+		merge: func(acc, in pinFact) bool {
+			changed := false
+			for k, v := range in {
+				if _, ok := acc[k]; !ok {
+					acc[k] = v
+					changed = true
+				}
+			}
+			return changed
+		},
+		transfer: func(f pinFact, n ast.Node) {
+			// Releases anywhere in the node (statement calls, `err :=
+			// h.ReleaseChecked()`, `return h.ReleaseChecked()`); deferred
+			// closures release because they run on every later exit. A
+			// range header only contributes its operand — the body's
+			// statements live in their own blocks.
+			scan := n
+			if r, ok := n.(*ast.RangeStmt); ok {
+				scan = r.X
+			}
+			ast.Inspect(scan, func(m ast.Node) bool {
+				switch x := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.DeferStmt:
+					if pr.isReleaseCall(x.Call) {
+						release(f, pr.releasedObjs(x.Call))
+						return false
+					}
+					if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+						for obj := range f {
+							if pr.litReleases(lit, obj) {
+								release(f, []types.Object{obj})
+							}
+						}
+						return false
+					}
+				case *ast.CallExpr:
+					if pr.isReleaseCall(x) {
+						release(f, pr.releasedObjs(x))
+					}
+				}
+				return true
+			})
+			// Acquires: bind the pin to its local.
+			if site, ok := sites[n]; ok && !escaped[site.pinObj] {
+				f[site.pinObj] = site.pos
+			}
+			// Aliases: `h2 := h` tracks the same pin.
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+				for i, lhs := range as.Lhs {
+					lid, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					rid, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					src := pr.pass.TypesInfo.Uses[rid]
+					dst := identObj(pr.pass.TypesInfo, lid)
+					if src == nil || dst == nil {
+						continue
+					}
+					if pos, live := f[src]; live {
+						f[dst] = pos
+					}
+				}
+			}
+		},
+		// Failure edges after an acquire: `if err != nil` / `if h == nil`
+		// means the acquire failed — no pin to release on that path.
+		edge: func(f pinFact, e *Edge) {
+			if e.Cond == nil {
+				return
+			}
+			obj, eq := nilCheck(pr.pass.TypesInfo, e.Cond)
+			if obj == nil {
+				return
+			}
+			objIsNil := (eq && e.Kind == EdgeTrue) || (!eq && e.Kind == EdgeFalse)
+			if objIsNil {
+				if pos, ok := f[obj]; ok {
+					// The pin variable itself is nil on this edge.
+					killSite(f, pos)
+				}
+			} else {
+				// The paired error is non-nil: the acquire failed and
+				// returned no pin on this edge.
+				for _, site := range byErr[obj] {
+					killSite(f, site.pos)
+				}
+			}
+		},
+	}
+}
+
+// identObj resolves an identifier to its object (definition or use).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isErrorObj reports whether obj has type error.
+func isErrorObj(obj types.Object) bool {
+	return obj != nil && types.Identical(obj.Type(), errorType)
+}
+
+// nilCheck matches `x == nil` / `x != nil` conditions; eq reports the
+// operator (true for ==).
+func nilCheck(info *types.Info, cond ast.Expr) (types.Object, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+	}
+	var other ast.Expr
+	switch {
+	case isNil(be.X):
+		other = be.Y
+	case isNil(be.Y):
+		other = be.X
+	default:
+		return nil, false
+	}
+	id, ok := ast.Unparen(other).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return info.Uses[id], be.Op == token.EQL
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The annotation registry makes `saga:` declaration annotations visible
+// across package boundaries: when the loader type-checks `internal/epoch`
+// (directly or as a dependency of `core`), it records that `Manager.Pin`
+// is a `saga:pin` acquire and that `Snapshot` is `saga:frozen`, keyed by
+// the shared types.Object identities. Analyzers running over *any*
+// package in the same load session then resolve call sites and types
+// against the registry — pinrelease sees `p.em.Pin()` inside core as an
+// acquire even though the annotation lives two packages away. One
+// registry exists per loader (all packages of a load share one FileSet
+// and importer, so object identities line up).
+type annotations struct {
+	// funcs holds every declaration doc-comment annotation set, keyed by
+	// the declared function/method object.
+	funcs map[types.Object]map[string]string
+	// frozenTypes holds types declared frozen: their memory is immutable
+	// once published. (The annotation name is spelled out in package docs;
+	// repeating it here would register this very field.)
+	frozenTypes map[*types.TypeName]bool
+	// frozenFields holds individually frozen struct fields.
+	frozenFields map[*types.Var]bool
+}
+
+func newAnnotations() *annotations {
+	return &annotations{
+		funcs:        map[types.Object]map[string]string{},
+		frozenTypes:  map[*types.TypeName]bool{},
+		frozenFields: map[*types.Var]bool{},
+	}
+}
+
+// collect records one freshly type-checked package's annotations.
+func (a *annotations) collect(files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if ann := funcAnnotations(decl.Doc); len(ann) > 0 {
+					if obj := info.Defs[decl.Name]; obj != nil {
+						a.funcs[obj] = ann
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = decl.Doc
+					}
+					if _, frozen := funcAnnotations(doc)["frozen"]; frozen {
+						if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+							a.frozenTypes[tn] = true
+						}
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if key, _ := fieldAnnotation(field); key != "frozen" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						a.frozenFields[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// funcAnnotation looks up a `saga:<key>` annotation on the declaration of
+// obj (a function or method), across all packages of this load.
+func (p *Pass) funcAnnotation(obj types.Object, key string) (string, bool) {
+	if obj == nil || p.pkg.annot == nil {
+		return "", false
+	}
+	v, ok := p.pkg.annot.funcs[obj][key]
+	return v, ok
+}
+
+// frozenType reports whether t (possibly behind pointers/named chains) is
+// a saga:frozen type.
+func (p *Pass) frozenType(t types.Type) bool {
+	if p.pkg.annot == nil {
+		return false
+	}
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			if p.pkg.annot.frozenTypes[x.Obj()] {
+				return true
+			}
+			t = x.Underlying()
+		default:
+			return false
+		}
+	}
+}
+
+// frozenField reports whether v is a saga:frozen struct field.
+func (p *Pass) frozenField(v *types.Var) bool {
+	return p.pkg.annot != nil && v != nil && p.pkg.annot.frozenFields[v]
+}
+
+// cfgOf returns the control-flow graph of one function body, built once
+// and cached per package (analyzers running in sequence share it).
+func (p *Package) cfgOf(body *ast.BlockStmt) *CFG {
+	if p.cfgs == nil {
+		p.cfgs = map[*ast.BlockStmt]*CFG{}
+	}
+	if c, ok := p.cfgs[body]; ok {
+		return c
+	}
+	c := buildCFG(body)
+	p.cfgs[body] = c
+	return c
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sagabench/internal/analysis"
+	"sagabench/internal/analysis/analysistest"
+)
+
+func TestRetryClass(t *testing.T) {
+	analysistest.Run(t, ".", analysis.RetryClass, "retryclass_fx")
+}

@@ -1,0 +1,15 @@
+// Package fakeio stands in for a foreign (out-of-module) I/O package in
+// retryclass fixtures: its error results have not been through the
+// repo's transient/permanent classifier.
+package fakeio
+
+import "errors"
+
+// ErrBoom is the stock failure.
+var ErrBoom = errors.New("boom")
+
+// Write pretends to write p.
+func Write(p []byte) (int, error) { return 0, ErrBoom }
+
+// Sync pretends to flush.
+func Sync() error { return ErrBoom }

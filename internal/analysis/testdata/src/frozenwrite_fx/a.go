@@ -1,0 +1,106 @@
+// Package frozenwrite_fx models published-snapshot immutability:
+// saga:frozen types and fields must never be stored through after
+// publication.
+package frozenwrite_fx
+
+// CSR is a published adjacency structure; immutable once an epoch
+// carries it.
+// saga:frozen
+type CSR struct {
+	Offsets []int
+	Edges   []int
+}
+
+// Snapshot carries a published CSR plus bookkeeping that stays mutable.
+type Snapshot struct {
+	G     *CSR
+	Hot   []float64 // saga:frozen
+	Epoch int64
+}
+
+func view(c *CSR) []int { return c.Offsets }
+
+// directWrite stores straight into a frozen struct's slice.
+func directWrite(c *CSR) {
+	c.Offsets[0] = 1 // want `write into saga:frozen memory`
+}
+
+// fieldStore rebinds a frozen struct's field.
+func fieldStore(c *CSR) {
+	c.Edges = nil // want `write into saga:frozen memory`
+}
+
+// frozenFieldWrite hits a saga:frozen field of an otherwise mutable type.
+func frozenFieldWrite(s *Snapshot) {
+	s.Hot[3] = 0 // want `write into saga:frozen memory`
+}
+
+// frozenFieldRebind reassigns the frozen field itself.
+func frozenFieldRebind(s *Snapshot) {
+	s.Hot = nil // want `write to saga:frozen memory`
+}
+
+// epochStampOK writes a plain field of the carrier struct — Snapshot
+// itself is not frozen.
+func epochStampOK(s *Snapshot) {
+	s.Epoch = 7
+}
+
+// aliasWrite reaches frozen memory through a local alias.
+func aliasWrite(c *CSR) {
+	o := c.Offsets
+	o[0] = 1 // want `write into saga:frozen memory`
+}
+
+// returnAlias reaches frozen memory through a helper's return value.
+func returnAlias(c *CSR) {
+	v := view(c)
+	v[0] = 1 // want `write into saga:frozen memory`
+}
+
+// branchAlias is frozen only on one path — the flow-insensitive
+// framework could not track a branch-dependent alias like this.
+func branchAlias(c *CSR, tmp []int, cond bool) {
+	buf := tmp
+	if cond {
+		buf = c.Offsets
+	}
+	buf[0] = 1 // want `write into saga:frozen memory`
+}
+
+// rebindClears shows the taint dying when the local is rebound.
+func rebindClears(c *CSR, tmp []int) {
+	buf := c.Offsets
+	buf = tmp
+	buf[0] = 1
+}
+
+// appendGrow may write in place through the shared backing array.
+func appendGrow(c *CSR) {
+	_ = append(c.Edges, 7) // want `append may write into saga:frozen memory`
+}
+
+// copyInto writes into the frozen destination.
+func copyInto(c *CSR, src []int) {
+	copy(c.Offsets, src) // want `copy writes into saga:frozen memory`
+}
+
+// copyOut reads from frozen memory into a fresh buffer — fine.
+func copyOut(c *CSR) []int {
+	dst := make([]int, len(c.Offsets))
+	copy(dst, c.Offsets)
+	return dst
+}
+
+// construction may initialize a frozen value before it is published.
+func construction(n int) *CSR {
+	c := &CSR{}
+	c.Offsets = make([]int, n)
+	c.Offsets[0] = 1
+	return c
+}
+
+// audited documents a pre-publication rebuild with a reasoned allow.
+func audited(c *CSR) {
+	c.Offsets[0] = 1 // saga:allow frozenwrite -- rebuilt under the publisher's exclusive lock
+}

@@ -1,0 +1,119 @@
+// Package hotalloc_fx models documented 0-alloc paths: saga:hotpath
+// functions must stay off the allocator.
+package hotalloc_fx
+
+func sink(v any)    {}
+func sinkErr(error) {}
+
+// sum is a clean kernel inner loop — indexing, arithmetic, no
+// allocation.
+// saga:hotpath
+func sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+// ptrArgOK passes a pointer into an interface parameter — pointers store
+// directly in the interface word, no boxing allocation.
+// saga:hotpath
+func ptrArgOK(x *int) {
+	sink(x)
+}
+
+// makes allocates a buffer per call.
+// saga:hotpath
+func makes(n int) []int {
+	return make([]int, n) // want `make allocation in saga:hotpath function makes`
+}
+
+// news allocates.
+// saga:hotpath
+func news() *int {
+	return new(int) // want `new allocation in saga:hotpath function news`
+}
+
+// grows may trigger append growth.
+// saga:hotpath
+func grows(dst []int, v int) []int {
+	return append(dst, v) // want `append \(may grow\) in saga:hotpath function grows`
+}
+
+// literals allocates slice and escaping struct literals.
+// saga:hotpath
+func literals() []int {
+	return []int{1, 2, 3} // want `slice/map literal allocation in saga:hotpath function literals`
+}
+
+// escapingStruct heap-allocates via &T{}.
+// saga:hotpath
+func escapingStruct() *struct{ a int } {
+	return &struct{ a int }{a: 1} // want `heap allocation \(&composite literal\) in saga:hotpath function escapingStruct`
+}
+
+// mapRead hits the map runtime.
+// saga:hotpath
+func mapRead(m map[int]int, k int) int {
+	return m[k] // want `map access in saga:hotpath function mapRead`
+}
+
+// mapWrite hits the map runtime.
+// saga:hotpath
+func mapWrite(m map[int]int, k, v int) {
+	m[k] = v // want `map access in saga:hotpath function mapWrite`
+}
+
+// mapIter ranges over a map.
+// saga:hotpath
+func mapIter(m map[int]int) int {
+	t := 0
+	for _, v := range m { // want `map iteration in saga:hotpath function mapIter`
+		t += v
+	}
+	return t
+}
+
+// closures allocates the closure and its captured variable.
+// saga:hotpath
+func closures(n int) func() int {
+	return func() int { return n } // want `closure allocation in saga:hotpath function closures`
+}
+
+// launches starts a goroutine (stack allocation, scheduling).
+// saga:hotpath
+func launches(ch chan int) {
+	go send(ch) // want `goroutine launch in saga:hotpath function launches`
+}
+
+func send(ch chan int) { ch <- 1 }
+
+// boxes passes a concrete int where an interface is expected.
+// saga:hotpath
+func boxes(v int) {
+	sink(v) // want `interface boxing of int argument in saga:hotpath function boxes`
+}
+
+// converts copies the string into a byte slice.
+// saga:hotpath
+func converts(s string) []byte {
+	return []byte(s) // want `string conversion allocation in saga:hotpath function converts`
+}
+
+// concats builds a new string.
+// saga:hotpath
+func concats(a, b string) string {
+	return a + b // want `string concatenation in saga:hotpath function concats`
+}
+
+// pooled appends into a pool-reserved buffer; audited as amortized-free.
+// saga:hotpath
+func pooled(dst []int, v int) []int {
+	return append(dst, v) // saga:allow hotalloc -- pool reserves capacity; AllocsPerRun asserts 0
+}
+
+// cold is unannotated — the same operations are fine here.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,131 @@
+// Package pinrelease_fx models the epoch pin lifecycle: Pin/Acquire
+// return values that must reach Release on every path.
+package pinrelease_fx
+
+import "errors"
+
+type Snapshot struct{ refs int }
+
+type Manager struct{ cur *Snapshot }
+
+// Pin acquires a reference to the current snapshot.
+// saga:pin
+func (m *Manager) Pin() *Snapshot { return m.cur }
+
+// Release drops a pin taken with Pin.
+// saga:pinrelease
+func (m *Manager) Release(s *Snapshot) { s.refs-- }
+
+type Handle struct{ s *Snapshot }
+
+// Acquire pins the current snapshot behind a handle; fails when no
+// snapshot is published yet.
+// saga:pin
+func (m *Manager) Acquire() (*Handle, error) {
+	if m.cur == nil {
+		return nil, errors.New("no epoch")
+	}
+	return &Handle{s: m.cur}, nil
+}
+
+// Release drops the handle's pin.
+// saga:pinrelease
+func (h *Handle) Release() { h.s = nil }
+
+func work(h *Handle) error { return nil }
+
+func mayPanic() {}
+
+var errBad = errors.New("bad")
+
+func bad() bool { return false }
+
+// good releases on the single path.
+func good(m *Manager) {
+	s := m.Pin()
+	_ = s
+	m.Release(s)
+}
+
+// goodDefer releases via defer, covering the error return below it.
+func goodDefer(m *Manager) error {
+	h, err := m.Acquire()
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	return work(h)
+}
+
+// leakEarlyReturn forgets the handle on the error branch between acquire
+// and release — the bug shape the flow-insensitive framework could not
+// see (each path individually looks releasable).
+func leakEarlyReturn(m *Manager) error {
+	h, err := m.Acquire() // want `pin from Acquire is not released on all paths`
+	if err != nil {
+		return err
+	}
+	if bad() {
+		return errBad
+	}
+	h.Release()
+	return nil
+}
+
+// discarded drops the pin on the floor.
+func discarded(m *Manager) {
+	m.Pin() // want `pin returned by Pin is discarded and can never be released`
+}
+
+// discardedBlank binds the pin to the blank identifier.
+func discardedBlank(m *Manager) {
+	_, err := m.Acquire() // want `pin returned by Acquire is discarded and can never be released`
+	_ = err
+}
+
+// aliasRelease releases through a copy of the pin — still a release.
+func aliasRelease(m *Manager) {
+	s := m.Pin()
+	t := s
+	m.Release(t)
+}
+
+// leakOnPanic holds the pin across an explicit panic without a defer.
+func leakOnPanic(m *Manager, n int) {
+	s := m.Pin() // want `pin from Pin is still pinned when this function panics`
+	if n < 0 {
+		panic("negative")
+	}
+	m.Release(s)
+}
+
+// deferredClosure releases from a deferred closure, which runs on panic
+// exits too.
+func deferredClosure(m *Manager) {
+	s := m.Pin()
+	defer func() { m.Release(s) }()
+	mayPanic()
+}
+
+// escapes transfers ownership to the caller; not a finding here.
+func escapes(m *Manager) *Snapshot {
+	return m.Pin()
+}
+
+func escapesVar(m *Manager) *Snapshot {
+	s := m.Pin()
+	return s
+}
+
+// overwrite loses the first pin by re-acquiring into the same variable.
+func overwrite(m *Manager) {
+	s := m.Pin()
+	s = m.Pin() // want `pin from Pin overwrites a pin that was never released`
+	m.Release(s)
+}
+
+// audited documents an intentional leak with a reasoned allow.
+func audited(m *Manager) {
+	s := m.Pin() // saga:allow pinrelease -- pinned for process lifetime by design
+	_ = s
+}

@@ -1,0 +1,131 @@
+// Package retryclass_fx models the durable layer's fault taxonomy:
+// saga:classified functions must route every returned error through the
+// transient/permanent classifier.
+//
+// saga:durable
+package retryclass_fx
+
+import (
+	"fmt"
+
+	"fakeio"
+)
+
+// Permanent wraps err as a permanent (non-retryable) fault.
+// saga:classifier
+func Permanent(err error) error { return err }
+
+// IsPermanent reports whether err was classified permanent.
+// saga:classifier
+func IsPermanent(err error) bool { return err != nil }
+
+// Do runs op under the retry policy; whatever it returns is classified.
+// saga:classifies
+func Do(op func() error) error {
+	if err := op(); err != nil {
+		return Permanent(err)
+	}
+	return nil
+}
+
+// helper is module-internal; the analyzer trusts it (annotate it
+// saga:classified to have it checked itself).
+func helper() error { return nil }
+
+// Append forwards a raw I/O error to the retry machinery — the bug
+// shape: foreign taint surviving a branch to the return.
+// saga:classified
+func Append(p []byte) error {
+	_, err := fakeio.Write(p)
+	if err != nil {
+		return err // want `never went through the transient/permanent classifier`
+	}
+	return nil
+}
+
+// AppendClassified routes the error through the classifier first.
+// saga:classified
+func AppendClassified(p []byte) error {
+	_, err := fakeio.Write(p)
+	if err != nil {
+		return Permanent(err)
+	}
+	return nil
+}
+
+// SyncConsulted consults the classifier, which launders the local.
+// saga:classified
+func SyncConsulted() error {
+	err := fakeio.Sync()
+	if IsPermanent(err) {
+		return err
+	}
+	return err
+}
+
+// Wrapped taints through fmt wrapping.
+// saga:classified
+func Wrapped(p []byte) error {
+	_, err := fakeio.Write(p)
+	if err != nil {
+		return fmt.Errorf("append: %w", err) // want `never went through the transient/permanent classifier`
+	}
+	return nil
+}
+
+// Fresh constructs its own error — nothing foreign to classify.
+// saga:classified
+func Fresh(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative batch %d", n)
+	}
+	return nil
+}
+
+// Flush forwards the foreign call's result directly.
+// saga:classified
+func Flush() error {
+	return fakeio.Sync() // want `never went through the transient/permanent classifier`
+}
+
+// Mixed is tainted on only one path — invisible to a flow-insensitive
+// checker, caught by the union merge at the join.
+// saga:classified
+func Mixed(fail bool) error {
+	var err error
+	if fail {
+		err = fakeio.Sync()
+	} else {
+		err = nil
+	}
+	return err // want `never went through the transient/permanent classifier`
+}
+
+// Named leaks through a naked return of a named result.
+// saga:classified
+func Named() (err error) {
+	err = fakeio.Sync()
+	return // want `never went through the transient/permanent classifier`
+}
+
+// ViaHelper trusts same-module callees.
+// saga:classified
+func ViaHelper() error {
+	return helper()
+}
+
+// ViaDo returns the retry entry point's already-classified result.
+// saga:classified
+func ViaDo(p []byte) error {
+	return Do(func() error {
+		_, err := fakeio.Write(p)
+		return err
+	})
+}
+
+// Audited documents a crash-only path with a reasoned allow.
+// saga:classified
+func Audited() error {
+	err := fakeio.Sync()
+	return err // saga:allow retryclass -- crash-only startup path, surfaced by the health probe
+}

@@ -106,10 +106,11 @@ func funcAnnotations(doc *ast.CommentGroup) map[string]string {
 	return out
 }
 
-var fieldAnnotationRe = regexp.MustCompile(`saga:(guardedby|chunked)\b\s*([^\s]*)`)
+var fieldAnnotationRe = regexp.MustCompile(`saga:(guardedby|chunked|frozen)\b\s*([^\s]*)`)
 
 // fieldAnnotation scans a struct field's doc and line comments for a
-// saga:guardedby/saga:chunked annotation; returns the key and value.
+// saga:guardedby/saga:chunked/saga:frozen annotation; returns the key
+// and value.
 func fieldAnnotation(field *ast.Field) (key, value string) {
 	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
 		if cg == nil {

@@ -28,6 +28,8 @@ func flatCSROf(g ds.Graph) *graph.CSR {
 // outRunOf returns v's out-adjacency as a zero-copy CSR run when csr is
 // available, else fills buf through the interface. The returned buffer is
 // the (possibly grown) scratch to carry to the next call.
+//
+// saga:hotpath
 func outRunOf(g ds.Graph, csr *graph.CSR, v graph.NodeID, buf []graph.Neighbor) (run, scratch []graph.Neighbor) {
 	if csr != nil {
 		return csr.Out(v), buf
@@ -40,6 +42,8 @@ func outRunOf(g ds.Graph, csr *graph.CSR, v graph.NodeID, buf []graph.Neighbor) 
 // out-run and, when both directions propagate (CC), the in-run. On the
 // flat path these are zero-copy CSR runs; on the interface path both
 // directions land in buf and b is nil.
+//
+// saga:hotpath
 func pushRuns(g ds.Graph, csr *graph.CSR, v graph.NodeID, both bool, buf []graph.Neighbor) (a, b, scratch []graph.Neighbor) {
 	if csr != nil {
 		a = csr.Out(v)
@@ -166,6 +170,8 @@ func (c *workerClock) reset(workers int) {
 
 // add charges d to worker w. No-op before reset or for out-of-range w
 // (sequential kernels never call it).
+//
+// saga:hotpath
 func (c *workerClock) add(w int, d time.Duration) {
 	if w >= 0 && w < len(c.busy) {
 		c.busy[w] += int64(d)
@@ -194,13 +200,15 @@ func (p *pushBufs) reset(workers int) {
 // concat merges the first `workers` buffers into dst (reused when it has
 // capacity) in worker order, which makes the merged frontier order
 // deterministic for a fixed partition.
+//
+// saga:hotpath
 func (p *pushBufs) concat(dst []graph.NodeID, workers int) []graph.NodeID {
 	total := 0
 	for i := 0; i < workers; i++ {
 		total += len(p.bufs[i])
 	}
 	if cap(dst) < total {
-		dst = make([]graph.NodeID, total)
+		dst = make([]graph.NodeID, total) // saga:allow hotalloc -- grow-on-demand fallback; steady-state rounds reuse dst (AllocsPerRun asserts 0)
 	}
 	dst = dst[:total]
 	off := 0

@@ -1,0 +1,103 @@
+package compute
+
+import (
+	"testing"
+	"time"
+
+	"sagabench/internal/ds"
+	"sagabench/internal/graph"
+)
+
+// These assertions cross-validate the saga:hotpath annotations in flat.go
+// (statically enforced by sagavet's hotalloc analyzer): once buffers are
+// warm, the kernel inner-loop helpers must not touch the allocator. The
+// one audited allocation (concat's grow-on-demand make) is exercised cold
+// first so the steady-state run measures the reuse path the saga:allow
+// comment promises.
+
+func hotpathTestGraph(t *testing.T) (ds.Graph, *graph.CSR) {
+	t.Helper()
+	g := ds.MustNew("adjshared", ds.Config{Directed: true, Threads: 1})
+	var batch graph.Batch
+	for i := 1; i <= 16; i++ {
+		batch = append(batch, graph.Edge{Src: 0, Dst: graph.NodeID(i), Weight: 1})
+		batch = append(batch, graph.Edge{Src: graph.NodeID(i), Dst: 0, Weight: 1})
+	}
+	g.Update(batch)
+	return g, graph.BuildCSR(g.NumNodes(), ds.ExportEdgesParallel(g, 1))
+}
+
+func TestOutRunOfDoesNotAllocate(t *testing.T) {
+	g, csr := hotpathTestGraph(t)
+	buf := make([]graph.Neighbor, 0, 64)
+	var run []graph.Neighbor
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			run, buf = outRunOf(g, csr, v, buf)
+		}
+	}); allocs != 0 {
+		t.Errorf("outRunOf (flat path) allocates %.1f times per sweep", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			run, buf = outRunOf(g, nil, v, buf)
+		}
+	}); allocs != 0 {
+		t.Errorf("outRunOf (interface path) allocates %.1f times per sweep", allocs)
+	}
+	_ = run
+}
+
+func TestPushRunsDoesNotAllocate(t *testing.T) {
+	g, csr := hotpathTestGraph(t)
+	buf := make([]graph.Neighbor, 0, 128)
+	var a, b []graph.Neighbor
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			a, b, buf = pushRuns(g, csr, v, true, buf)
+		}
+	}); allocs != 0 {
+		t.Errorf("pushRuns (flat path) allocates %.1f times per sweep", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			a, b, buf = pushRuns(g, nil, v, true, buf)
+		}
+	}); allocs != 0 {
+		t.Errorf("pushRuns (interface path) allocates %.1f times per sweep", allocs)
+	}
+	_, _ = a, b
+}
+
+func TestConcatSteadyStateDoesNotAllocate(t *testing.T) {
+	var pb pushBufs
+	pb.reset(4)
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 100; i++ {
+			pb.bufs[w] = append(pb.bufs[w], graph.NodeID(i))
+		}
+	}
+	dst := pb.concat(nil, 4) // cold: the audited make sizes dst
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = pb.concat(dst, 4)
+	}); allocs != 0 {
+		t.Errorf("concat steady state allocates %.1f times per merge", allocs)
+	}
+	if len(dst) != 400 {
+		t.Fatalf("concat merged %d vertices, want 400", len(dst))
+	}
+}
+
+func TestWorkerClockAddDoesNotAllocate(t *testing.T) {
+	var c workerClock
+	c.reset(4)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		for w := 0; w < 4; w++ {
+			c.add(w, time.Microsecond)
+		}
+	}); allocs != 0 {
+		t.Errorf("workerClock.add allocates %.1f times per round", allocs)
+	}
+}

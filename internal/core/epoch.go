@@ -83,6 +83,8 @@ var ErrQueriesOff = errors.New("core: queries not enabled (set PipelineConfig.Se
 // stays immutable until Release no matter how far the stream advances.
 // The caller must Release the handle; holding it only delays buffer
 // reuse, never publication.
+//
+// saga:pin
 func (p *Pipeline) AcquireQuery() (*QueryHandle, error) {
 	if p.em == nil {
 		return nil, ErrQueriesOff
@@ -173,6 +175,8 @@ func (h *QueryHandle) Frozen() ds.Graph { h.reads++; return snapshot.Freeze(&h.s
 // Release unpins the epoch and records the session's telemetry (query
 // count, final staleness). Must be called exactly once; the handle is
 // dead afterwards.
+//
+// saga:pinrelease
 func (h *QueryHandle) Release() {
 	if h.s == nil {
 		return
@@ -186,6 +190,8 @@ func (h *QueryHandle) Release() {
 // ReleaseChecked verifies the pinned snapshot's structural invariants
 // before releasing — the hook the concurrency battery uses to assert no
 // torn epoch was ever observable. Plain Release skips the O(V+E) check.
+//
+// saga:pinrelease
 func (h *QueryHandle) ReleaseChecked() error {
 	if h.s == nil {
 		return fmt.Errorf("core: ReleaseChecked on a released handle")

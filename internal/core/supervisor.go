@@ -429,6 +429,8 @@ func (s *Supervisor) spawnDrain() {
 // read availability does not blink during recovery. A failed
 // supervisor refuses queries; a read-only one serves them (that is the
 // point of the state).
+//
+// saga:pin
 func (s *Supervisor) AcquireQuery() (*QueryHandle, error) {
 	if s.health.State() >= Failed {
 		return nil, ErrFailed

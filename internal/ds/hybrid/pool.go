@@ -52,6 +52,8 @@ func classOf(c int) int {
 
 // getArr returns an empty array with capacity ≥ n, reusing a pooled one
 // when the size class has stock.
+//
+// saga:hotpath
 func (p *chunkPools) getArr(n int) []graph.Neighbor {
 	c := capFor(n)
 	if cls := classOf(c); cls >= 0 {
@@ -62,20 +64,24 @@ func (p *chunkPools) getArr(n int) []graph.Neighbor {
 			return a
 		}
 	}
-	return make([]graph.Neighbor, 0, c)
+	return make([]graph.Neighbor, 0, c) // saga:allow hotalloc -- cold-start fallback; warmed-up transitions hit the pool (AllocsPerRun asserts 0)
 }
 
 // putArr returns an array to its size-class stack.
+//
+// saga:hotpath
 func (p *chunkPools) putArr(a []graph.Neighbor) {
 	cls := classOf(cap(a))
 	if cls < 0 {
 		return
 	}
-	p.arrs[cls] = append(p.arrs[cls], a[:0])
+	p.arrs[cls] = append(p.arrs[cls], a[:0]) // saga:allow hotalloc -- stack growth is amortized; steady state reuses the spine (AllocsPerRun asserts 0)
 }
 
 // getIdx returns an index sized for n entries, reusing a pooled table when
 // available.
+//
+// saga:hotpath
 func (p *chunkPools) getIdx(n int) *dstIndex {
 	if len(p.idxs) > 0 {
 		t := p.idxs[len(p.idxs)-1]
@@ -88,6 +94,8 @@ func (p *chunkPools) getIdx(n int) *dstIndex {
 }
 
 // putIdx returns an index to the pool.
+//
+// saga:hotpath
 func (p *chunkPools) putIdx(t *dstIndex) {
-	p.idxs = append(p.idxs, t)
+	p.idxs = append(p.idxs, t) // saga:allow hotalloc -- stack growth is amortized; steady state reuses the spine (AllocsPerRun asserts 0)
 }

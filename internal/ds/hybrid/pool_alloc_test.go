@@ -1,0 +1,28 @@
+package hybrid
+
+import "testing"
+
+// TestPoolOpsSteadyStateDoNotAllocate cross-validates the saga:allow
+// hotalloc audits in pool.go at the pool-op level (the promote/demote
+// cycle test covers the same property end-to-end): once each size class
+// and the index pool are stocked, get/put round-trips must be free.
+func TestPoolOpsSteadyStateDoNotAllocate(t *testing.T) {
+	var p chunkPools
+	p.putArr(p.getArr(8))  // stock the 8-class (audited cold make)
+	p.putArr(p.getArr(64)) // stock the 64-class
+	p.putIdx(p.getIdx(16)) // stock the index pool
+	before := p.recycled
+	if allocs := testing.AllocsPerRun(100, func() {
+		a := p.getArr(8)
+		b := p.getArr(64)
+		p.putArr(a)
+		p.putArr(b)
+		idx := p.getIdx(16)
+		p.putIdx(idx)
+	}); allocs != 0 {
+		t.Errorf("steady-state pool round-trip allocates %.1f times per cycle", allocs)
+	}
+	if p.recycled == before {
+		t.Fatal("pool round-trips never recycled anything")
+	}
+}

@@ -30,6 +30,8 @@ var permanentErrnos = []error{
 // recognizably permanent is treated as transient — misclassifying a
 // permanent fault as transient costs a bounded retry budget, while the
 // reverse would give up on a recoverable operation.
+//
+// saga:classifier
 func Permanent(err error) bool {
 	if err == nil {
 		return false
@@ -76,6 +78,8 @@ func (e *OpError) Unwrap() error { return e.Err }
 // IsPermanent reports whether err represents a permanent durability
 // failure: an OpError carrying its classification, or a bare error that
 // classifies permanent.
+//
+// saga:classifier
 func IsPermanent(err error) bool {
 	var oe *OpError
 	if errors.As(err, &oe) {

@@ -105,6 +105,8 @@ func (m *Manager) Recover() (*Checkpoint, []Record, error) {
 // before the next attempt (wal.repairTail). Failure after retries
 // surfaces as an *OpError carrying the transient/permanent
 // classification the supervisor degrades on.
+//
+// saga:classified
 func (m *Manager) Append(adds, dels graph.Batch) (uint64, error) {
 	if m.cfg.Crash != nil {
 		m.cfg.Crash(CrashBeforeAppend)
@@ -147,6 +149,8 @@ func (m *Manager) LastAppendStats() (bytes int, fsync time.Duration) {
 // AppendSkip tombstones seq in the log: recovery will never replay it
 // again. Written (and fsynced — a lost tombstone would resurrect the
 // poison batch) when a logged batch is quarantined.
+//
+// saga:classified
 func (m *Manager) AppendSkip(seq uint64) error {
 	err := m.retry.Do("wal-append", func() error {
 		_, aerr := m.w.appendRecord(Record{Seq: seq, Skip: true})
@@ -160,6 +164,8 @@ func (m *Manager) AppendSkip(seq uint64) error {
 
 // WriteCheckpoint atomically persists cp and garbage-collects the WAL
 // segments and older checkpoints it covers.
+//
+// saga:classified
 func (m *Manager) WriteCheckpoint(cp *Checkpoint) error {
 	if err := writeCheckpointFile(m.cfg.Dir, cp, m.cfg, m.retry); err != nil {
 		return err

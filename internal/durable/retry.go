@@ -49,6 +49,8 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // permanent error (see Permanent) aborts immediately. The returned error
 // is always nil or an *OpError carrying the classification and attempt
 // count.
+//
+// saga:classifies
 func (p RetryPolicy) Do(op string, fn func() error) error {
 	p = p.withDefaults()
 	for attempt := 1; ; attempt++ {

@@ -37,6 +37,8 @@ import (
 // one batch boundary, plus the algorithm's property vector at that batch.
 // All exported fields are read-only after Publish; the arrays must never
 // be mutated by readers or re-published.
+//
+// saga:frozen
 type Snapshot struct {
 	// Epoch is the publication sequence number (1-based; assigned by
 	// Publish).
@@ -257,7 +259,7 @@ func NewManager(reuseBuffers bool) *Manager {
 // superseded: no new pins can land on it, so its refcount only drains
 // from here on. Returns the assigned epoch number.
 func (m *Manager) Publish(s *Snapshot) uint64 {
-	s.Epoch = m.published.Add(1)
+	s.Epoch = m.published.Add(1) // saga:allow frozenwrite -- the epoch number is stamped exactly once, before the swap makes s visible to readers
 	prev := m.latest.Swap(s)
 	if m.reuse {
 		// prev's arrays are now the writer's spare buffer (the double
@@ -306,6 +308,8 @@ func (m *Manager) ForgetSpare() { m.spareOwner = nil }
 // after the publisher's swap) observes the newer epoch and the pin is
 // retried — the transient refcount bump on the superseded snapshot is
 // harmless because this reader never dereferences it.
+//
+// saga:pin
 func (m *Manager) Pin() *Snapshot {
 	for {
 		s := m.latest.Load()
@@ -323,6 +327,8 @@ func (m *Manager) Pin() *Snapshot {
 
 // Release returns a pinned snapshot. Must be called exactly once per
 // successful Pin.
+//
+// saga:pinrelease
 func (m *Manager) Release(s *Snapshot) {
 	if s == nil {
 		return

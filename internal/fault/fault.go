@@ -112,6 +112,8 @@ func (e *InjectedError) Unwrap() error { return e.Err }
 // IsInjected reports whether err (anywhere in its chain) was produced by
 // an Injector — the chaos harness uses it to tell injected faults from
 // real environmental failures.
+//
+// saga:classifier
 func IsInjected(err error) bool {
 	var ie *InjectedError
 	return errors.As(err, &ie)

@@ -33,9 +33,13 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+// saga:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+// saga:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value reads the current count.
@@ -47,6 +51,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+// saga:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value reads the current value.
